@@ -1,0 +1,93 @@
+"""Estimate-accuracy sweep: a continuous version of Table 6.
+
+The paper compares two points — user estimates versus exact runtimes —
+and finds backfilled reordering schedulers improve markedly with accuracy.
+This benchmark sweeps the axis continuously and separates two effects the
+binary comparison conflates:
+
+* **relative noise** (``with_noisy_estimates``): per-job estimate errors
+  scramble the ordering decisions of SMART/PSRS and the projections of
+  backfilling — accuracy helps, the Table 6 direction;
+* **uniform inflation** (``with_scaled_estimates``): multiplying every
+  estimate by the same factor preserves all relative ordering information;
+  the reordering schedulers barely move, and EASY-backfilled FCFS can even
+  *improve* (the classic "inflated estimates help backfilling" result the
+  paper brushes against when its Table 6 weighted SMART rows get worse
+  with exact runtimes).
+"""
+
+from repro.core.simulator import simulate
+from repro.experiments.paper import ctc_workload
+from repro.metrics import average_response_time
+from repro.schedulers import FCFSScheduler, build_scheduler
+from repro.schedulers.registry import SchedulerConfig
+from repro.workloads.transforms import with_noisy_estimates, with_scaled_estimates
+
+SIGMAS = (0.0, 0.5, 1.0, 2.0, 3.0)
+SCALE = 800
+NODES = 256
+KEYS = ("fcfs/easy", "smart-ffia/easy", "psrs/easy")
+
+
+def _art(jobs, key):
+    cfg = SchedulerConfig(*key.split("/"))
+    return average_response_time(simulate(jobs, build_scheduler(cfg, NODES), NODES).schedule)
+
+
+def test_noise_sweep(benchmark):
+    base = ctc_workload(SCALE, seed=71)
+
+    def run():
+        return {
+            sigma: {key: _art(with_noisy_estimates(base, sigma, seed=5), key) for key in KEYS}
+            for sigma in SIGMAS
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nART vs estimate noise (sigma of log-error; 0 = exact runtimes)")
+    print("  sigma   " + "".join(f"{k:>18}" for k in KEYS))
+    for sigma, row in series.items():
+        print(f"  {sigma:>5.1f}   " + "".join(f"{row[k]:>18.0f}" for k in KEYS))
+
+    # Table 6's direction, continuously: exact beats heavily-noised
+    # estimates for the reordering schedulers.
+    for key in ("smart-ffia/easy", "psrs/easy"):
+        assert series[0.0][key] < series[SIGMAS[-1]][key]
+
+
+def test_uniform_inflation_is_nearly_free(benchmark):
+    """Uniform over-estimation preserves ordering information."""
+    base = ctc_workload(SCALE, seed=72)
+
+    def run():
+        return {
+            factor: _art(with_scaled_estimates(base, factor), "smart-ffia/easy")
+            for factor in (1.0, 10.0)
+        }
+
+    arts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nSMART-FFIA+EASY ART under uniform estimate inflation")
+    for factor, art in arts.items():
+        print(f"  factor {factor:>5.1f}   ART={art:>10.0f}")
+    # Within 25% of each other: inflation alone is nearly free.
+    assert arts[10.0] < arts[1.0] * 1.25
+
+
+def test_estimate_blind_schedulers_flat(benchmark):
+    """FCFS-list ignores estimates: any estimate transform is a no-op."""
+    base = ctc_workload(SCALE, seed=73)
+
+    def run():
+        return {
+            sigma: average_response_time(
+                simulate(
+                    with_noisy_estimates(base, sigma, seed=6),
+                    FCFSScheduler.plain(),
+                    NODES,
+                ).schedule
+            )
+            for sigma in (0.0, 2.0)
+        }
+
+    arts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert arts[0.0] == arts[2.0]

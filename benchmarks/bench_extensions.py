@@ -1,0 +1,170 @@
+"""Benchmarks for the beyond-the-grid subsystems.
+
+The paper's loose ends, each quantified on the CTC-like workload:
+
+* gang scheduling ([15]) against the space-sharing grid;
+* the day/night combined scheduler (Section 7's "evaluate the effect of
+  combining the selected algorithms");
+* Example 4's drain windows under three estimate-accuracy regimes;
+* the Section 2.3 lower-bound headroom of the paper's winners;
+* the Section 2.4 closed-loop coupling between scheduler quality and
+  elicited workload.
+"""
+
+from repro.core.simulator import simulate
+from repro.experiments.paper import ctc_workload
+from repro.gang import fcfs_gang_schedule
+from repro.metrics import (
+    average_response_time,
+    improvement_potential,
+    utilisation,
+    windowed_art,
+    windowed_awrt,
+)
+from repro.schedulers import (
+    WEEKDAY_DAYTIME,
+    DrainingScheduler,
+    FCFSScheduler,
+    GareyGrahamScheduler,
+    OrderedQueueScheduler,
+    SubmitOrderPolicy,
+    example5_combined_scheduler,
+)
+from repro.schedulers.disciplines import EasyBackfill
+from repro.schedulers.drain import example4_reservations
+from repro.schedulers.smart import SmartOrderPolicy, SmartVariant
+from repro.schedulers.weights import unit_weight
+from repro.workloads.feedback import default_population, run_closed_loop
+from repro.workloads.transforms import with_exact_estimates, with_scaled_estimates
+
+NODES = 256
+SCALE = 800
+
+
+def test_gang_vs_space_sharing(benchmark):
+    jobs = ctc_workload(SCALE, seed=41)
+
+    def run():
+        plain = simulate(jobs, FCFSScheduler.plain(), NODES)
+        easy = simulate(jobs, FCFSScheduler.with_easy(), NODES)
+        gang2 = fcfs_gang_schedule(jobs, NODES, max_slots=2)
+        gang_inf = fcfs_gang_schedule(jobs, NODES)
+        return {
+            "fcfs": average_response_time(plain.schedule),
+            "fcfs+easy": average_response_time(easy.schedule),
+            "gang-2": gang2.average_response_time(),
+            "gang-inf": gang_inf.average_response_time(),
+        }
+
+    arts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nGang scheduling vs space sharing (unweighted ART, CTC workload)")
+    for label, value in arts.items():
+        print(f"  {label:<10} {value:12.0f}")
+    # [15]'s claim: gang scheduling improves plain FCFS.
+    assert arts["gang-2"] < arts["fcfs"]
+    # Unbounded time sharing thrashes relative to a bounded MPL.
+    assert arts["gang-2"] < arts["gang-inf"]
+
+
+def test_combined_scheduler_regimes(benchmark):
+    jobs = ctc_workload(SCALE, seed=42)
+
+    def smart_easy():
+        return OrderedQueueScheduler(
+            SmartOrderPolicy(NODES, variant=SmartVariant.FFIA, weight=unit_weight),
+            EasyBackfill(),
+            name="smart-easy",
+        )
+
+    def run():
+        out = {}
+        for label, factory in (
+            ("day-winner", smart_easy),
+            ("night-winner", GareyGrahamScheduler),
+            ("combined", lambda: example5_combined_scheduler(NODES)),
+        ):
+            res = simulate(jobs, factory(), NODES)
+            out[label] = (
+                windowed_art(res.schedule, WEEKDAY_DAYTIME),
+                windowed_awrt(res.schedule, WEEKDAY_DAYTIME),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nCombined day/night scheduler (Section 7's final step)")
+    print(f"  {'deployment':<14}{'day ART':>12}{'night AWRT':>14}")
+    for label, (art, awrt) in results.items():
+        print(f"  {label:<14}{art:>12.0f}{awrt:>14.3E}")
+    # The combination must not be the worst deployment on either objective.
+    day_arts = {k: v[0] for k, v in results.items()}
+    night_awrts = {k: v[1] for k, v in results.items()}
+    assert day_arts["combined"] <= max(day_arts.values())
+    assert night_awrts["combined"] <= max(night_awrts.values())
+
+
+def test_drain_windows_estimate_sensitivity(benchmark):
+    base = ctc_workload(SCALE, seed=43)
+    reservations = example4_reservations()
+
+    def drained(jobs):
+        scheduler = DrainingScheduler(SubmitOrderPolicy(), EasyBackfill(), reservations)
+        return simulate(jobs, scheduler, NODES)
+
+    def run():
+        truthful = drained(with_exact_estimates(base))
+        loose = drained(base)
+        return {
+            "truthful": utilisation(truthful.schedule, NODES),
+            "loose": utilisation(loose.schedule, NODES),
+        }
+
+    utils = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nExample 4 drain windows: utilisation by estimate accuracy")
+    for label, value in utils.items():
+        print(f"  {label:<10} {value:8.1%}")
+    # Loose estimates waste the machine ahead of every drain.
+    assert utils["truthful"] >= utils["loose"]
+
+
+def test_lower_bound_headroom(benchmark):
+    jobs = ctc_workload(SCALE, seed=44)
+
+    def run():
+        out = {}
+        for label, factory in (
+            ("fcfs+easy", FCFSScheduler.with_easy),
+            ("gg", GareyGrahamScheduler),
+        ):
+            res = simulate(jobs, factory(), NODES)
+            out[label] = improvement_potential(res.schedule, jobs, NODES)
+        return out
+
+    potentials = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nSection 2.3 lower-bound headroom (unweighted)")
+    for label, p in potentials.items():
+        print(f"  {label:<10} measured={p.measured:10.0f}  bound={p.lower_bound:10.0f}"
+              f"  ratio={p.ratio:5.2f}  headroom={p.headroom:5.1%}")
+    for p in potentials.values():
+        assert p.ratio >= 1.0 - 1e-9
+
+
+def test_closed_loop_coupling(benchmark):
+    population = default_population(16, seed=45, mean_think_time=900.0)
+
+    def run():
+        out = {}
+        for label, factory in (
+            ("fcfs", FCFSScheduler.plain),
+            ("gg", GareyGrahamScheduler),
+        ):
+            result = run_closed_loop(
+                population, factory(), 128, horizon=4 * 86_400.0, seed=46
+            )
+            out[label] = result.total_jobs
+        return out
+
+    elicited = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nSection 2.4 closed loop: jobs elicited from the same 16 users")
+    for label, count in elicited.items():
+        print(f"  {label:<6} {count}")
+    assert elicited["gg"] >= elicited["fcfs"]

@@ -1,0 +1,61 @@
+"""Failure injection: scheduler behaviour under cancellations and kills.
+
+Section 2 reminds the designer that schedules are subject to "the sudden
+failure of a hardware component" and jobs that "fail to run".  This
+benchmark injects withdrawals/kills at growing rates and asserts the sane
+behaviours: accounting is exact (no job lost or double-counted), survivors
+are served no worse as load sheds, and every surviving schedule stays
+valid.
+"""
+
+from repro.core.machine import Machine
+from repro.core.simulator import Simulator
+from repro.experiments.paper import ctc_workload
+from repro.schedulers import FCFSScheduler
+from repro.workloads.transforms import random_cancellations
+
+NODES = 256
+SCALE = 800
+RATES = (0.0, 0.2, 0.5)
+
+
+def test_failure_injection_rates(benchmark):
+    jobs = ctc_workload(SCALE, seed=131)
+
+    def run():
+        out = {}
+        for rate in RATES:
+            cancellations = random_cancellations(jobs, rate, seed=132)
+            sim = Simulator(Machine(NODES), FCFSScheduler.with_easy())
+            result = sim.run(jobs, cancellations=cancellations)
+            result.schedule.validate(NODES)
+            survivors = [i for i in result.schedule if not i.cancelled]
+            art = (
+                sum(i.response_time for i in survivors) / len(survivors)
+                if survivors
+                else 0.0
+            )
+            out[rate] = {
+                "art": art,
+                "withdrawn": len(result.cancelled_queued),
+                "killed": len(result.killed_running),
+                "executed": len(result.schedule),
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFailure injection (FCFS+EASY): survivor service vs cancel rate")
+    for rate, row in results.items():
+        print(
+            f"  rate {rate:>4.0%}  survivor ART {row['art']:>10.0f}  "
+            f"withdrawn {row['withdrawn']:>4}  killed {row['killed']:>4}"
+        )
+    # Exact accounting at every rate.
+    for rate, row in results.items():
+        assert row["executed"] + row["withdrawn"] == SCALE or (
+            row["executed"] + row["withdrawn"] == len(ctc_workload(SCALE, seed=131))
+        )
+    # Shedding half the load must not make survivors slower.
+    assert results[0.5]["art"] <= results[0.0]["art"]
+    # Baseline run has no cancellations at all.
+    assert results[0.0]["withdrawn"] == 0 and results[0.0]["killed"] == 0

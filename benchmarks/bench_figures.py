@@ -1,0 +1,45 @@
+"""Figures 3–6: bar-chart renderings of Tables 3, 4 and 6.
+
+The paper's figures carry the same data as their tables; these benchmarks
+regenerate them as ASCII bars (longest bar = worst average response time)
+and assert the visually salient feature of each figure.
+"""
+
+from benchmarks.conftest import print_reports
+
+
+def test_fig3_ctc_unweighted_bars(benchmark, experiment_cache):
+    result = benchmark.pedantic(lambda: experiment_cache("fig3"), rounds=1, iterations=1)
+    print_reports(result)
+    grid = result.grids["unweighted"]
+    # The figure's striking feature: the FCFS Listscheduler bar dwarfs all.
+    worst = max(c.objective for c in grid.cells.values())
+    assert grid.cells["fcfs/list"].objective == worst
+
+
+def test_fig4_ctc_weighted_bars(benchmark, experiment_cache):
+    result = benchmark.pedantic(lambda: experiment_cache("fig4"), rounds=1, iterations=1)
+    print_reports(result)
+    grid = result.grids["weighted"]
+    # Figure 4's feature: Garey & Graham is the shortest bar.
+    best = min(c.objective for c in grid.cells.values())
+    assert grid.cells["gg/list"].objective == best
+
+
+def test_fig5_probabilistic_bars(benchmark, experiment_cache):
+    result = benchmark.pedantic(lambda: experiment_cache("fig5"), rounds=1, iterations=1)
+    print_reports(result)
+    grid = result.grids["unweighted"]
+    worst = max(c.objective for c in grid.cells.values())
+    assert grid.cells["fcfs/list"].objective == worst
+
+
+def test_fig6_exact_vs_estimated_bars(benchmark, experiment_cache):
+    result = benchmark.pedantic(lambda: experiment_cache("fig6"), rounds=1, iterations=1)
+    print_reports(result)
+    exact = result.grids["unweighted"]
+    estimated = experiment_cache("table3", ("unweighted",)).grids["unweighted"]
+    # Figure 6 contrasts exact vs estimated: the backfilled reordering bars
+    # shrink with exact knowledge.
+    for row in ("psrs", "smart-ffia", "smart-nfiw"):
+        assert exact.cells[f"{row}/easy"].objective < estimated.cells[f"{row}/easy"].objective

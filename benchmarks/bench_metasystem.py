@@ -1,0 +1,71 @@
+"""Metasystem routing policies under one CTC-like stream ([17]).
+
+Compares the routers over a three-site metasystem and asserts the sane
+ordering: load-aware routing beats blind routing, and the home-overflow
+policy keeps most jobs at home.
+"""
+
+from repro.core.job import Job
+from repro.experiments.paper import ctc_workload
+from repro.metasystem import (
+    HomeSiteRouter,
+    LeastLoadedRouter,
+    Metasystem,
+    RandomRouter,
+    RoundRobinRouter,
+    Site,
+)
+from repro.schedulers import FCFSScheduler, GareyGrahamScheduler
+
+SCALE = 700
+HOMES = ("alpha", "beta", "gamma")
+
+
+def build_sites():
+    return [
+        Site("alpha", 256, GareyGrahamScheduler()),
+        Site("beta", 128, FCFSScheduler.with_easy()),
+        Site("gamma", 64, FCFSScheduler.with_easy()),
+    ]
+
+
+def tagged_jobs():
+    jobs = ctc_workload(SCALE, seed=73)
+    return [
+        Job(
+            job_id=j.job_id, submit_time=j.submit_time, nodes=j.nodes,
+            runtime=j.runtime, estimate=j.estimate, user=j.user,
+            meta={"home": HOMES[j.user % len(HOMES)]},
+        )
+        for j in jobs
+    ]
+
+
+def test_metasystem_router_comparison(benchmark):
+    jobs = tagged_jobs()
+
+    def run():
+        out = {}
+        for router in (
+            RoundRobinRouter(),
+            RandomRouter(seed=2),
+            LeastLoadedRouter(),
+            HomeSiteRouter(overflow_factor=2.0),
+        ):
+            meta = Metasystem(build_sites(), router, transfer_delay=120.0)
+            result = meta.run(jobs)
+            out[router.name] = (result.global_art(), result.migrations)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nMetasystem routing ([17]): global ART and migrations")
+    for name, (art, migrations) in results.items():
+        print(f"  {name:<14} ART={art:>10.0f}  migrations={migrations}")
+
+    arts = {name: art for name, (art, _m) in results.items()}
+    # Load-aware routing beats the blind baselines.
+    assert arts["least-loaded"] < arts["round-robin"]
+    assert arts["least-loaded"] < arts["random"]
+    # Home-overflow migrates far less than any blind policy.
+    migrations = {name: m for name, (_a, m) in results.items()}
+    assert migrations["home-overflow"] < migrations["round-robin"] / 2

@@ -1,0 +1,82 @@
+"""Figures 1 and 2: Pareto-optimal selection and the on-line/off-line region.
+
+Figure 1 shows candidate schedules in criterion space with the
+Pareto-optimal ones marked and ranked; Figure 2 sketches the containment of
+the on-line achievable region inside the off-line one.  These benchmarks
+regenerate both pictures from real simulation data.
+"""
+
+from repro.experiments.paper import ctc_workload
+from repro.metrics.objectives import (
+    average_response_time,
+    average_weighted_response_time,
+)
+from repro.policy import ParetoPoint, fit_linear_objective, pareto_front
+from repro.policy.regions import achievable_region
+from repro.policy.rules import Criterion
+from repro.schedulers.registry import paper_configurations, build_scheduler
+from repro.core.simulator import simulate
+
+CRITERIA = [
+    Criterion("ART", average_response_time),
+    Criterion("AWRT", average_weighted_response_time),
+]
+
+
+def test_fig1_pareto_selection(benchmark):
+    """Candidate schedules -> Pareto front -> ranked -> objective synthesis."""
+
+    def build():
+        jobs = ctc_workload(600, seed=31)
+        points = []
+        for config in paper_configurations():
+            result = simulate(jobs, build_scheduler(config, 256), 256)
+            points.append(
+                ParetoPoint(
+                    label=config.key,
+                    values=tuple(c.evaluate(result.schedule) for c in CRITERIA),
+                )
+            )
+        front = pareto_front(points, CRITERIA)
+        return points, front
+
+    points, front = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\nFigure 1. Candidate schedules in (ART, AWRT) space")
+    front_labels = {p.label for p in front}
+    for p in sorted(points, key=lambda q: q.values[0]):
+        marker = "*" if p.label in front_labels else " "
+        print(f"  [{marker}] {p.label:<24} ART={p.values[0]:10.0f}  AWRT={p.values[1]:.3E}")
+    print(f"  ({len(front)} Pareto-optimal of {len(points)}; * marks the front)")
+
+    assert 1 <= len(front) <= len(points)
+    # Synthesis step: rank by ART and fit a consistent scalar objective.
+    ranked = sorted(points, key=lambda p: p.values[0])
+    ranked_points = [
+        ParetoPoint(p.label, p.values, rank=len(ranked) - 1 - i)
+        for i, p in enumerate(ranked)
+    ]
+    objective = fit_linear_objective(ranked_points, CRITERIA)
+    assert sum(objective.weights) > 0
+
+
+def test_fig2_online_vs_offline_region(benchmark):
+    """The off-line (exact-knowledge) front envelops the on-line one."""
+
+    def build():
+        jobs = ctc_workload(600, seed=32)
+        return achievable_region(jobs, CRITERIA, total_nodes=256)
+
+    region = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\nFigure 2. On-line versus off-line achievable region")
+    print(f"  on-line points:  {len(region.online_points)}  front: {len(region.online_front)}")
+    print(f"  off-line points: {len(region.offline_points)}  front: {len(region.offline_front)}")
+    best_on = min(p.values[0] for p in region.online_points)
+    best_off = min(p.values[0] for p in region.offline_points)
+    print(f"  best on-line ART:  {best_on:.0f}")
+    print(f"  best off-line ART: {best_off:.0f}")
+
+    # The containment of Figure 2: exact knowledge extends the reachable
+    # region (equality possible for estimate-blind algorithms).
+    assert best_off <= best_on * 1.02

@@ -1,0 +1,57 @@
+"""Microbenchmarks of the availability profile — the measured hot spot.
+
+Conservative backfilling issues hundreds of thousands of first-fit queries
+per simulated month; these benchmarks track the profile's query and
+reservation costs so a regression is caught before it melts the Table 3
+runtimes.  (This is also where the NumPy-vs-lists decision documented in
+``repro/core/profile.py`` was measured.)
+"""
+
+import random
+
+from repro.core.profile import AvailabilityProfile
+
+
+def build_profile(n_reservations: int, total_nodes: int = 256, seed: int = 0):
+    rng = random.Random(seed)
+    profile = AvailabilityProfile(total_nodes)
+    for _ in range(n_reservations):
+        nodes = rng.randint(1, total_nodes // 4)
+        duration = rng.uniform(10.0, 5000.0)
+        after = rng.uniform(0.0, 1e5)
+        start = profile.earliest_start(nodes, duration, after=after)
+        profile.reserve(start, duration, nodes)
+    return profile
+
+
+def test_profile_build_and_reserve(benchmark):
+    profile = benchmark(build_profile, 200)
+    assert profile.steps()[-1][1] == 256
+
+
+def test_earliest_start_queries(benchmark):
+    profile = build_profile(300)
+    rng = random.Random(1)
+    queries = [
+        (rng.randint(1, 256), rng.uniform(10.0, 5000.0), rng.uniform(0.0, 1e5))
+        for _ in range(500)
+    ]
+
+    def run():
+        total = 0.0
+        for nodes, duration, after in queries:
+            total += profile.earliest_start(nodes, duration, after=after)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_from_running_bulk(benchmark):
+    rng = random.Random(2)
+    running = [(rng.uniform(0.0, 1e5), rng.randint(1, 8)) for _ in range(120)]
+    while sum(n for _e, n in running) > 256:
+        running.pop()
+
+    profile = benchmark(AvailabilityProfile.from_running, 256, 0.0, running)
+    assert profile.steps()[-1][1] == 256

@@ -1,0 +1,40 @@
+"""Scale convergence: how table percentages move toward the paper's.
+
+EXPERIMENTS.md claims the measured percentages compress at small scale
+and move monotonically toward the paper's 79k-job values as the trace
+grows (backlog depth is the driver).  This benchmark produces that series
+for the most scale-sensitive cell — FCFS Listscheduler, unweighted, paper
+value +1143% — and asserts the monotone trend.
+"""
+
+from repro.core.simulator import simulate
+from repro.experiments.paper import ctc_workload
+from repro.metrics import average_response_time
+from repro.schedulers import FCFSScheduler
+
+SCALES = (250, 500, 1000, 2000)
+
+
+def test_fcfs_pct_grows_with_scale(benchmark):
+    def run():
+        series = {}
+        for scale in SCALES:
+            jobs = ctc_workload(scale, seed=42)
+            plain = average_response_time(
+                simulate(jobs, FCFSScheduler.plain(), 256).schedule
+            )
+            easy = average_response_time(
+                simulate(jobs, FCFSScheduler.with_easy(), 256).schedule
+            )
+            series[scale] = (plain - easy) / easy * 100.0
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFCFS-list pct vs FCFS+EASY by scale (paper @79k: +1143%)")
+    for scale, pct in series.items():
+        print(f"  {scale:>6} jobs   {pct:+8.1f}%")
+    values = list(series.values())
+    # The backlog effect: the penalty grows with trace length.
+    assert values[-1] > values[0]
+    # And every scale already shows the qualitative result.
+    assert all(v > 50.0 for v in values)

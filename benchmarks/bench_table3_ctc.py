@@ -1,0 +1,65 @@
+"""Table 3 / Figures 3 and 4: average response time on the CTC workload.
+
+Regenerates both regimes of the paper's central table and asserts its
+Section 7 conclusions:
+
+unweighted —
+* every algorithm clearly beats plain FCFS, even FCFS with backfilling;
+* PSRS and SMART improve significantly with backfilling;
+* Garey & Graham is good but inferior to PSRS/SMART with backfilling;
+
+weighted —
+* classical list scheduling (Garey & Graham) clearly outperforms everyone;
+* PSRS and SMART improve with backfilling but are never clearly better than
+  FCFS + EASY.
+"""
+
+from benchmarks.conftest import print_reports
+
+
+def test_table3_unweighted(benchmark, experiment_cache):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("table3", ("unweighted",)), rounds=1, iterations=1
+    )
+    print_reports(result)
+    grid = result.grids["unweighted"]
+
+    fcfs_list = grid.cells["fcfs/list"].objective
+    for key, cell in grid.cells.items():
+        if key != "fcfs/list":
+            assert cell.objective < fcfs_list, f"{key} should beat plain FCFS"
+    # Reordering algorithms improve on the FCFS+EASY reference...
+    ref = grid.reference.objective
+    for row in ("psrs", "smart-ffia", "smart-nfiw"):
+        assert grid.cells[f"{row}/easy"].objective < ref
+        # ... and backfilling improves each of them over their list variant.
+        assert grid.cells[f"{row}/easy"].objective < grid.cells[f"{row}/list"].objective
+    # G&G good but inferior to the best backfilled reordering scheduler.
+    best_backfilled = min(
+        grid.cells[f"{row}/{col}"].objective
+        for row in ("psrs", "smart-ffia", "smart-nfiw")
+        for col in ("conservative", "easy")
+    )
+    assert best_backfilled < grid.cells["gg/list"].objective
+    assert result.agreement["unweighted"] > 0.7
+
+
+def test_table3_weighted(benchmark, experiment_cache):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("table3", ("weighted",)), rounds=1, iterations=1
+    )
+    print_reports(result)
+    grid = result.grids["weighted"]
+
+    # "The classical list scheduling algorithm clearly outperforms all
+    # other algorithms."
+    gg = grid.cells["gg/list"].objective
+    for key, cell in grid.cells.items():
+        if key != "gg/list":
+            assert gg <= cell.objective * 1.02, f"G&G should win, lost to {key}"
+    # PSRS/SMART improve with backfilling but never clearly beat FCFS+EASY.
+    ref = grid.reference.objective
+    for row in ("psrs", "smart-ffia", "smart-nfiw"):
+        assert grid.cells[f"{row}/easy"].objective < grid.cells[f"{row}/list"].objective
+        assert grid.cells[f"{row}/easy"].objective > ref * 0.9
+    assert result.agreement["weighted"] > 0.8

@@ -1,0 +1,38 @@
+"""Table 4 / Figure 5: average response time, probability-distributed workload.
+
+"The artificial workload based on probability distributions basically
+supports the results derived with the CTC workload" — the assertions mirror
+Table 3's, with the one difference the paper highlights: EASY beats
+conservative backfilling for PSRS/SMART in the unweighted case here.
+"""
+
+from benchmarks.conftest import print_reports
+
+
+def test_table4_unweighted(benchmark, experiment_cache):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("table4", ("unweighted",)), rounds=1, iterations=1
+    )
+    print_reports(result)
+    grid = result.grids["unweighted"]
+    fcfs_list = grid.cells["fcfs/list"].objective
+    for key, cell in grid.cells.items():
+        if key != "fcfs/list":
+            assert cell.objective < fcfs_list
+    ref = grid.reference.objective
+    for row in ("psrs", "smart-ffia", "smart-nfiw"):
+        assert grid.cells[f"{row}/easy"].objective < ref
+    assert result.agreement["unweighted"] > 0.7
+
+
+def test_table4_weighted(benchmark, experiment_cache):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("table4", ("weighted",)), rounds=1, iterations=1
+    )
+    print_reports(result)
+    grid = result.grids["weighted"]
+    gg = grid.cells["gg/list"].objective
+    for key, cell in grid.cells.items():
+        if key != "gg/list":
+            assert gg <= cell.objective * 1.02
+    assert result.agreement["weighted"] > 0.8

@@ -1,0 +1,40 @@
+"""Table 7: computation time of the scheduling algorithms, CTC workload.
+
+The paper's observations (Section 7):
+
+* plain list schedulers are far cheaper than the EASY reference;
+* Garey & Graham needs similar computation for both workload sizes (its
+  work scales with events, not queue reshuffles);
+* in the weighted case PSRS and SMART become expensive — PSRS costs *more*
+  than FCFS+EASY in the paper's Table 7.
+
+We assert the robust subset: list schedulers beat the reference, and the
+weighted PSRS/SMART list cells are significantly more expensive than their
+FCFS counterpart (the reordering is the cost).
+"""
+
+from benchmarks.conftest import print_reports
+
+
+def test_table7_compute_times(benchmark, experiment_cache):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("table7", ("unweighted", "weighted")),
+        rounds=1,
+        iterations=1,
+    )
+    print_reports(result)
+
+    for regime in ("unweighted", "weighted"):
+        grid = result.grids[regime]
+        ref = grid.reference.compute_time
+        # Plain FCFS and G&G list scheduling are much cheaper than EASY.
+        assert grid.cells["fcfs/list"].compute_time < ref
+        assert grid.cells["gg/list"].compute_time < ref
+        # Reordering costs: PSRS/SMART list cells dearer than FCFS list.
+        fcfs_list = grid.cells["fcfs/list"].compute_time
+        for row in ("psrs", "smart-ffia", "smart-nfiw"):
+            assert grid.cells[f"{row}/list"].compute_time > fcfs_list
+
+    # Sign agreement with the paper's percentage table.
+    assert result.agreement["unweighted"] >= 0.5
+    assert result.agreement["weighted"] >= 0.5

@@ -1,0 +1,30 @@
+"""Table 8: computation time of the algorithms, probabilistic workload.
+
+Mirrors Table 7 on the second workload.  The paper's note that "the
+classical list scheduling algorithm requires a similar computation time for
+both workloads" is asserted by comparing against the Table 7 run.
+"""
+
+from benchmarks.conftest import print_reports
+
+
+def test_table8_compute_times(benchmark, experiment_cache):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("table8", ("unweighted", "weighted")),
+        rounds=1,
+        iterations=1,
+    )
+    print_reports(result)
+
+    for regime in ("unweighted", "weighted"):
+        grid = result.grids[regime]
+        ref = grid.reference.compute_time
+        assert grid.cells["fcfs/list"].compute_time < ref
+        assert grid.cells["gg/list"].compute_time < ref
+
+    # G&G cost is workload-insensitive: within a factor ~4 across the two
+    # workloads (wall-clock noise included; the paper found near-identity).
+    table7 = experiment_cache("table7", ("unweighted",))
+    gg7 = table7.grids["unweighted"].cells["gg/list"].compute_time
+    gg8 = result.grids["unweighted"].cells["gg/list"].compute_time
+    assert gg8 < gg7 * 4 and gg7 < gg8 * 4

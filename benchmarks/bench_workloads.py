@@ -1,0 +1,59 @@
+"""Tables 1 and 2: the workloads themselves.
+
+Table 1 lists the job counts of the three workloads; Table 2 the parameter
+ranges of the randomized one.  These benchmarks measure generation speed at
+paper scale and assert the tables' contents.
+"""
+
+import numpy as np
+
+from repro.experiments.paper import PAPER_TABLE1
+from repro.workloads.ctc import ctc_like_workload
+from repro.workloads.probabilistic import ProbabilisticModel
+from repro.workloads.randomized import RandomizedModel, randomized_workload
+from repro.workloads.transforms import cap_nodes
+
+
+def test_table1_workload_sizes(benchmark):
+    """Generate all three workloads (scaled 1:10) and print Table 1."""
+
+    def build():
+        ctc = ctc_like_workload(PAPER_TABLE1["ctc"] // 10, seed=1)
+        source = cap_nodes(ctc, 256)
+        prob = ProbabilisticModel.fit(source).sample(
+            PAPER_TABLE1["probabilistic"] // 10, seed=2
+        )
+        rand = randomized_workload(PAPER_TABLE1["randomized"] // 10, seed=3)
+        return ctc, prob, rand
+
+    ctc, prob, rand = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\nTable 1. Number of jobs in various workloads (1:10 scale)")
+    print(f"  CTC                      {len(ctc):>8}   (paper: {PAPER_TABLE1['ctc']})")
+    print(f"  Probability distribution {len(prob):>8}   (paper: {PAPER_TABLE1['probabilistic']})")
+    print(f"  Randomized               {len(rand):>8}   (paper: {PAPER_TABLE1['randomized']})")
+    assert len(ctc) == PAPER_TABLE1["ctc"] // 10
+    assert len(prob) == PAPER_TABLE1["probabilistic"] // 10
+    assert len(rand) == PAPER_TABLE1["randomized"] // 10
+
+
+def test_table2_randomized_parameters(benchmark):
+    """Verify the Table 2 ranges on a large sample."""
+    jobs = benchmark.pedantic(
+        lambda: RandomizedModel().generate(20_000, seed=4), rounds=1, iterations=1
+    )
+    gaps = np.diff([0.0] + [j.submit_time for j in jobs])
+    nodes = np.array([j.nodes for j in jobs])
+    estimates = np.array([j.estimate for j in jobs])
+    runtimes = np.array([j.runtime for j in jobs])
+
+    print("\nTable 2. Parameters for randomized job generation (measured)")
+    print(f"  interarrival   [{gaps.min():.1f}, {gaps.max():.1f}] s    (>= 1 job/hour)")
+    print(f"  nodes          [{nodes.min()}, {nodes.max()}]            (1 - 256)")
+    print(f"  upper limit    [{estimates.min():.0f}, {estimates.max():.0f}] s  (5 min - 24 h)")
+    print(f"  runtime        [{runtimes.min():.1f}, ...] s, always <= limit (1 s - limit)")
+
+    assert gaps.max() <= 3600.0
+    assert nodes.min() >= 1 and nodes.max() <= 256
+    assert estimates.min() >= 300.0 and estimates.max() <= 86400.0
+    assert runtimes.min() >= 1.0
+    assert (runtimes <= estimates).all()

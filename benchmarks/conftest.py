@@ -1,0 +1,61 @@
+"""Shared benchmark machinery.
+
+Every benchmark regenerates one paper artifact (table or figure) at a
+configurable scale, prints the same rows the paper reports, and asserts the
+paper's qualitative conclusions (who wins, roughly by what factor).
+
+Scale control::
+
+    pytest benchmarks/ --benchmark-only                     # default scale
+    REPRO_BENCH_SCALE=5000 pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_SCALE=full pytest benchmarks/ --benchmark-only   # paper counts (slow!)
+
+Absolute times come from ``pytest-benchmark``; the printed tables carry the
+objective values.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.paper import EXPERIMENTS, run_experiment
+
+#: Default jobs per workload for benchmark runs: large enough to develop the
+#: backlog the paper's conclusions rest on, small enough for minutes-scale runs.
+DEFAULT_SCALE = 1000
+
+
+def bench_scale(spec_id: str) -> int:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    if raw == "full":
+        return EXPERIMENTS[spec_id].paper_scale
+    if raw:
+        return int(raw)
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """Memoise experiment runs: figures reuse their table's grids."""
+    cache: dict[tuple, object] = {}
+
+    def get(experiment_id: str, regimes: tuple[str, ...] | None = None):
+        key = (experiment_id, regimes, bench_scale(experiment_id))
+        if key not in cache:
+            cache[key] = run_experiment(
+                experiment_id,
+                scale=bench_scale(experiment_id),
+                regimes=list(regimes) if regimes else None,
+            )
+        return cache[key]
+
+    return get
+
+
+def print_reports(result) -> None:
+    for regime, report in result.reports.items():
+        print(f"\n=== {result.spec.experiment_id} ({regime}) ===")
+        print(report)
+        print(f"rank agreement with paper: {result.agreement[regime]:.2f}")

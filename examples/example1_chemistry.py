@@ -1,0 +1,94 @@
+"""Example 1, end to end: the chemistry department's machine.
+
+Run::
+
+    python examples/example1_chemistry.py
+
+The paper uses Example 1 (a machine financed by the drug design lab,
+shared with the department, the university, and industrial partners) to
+motivate the methodology but never evaluates it.  This script closes the
+loop:
+
+1. a class-tagged workload (drug-design / chemistry / university /
+   industry users with different job profiles);
+2. two candidate scheduling systems — plain FCFS+EASY (class-blind) and
+   the Example 1 class-priority order under the same backfilling;
+3. the per-class criteria of Section 2.2: drug-design response time
+   (Rule 1), industry compute share (Rule 4), everyone else's service;
+4. the trade-off the owner must resolve: priorities buy the lab fast
+   turnaround at the expense of the university's queue.
+"""
+
+from repro.core.job import Job
+from repro.core.simulator import simulate
+from repro.metrics.classes import (
+    class_breakdown,
+    class_compute_share,
+    class_response_time,
+    format_class_breakdown,
+)
+from repro.schedulers import FCFSScheduler, OrderedQueueScheduler, SubmitOrderPolicy
+from repro.schedulers.admission import EXAMPLE1_RANKS, ClassPriorityOrderPolicy
+from repro.schedulers.disciplines import EasyBackfill
+from repro.workloads import ctc_like_workload
+from repro.workloads.transforms import cap_nodes, renumber
+
+TOTAL_NODES = 256
+#: user-id modulus -> class, weighted toward the department's own people.
+CLASS_BY_BUCKET = (
+    "drug-design", "drug-design",
+    "chemistry", "chemistry", "chemistry",
+    "university", "university", "university",
+    "industry", "industry",
+)
+
+
+def tagged_workload(n_jobs: int) -> list[Job]:
+    jobs = renumber(cap_nodes(ctc_like_workload(n_jobs, seed=37), TOTAL_NODES))
+    return [
+        Job(
+            job_id=j.job_id,
+            submit_time=j.submit_time,
+            nodes=j.nodes,
+            runtime=j.runtime,
+            estimate=j.estimate,
+            user=j.user,
+            meta={"class": CLASS_BY_BUCKET[j.user % len(CLASS_BY_BUCKET)]},
+        )
+        for j in jobs
+    ]
+
+
+def class_priority_scheduler() -> OrderedQueueScheduler:
+    return OrderedQueueScheduler(
+        ClassPriorityOrderPolicy(SubmitOrderPolicy(), EXAMPLE1_RANKS),
+        EasyBackfill(),
+        name="Example1 priorities + EASY",
+    )
+
+
+def main() -> None:
+    jobs = tagged_workload(1500)
+    contenders = [
+        ("class-blind FCFS+EASY", FCFSScheduler.with_easy),
+        ("Example 1 priorities", class_priority_scheduler),
+    ]
+    for label, factory in contenders:
+        result = simulate(jobs, factory(), TOTAL_NODES)
+        result.schedule.validate(TOTAL_NODES)
+        print(f"--- {label} ---")
+        print(format_class_breakdown(class_breakdown(result.schedule)))
+        drug = class_response_time(result.schedule, "drug-design")
+        industry_share = class_compute_share(result.schedule, "industry")
+        print(f"Rule 1 criterion (drug-design mean response): {drug:.0f} s")
+        print(f"Rule 4 criterion (industry compute share):    {industry_share:.1%}")
+        print()
+    print(
+        "Priorities should cut the drug-design response sharply while the"
+        "\nuniversity class absorbs the wait — the conflict Section 2.1 says"
+        "\nthe policy must resolve (and the Pareto machinery quantifies)."
+    )
+
+
+if __name__ == "__main__":
+    main()

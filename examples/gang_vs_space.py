@@ -1,0 +1,54 @@
+"""Gang scheduling versus space sharing (the paper's reference [15]).
+
+Run::
+
+    python examples/gang_vs_space.py
+
+Example 5's machine "does not allow time sharing", which forces the whole
+algorithm zoo into space sharing.  Was that constraint expensive?  The
+paper leans on Schwiegelshohn & Yahyapour [15] ("Improving
+first-come-first-serve job scheduling by gang scheduling") for the claim
+that FCFS can be rescued.  This example quantifies it: plain FCFS, FCFS
+with EASY backfilling, and FCFS gang scheduling at several
+multiprogramming levels, on the same CTC-like trace.
+"""
+
+from repro import FCFSScheduler, simulate
+from repro.gang import fcfs_gang_schedule
+from repro.metrics import average_response_time
+from repro.workloads import ctc_like_workload
+from repro.workloads.transforms import cap_nodes, renumber
+
+TOTAL_NODES = 256
+
+
+def main() -> None:
+    jobs = renumber(cap_nodes(ctc_like_workload(1500, seed=23), TOTAL_NODES))
+
+    rows: list[tuple[str, float]] = []
+    plain = simulate(jobs, FCFSScheduler.plain(), TOTAL_NODES)
+    rows.append(("FCFS (space sharing)", average_response_time(plain.schedule)))
+    easy = simulate(jobs, FCFSScheduler.with_easy(), TOTAL_NODES)
+    rows.append(("FCFS + EASY backfilling", average_response_time(easy.schedule)))
+    for slots in (2, 4, None):
+        gang = fcfs_gang_schedule(jobs, TOTAL_NODES, max_slots=slots)
+        gang.validate()
+        label = f"FCFS gang, {'unbounded' if slots is None else slots} slots"
+        rows.append((label, gang.average_response_time()))
+
+    worst = max(v for _l, v in rows)
+    print(f"{'scheduler':<28}{'ART (s)':>12}   relative")
+    for label, value in rows:
+        bar = "#" * round(value / worst * 40)
+        print(f"{label:<28}{value:>12.0f}   {bar}")
+
+    print(
+        "\nGang scheduling removes FCFS's head-blocking (reference [15]);"
+        "\nbackfilling attacks the same waste without needing time sharing —"
+        "\nwhich is why Example 5's no-time-sharing machine still ends up"
+        "\nwith competitive schedules."
+    )
+
+
+if __name__ == "__main__":
+    main()

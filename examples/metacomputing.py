@@ -1,0 +1,90 @@
+"""Metacomputing: routing one workload across several sites ([17]).
+
+Run::
+
+    python examples/metacomputing.py
+
+Section 2 of the paper mentions resource reservation "especially
+beneficial for multisite metacomputing [17]".  This example builds the
+[17] scenario: three differently sized sites with local schedulers from
+the paper's zoo, one shared stream of jobs tagged with home sites, and a
+comparison of meta-scheduling policies — including the cost of wide-area
+transfers when jobs leave home.
+"""
+
+from repro.core.job import Job
+from repro.metasystem import (
+    BestFitRouter,
+    HomeSiteRouter,
+    LeastLoadedRouter,
+    Metasystem,
+    RandomRouter,
+    RoundRobinRouter,
+    Site,
+)
+from repro.schedulers import FCFSScheduler, GareyGrahamScheduler
+from repro.workloads import ctc_like_workload
+from repro.workloads.transforms import cap_nodes, renumber
+
+SITE_SPECS = (("alpha", 256), ("beta", 128), ("gamma", 64))
+TRANSFER_DELAY = 120.0   # wide-area staging, seconds
+
+
+def build_sites() -> list[Site]:
+    return [
+        Site("alpha", 256, GareyGrahamScheduler()),
+        Site("beta", 128, FCFSScheduler.with_easy()),
+        Site("gamma", 64, FCFSScheduler.with_easy()),
+    ]
+
+
+def tagged_workload(n_jobs: int) -> list[Job]:
+    """A CTC-like stream with home sites assigned round-robin by user."""
+    jobs = renumber(cap_nodes(ctc_like_workload(n_jobs, seed=29), 256))
+    homes = [name for name, _nodes in SITE_SPECS]
+    return [
+        Job(
+            job_id=j.job_id,
+            submit_time=j.submit_time,
+            nodes=j.nodes,
+            runtime=j.runtime,
+            estimate=j.estimate,
+            user=j.user,
+            meta={"home": homes[j.user % len(homes)]},
+        )
+        for j in jobs
+    ]
+
+
+def main() -> None:
+    jobs = tagged_workload(1200)
+    routers = [
+        RoundRobinRouter(),
+        RandomRouter(seed=5),
+        LeastLoadedRouter(),
+        BestFitRouter(),
+        HomeSiteRouter(overflow_factor=2.0),
+    ]
+    print(
+        f"{'router':<16}{'global ART (s)':>15}{'migrations':>12}"
+        f"{'balance':>9}   per-site jobs"
+    )
+    for router in routers:
+        meta = Metasystem(build_sites(), router, transfer_delay=TRANSFER_DELAY)
+        result = meta.run(jobs)
+        per_site = ", ".join(
+            f"{name}={result.sites[name].jobs_routed}" for name, _n in SITE_SPECS
+        )
+        print(
+            f"{router.name:<16}{result.global_art():>15.0f}"
+            f"{result.migrations:>12}{result.balance():>9.2f}   {per_site}"
+        )
+    print(
+        "\nLoad-aware routing (least-loaded / home-overflow) should beat the"
+        "\nblind policies; home-overflow additionally keeps most jobs at their"
+        "\nhome site, paying the transfer delay only when congestion warrants."
+    )
+
+
+if __name__ == "__main__":
+    main()

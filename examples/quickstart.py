@@ -1,0 +1,47 @@
+"""Quickstart: simulate the paper's reference scheduler on a CTC-like trace.
+
+Run::
+
+    python examples/quickstart.py
+
+Generates a small CTC-like workload, schedules it with FCFS + EASY
+backfilling (the production setup of the Cornell Theory Center that the
+paper uses as its 0% baseline), validates the resulting schedule against
+the machine constraints, and prints the administrator's summary numbers
+plus a terminal utilisation chart.
+"""
+
+from repro import FCFSScheduler, simulate
+from repro.analysis import render_gantt, summarize
+from repro.metrics import average_response_time
+from repro.workloads import ctc_like_workload, workload_stats
+from repro.workloads.transforms import cap_nodes, renumber
+
+TOTAL_NODES = 256
+
+
+def main() -> None:
+    # 1. A workload: synthetic stand-in for the CTC SP2 trace, with jobs
+    #    wider than the 256-node batch partition removed (Section 6.1).
+    jobs = renumber(cap_nodes(ctc_like_workload(n_jobs=2000, seed=42), TOTAL_NODES))
+    print("--- workload ---")
+    print(workload_stats(jobs, TOTAL_NODES).describe())
+
+    # 2. A scheduler: FCFS + EASY backfilling, the paper's reference.
+    scheduler = FCFSScheduler.with_easy()
+
+    # 3. Simulate and validate.
+    result = simulate(jobs, scheduler, TOTAL_NODES)
+    result.schedule.validate(TOTAL_NODES)
+
+    print("\n--- schedule ---")
+    print(summarize(result.schedule, TOTAL_NODES).describe())
+    print(f"\naverage response time: {average_response_time(result.schedule):.0f} s")
+    print(f"peak wait queue:       {result.max_queue_length} jobs")
+
+    print("\n--- machine utilisation over time ---")
+    print(render_gantt(result.schedule, TOTAL_NODES, buckets=24))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Example 4: drain windows, and why estimates make or break them.
+
+Run::
+
+    python examples/reserved_windows.py
+
+"Every weekday at 10am the entire machine must be available to a
+theoretical chemistry class for 1 hour. [...] as users are not able to
+provide accurate execution time estimates no scheduling algorithm can
+generate good  schedules."
+
+The example schedules the same workload around the recurring class window
+three times — without the reservation, with it under truthful estimates,
+and with it under sloppy estimates — and reports both the cost of draining
+(lost utilisation, longer responses) and the class-window violations that
+appear the moment estimates lie.
+"""
+
+from repro import simulate
+from repro.metrics import average_response_time, utilisation
+from repro.schedulers import DrainingScheduler, SubmitOrderPolicy
+from repro.schedulers.disciplines import EasyBackfill
+from repro.schedulers.drain import example4_reservations
+from repro.workloads import ctc_like_workload
+from repro.workloads.transforms import (
+    cap_nodes,
+    renumber,
+    with_exact_estimates,
+    with_scaled_estimates,
+)
+
+TOTAL_NODES = 256
+WINDOW_START_H, WINDOW_END_H = 10.0, 11.0
+
+
+def count_violations(schedule) -> int:
+    """Executions overlapping any weekday 10–11am occurrence."""
+    violations = 0
+    for item in schedule:
+        day = int(item.start_time % (7 * 86400.0) // 86400.0)
+        # Check each day the job spans.
+        t = item.start_time
+        while t < item.end_time:
+            day = int(t % (7 * 86400.0) // 86400.0)
+            day_anchor = t - (t % 86400.0)
+            win_lo = day_anchor + WINDOW_START_H * 3600.0
+            win_hi = day_anchor + WINDOW_END_H * 3600.0
+            if day < 5 and item.start_time < win_hi and item.end_time > win_lo:
+                violations += 1
+                break
+            t = day_anchor + 86400.0
+    return violations
+
+
+def main() -> None:
+    loose = renumber(cap_nodes(ctc_like_workload(1200, seed=13), TOTAL_NODES))
+    truthful = with_exact_estimates(loose)
+    lying = with_scaled_estimates(loose, 0.3)   # jobs overrun their limits
+    reservations = example4_reservations()
+
+    def fcfs_easy_drained():
+        return DrainingScheduler(SubmitOrderPolicy(), EasyBackfill(), reservations)
+
+    def fcfs_easy_free():
+        from repro.schedulers import FCFSScheduler
+
+        return FCFSScheduler.with_easy()
+
+    runs = [
+        ("no reservation", truthful, fcfs_easy_free),
+        ("reserved, truthful estimates", truthful, fcfs_easy_drained),
+        ("reserved, loose over-estimates", loose, fcfs_easy_drained),
+        ("reserved, under-estimates", lying, fcfs_easy_drained),
+    ]
+    print(f"{'setup':<32}{'ART (s)':>10}{'util':>8}{'class violations':>18}")
+    for label, jobs, factory in runs:
+        result = simulate(jobs, factory(), TOTAL_NODES)
+        result.schedule.validate(TOTAL_NODES)
+        print(
+            f"{label:<32}"
+            f"{average_response_time(result.schedule):>10.0f}"
+            f"{utilisation(result.schedule, TOTAL_NODES):>8.1%}"
+            f"{count_violations(result.schedule):>18}"
+        )
+    print(
+        "\nTruthful estimates keep the class window clean at a modest cost."
+        "\nLoose over-estimates stay clean but waste the machine (idle nodes"
+        "\nbefore every 10am drain); under-estimates overrun into the class."
+        "\nBoth are Example 4's point: this policy rule plus inaccurate"
+        "\nestimates is irreconcilable, no matter the algorithm."
+    )
+
+
+if __name__ == "__main__":
+    main()

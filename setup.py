@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (`pip install -e .` without the
+`wheel` package available); all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

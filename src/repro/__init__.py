@@ -1,0 +1,69 @@
+"""repro — reproduction of Krallmann, Schwiegelshohn & Yahyapour,
+*On the Design and Evaluation of Job Scheduling Algorithms* (IPPS/JSSPP '99).
+
+The package provides, bottom-up:
+
+* :mod:`repro.core` — rigid jobs, a space-shared machine, the discrete-event
+  simulator, schedule records and validity checking;
+* :mod:`repro.schedulers` — the paper's algorithm zoo (FCFS, Garey & Graham,
+  EASY and conservative backfilling, SMART-FFIA/NFIW, PSRS) composed from
+  order policies and servicing disciplines;
+* :mod:`repro.workloads` — SWF traces, a calibrated CTC-like generator, the
+  probability-distribution model and the randomized model of Section 6;
+* :mod:`repro.metrics` — the paper's objective functions and friends;
+* :mod:`repro.policy` — the Section 2 methodology: policy rules,
+  Pareto-optimal schedule selection, objective synthesis;
+* :mod:`repro.experiments` — the harness regenerating Tables 3–8 and
+  Figures 3–6.
+
+Quickstart::
+
+    from repro import simulate, FCFSScheduler
+    from repro.workloads import ctc_like_workload
+    from repro.metrics import average_response_time
+
+    jobs = ctc_like_workload(n_jobs=1000, seed=42)
+    result = simulate(jobs, FCFSScheduler.with_easy(), total_nodes=256)
+    print(average_response_time(result.schedule))
+"""
+
+from repro.core import (
+    AvailabilityProfile,
+    Job,
+    Machine,
+    Schedule,
+    ScheduledJob,
+    SimulationResult,
+    Simulator,
+    ValidityError,
+)
+from repro.core.simulator import simulate
+from repro.schedulers import (
+    FCFSScheduler,
+    GareyGrahamScheduler,
+    OrderedQueueScheduler,
+    SchedulerConfig,
+    build_scheduler,
+    paper_configurations,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailabilityProfile",
+    "FCFSScheduler",
+    "GareyGrahamScheduler",
+    "Job",
+    "Machine",
+    "OrderedQueueScheduler",
+    "Schedule",
+    "ScheduledJob",
+    "SchedulerConfig",
+    "SimulationResult",
+    "Simulator",
+    "ValidityError",
+    "__version__",
+    "build_scheduler",
+    "paper_configurations",
+    "simulate",
+]

@@ -1,0 +1,87 @@
+"""Render schedules as ASCII charts.
+
+* :func:`render_gantt` — one row per time bucket, bar length proportional
+  to busy nodes: a quick way to *see* the difference between FCFS's ragged
+  utilisation and a backfilled schedule without leaving the terminal.
+* :func:`render_job_gantt` — one row per job (classic Gantt), usable for
+  schedules of up to a few dozen jobs; wait time and execution rendered
+  distinctly, so backfilling decisions are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    total_nodes: int,
+    *,
+    buckets: int = 40,
+    width: int = 60,
+) -> str:
+    """Bucketised busy-node chart over the schedule's whole span."""
+    if len(schedule) == 0:
+        return "(empty schedule)"
+    t0 = min(item.start_time for item in schedule)
+    t1 = schedule.makespan
+    if t1 <= t0:
+        return "(zero-length schedule)"
+    dt = (t1 - t0) / buckets
+    busy = [0.0] * buckets
+    for item in schedule:
+        if item.end_time <= item.start_time:
+            continue
+        first = int((item.start_time - t0) / dt)
+        last = int((item.end_time - t0) / dt)
+        for b in range(max(first, 0), min(last + 1, buckets)):
+            lo = t0 + b * dt
+            hi = lo + dt
+            overlap = min(item.end_time, hi) - max(item.start_time, lo)
+            if overlap > 0:
+                busy[b] += overlap * item.job.nodes
+    lines = []
+    for b in range(buckets):
+        frac = busy[b] / (dt * total_nodes)
+        bar = "#" * round(frac * width)
+        stamp = t0 + b * dt
+        lines.append(f"{stamp:>12.0f}s |{bar:<{width}}| {frac * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_job_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 64,
+    max_jobs: int = 40,
+) -> str:
+    """Classic per-job Gantt: ``.`` while waiting, ``#`` while running.
+
+    Rows are ordered by submission; schedules larger than ``max_jobs`` are
+    truncated (this is a reading aid, not a plotting library).
+    """
+    if len(schedule) == 0:
+        return "(empty schedule)"
+    items = sorted(schedule, key=lambda i: (i.job.submit_time, i.job.job_id))
+    truncated = len(items) > max_jobs
+    items = items[:max_jobs]
+    t0 = min(i.job.submit_time for i in items)
+    t1 = max(i.end_time for i in items)
+    span = max(t1 - t0, 1e-9)
+
+    def col(time: float) -> int:
+        return min(width, max(0, round((time - t0) / span * width)))
+
+    lines = [f"{'job':>6} {'nodes':>5}  timeline ({t0:.0f}s .. {t1:.0f}s)"]
+    for item in items:
+        submit, start, end = col(item.job.submit_time), col(item.start_time), col(item.end_time)
+        run_len = max(end - start, 1) if item.end_time > item.start_time else 0
+        row = (
+            " " * submit
+            + "." * max(start - submit, 0)
+            + "#" * run_len
+        )
+        lines.append(f"{item.job.job_id:>6} {item.job.nodes:>5}  |{row:<{width}}|")
+    if truncated:
+        lines.append(f"  ... ({len(schedule) - max_jobs} more jobs not shown)")
+    return "\n".join(lines)

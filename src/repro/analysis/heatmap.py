@@ -1,0 +1,109 @@
+"""Wait-time heatmap over (width, runtime) bins.
+
+Who waits — wide jobs, long jobs, or both?  The answer characterises a
+scheduler better than any scalar: FCFS punishes everyone equally, SJF-like
+orders punish long jobs, any-fit punishes wide ones.  This module bins a
+schedule by job width and (estimated) runtime and renders mean waits as an
+ASCII heatmap, the terminal cousin of the heatmaps in the JSSPP
+literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.schedule import Schedule
+
+#: Default geometric bin edges.
+WIDTH_EDGES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+RUNTIME_EDGES = (60.0, 600.0, 3600.0, 14400.0, 43200.0, 86400.0)
+
+#: Shading ramp from idle to severe.
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True, slots=True)
+class WaitHeatmap:
+    """Mean wait per (width bin, runtime bin); None for empty cells."""
+
+    width_edges: tuple[int, ...]
+    runtime_edges: tuple[float, ...]
+    cells: tuple[tuple[float | None, ...], ...]   # [width_bin][runtime_bin]
+    counts: tuple[tuple[int, ...], ...]
+
+    @property
+    def max_wait(self) -> float:
+        values = [v for row in self.cells for v in row if v is not None]
+        return max(values, default=0.0)
+
+    def render(self) -> str:
+        """ASCII heatmap, darker = longer mean wait."""
+        peak = self.max_wait or 1.0
+        runtime_labels = [_fmt_duration(e) for e in self.runtime_edges] + [
+            f">{_fmt_duration(self.runtime_edges[-1])}"
+        ]
+        lines = ["mean wait by width x runtime (darker = longer wait)"]
+        lines.append("width\\rt " + "".join(f"{label:>8}" for label in runtime_labels))
+        for wi, row in enumerate(self.cells):
+            label = (
+                f"<={self.width_edges[wi]}"
+                if wi < len(self.width_edges)
+                else f">{self.width_edges[-1]}"
+            )
+            chars = []
+            for value in row:
+                if value is None:
+                    chars.append(f"{'·':>8}")
+                else:
+                    shade = _RAMP[min(len(_RAMP) - 1, int(value / peak * (len(_RAMP) - 1)))]
+                    chars.append(f"{shade * 3:>8}")
+            lines.append(f"{label:<9}" + "".join(chars))
+        lines.append(f"(peak mean wait: {self.max_wait:.0f} s)")
+        return "\n".join(lines)
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.0f}h"
+    return f"{seconds / 86400:.0f}d"
+
+
+def _bin(value: float, edges: Sequence[float]) -> int:
+    for i, edge in enumerate(edges):
+        if value <= edge:
+            return i
+    return len(edges)
+
+
+def wait_heatmap(
+    schedule: Schedule,
+    *,
+    width_edges: Sequence[int] = WIDTH_EDGES,
+    runtime_edges: Sequence[float] = RUNTIME_EDGES,
+) -> WaitHeatmap:
+    """Aggregate a schedule into the wait heatmap."""
+    n_w = len(width_edges) + 1
+    n_r = len(runtime_edges) + 1
+    sums = [[0.0] * n_r for _ in range(n_w)]
+    counts = [[0] * n_r for _ in range(n_w)]
+    for item in schedule:
+        wi = _bin(item.job.nodes, width_edges)
+        ri = _bin(item.job.estimated_runtime, runtime_edges)
+        sums[wi][ri] += item.wait_time
+        counts[wi][ri] += 1
+    cells = tuple(
+        tuple(
+            (sums[wi][ri] / counts[wi][ri]) if counts[wi][ri] else None
+            for ri in range(n_r)
+        )
+        for wi in range(n_w)
+    )
+    return WaitHeatmap(
+        width_edges=tuple(width_edges),
+        runtime_edges=tuple(runtime_edges),
+        cells=cells,
+        counts=tuple(tuple(row) for row in counts),
+    )

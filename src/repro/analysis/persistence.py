@@ -1,0 +1,112 @@
+"""Schedule persistence: CSV export/import for external analysis.
+
+Simulation campaigns outlive Python sessions; this module round-trips
+finished schedules through a plain CSV (one row per job with submission,
+width, runtime, estimate, start, end, cancellation flag) so results can be
+archived, diffed between library versions, or loaded into any analysis
+stack.  The format is self-describing via its header row and validated on
+read.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.job import Job
+from repro.core.schedule import Schedule, ScheduledJob
+
+#: CSV columns, in order.
+COLUMNS = (
+    "job_id",
+    "submit_time",
+    "nodes",
+    "runtime",
+    "estimate",
+    "user",
+    "weight",
+    "start_time",
+    "end_time",
+    "cancelled",
+)
+
+
+class ScheduleFormatError(ValueError):
+    """Raised when a schedule file is malformed."""
+
+
+def write_schedule(schedule: Schedule, target: str | Path | TextIO) -> None:
+    """Write a schedule as CSV (overwrites)."""
+    own = isinstance(target, (str, Path))
+    handle: TextIO = open(target, "w", newline="", encoding="utf-8") if own else target  # type: ignore[assignment,arg-type]
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(COLUMNS)
+        for item in schedule:
+            job = item.job
+            writer.writerow(
+                [
+                    job.job_id,
+                    repr(job.submit_time),
+                    job.nodes,
+                    repr(job.runtime),
+                    repr(job.estimate) if job.estimate is not None else "",
+                    job.user,
+                    repr(job.weight) if job.weight is not None else "",
+                    repr(item.start_time),
+                    repr(item.end_time),
+                    int(item.cancelled),
+                ]
+            )
+    finally:
+        if own:
+            handle.close()
+
+
+def read_schedule(source: str | Path | TextIO) -> Schedule:
+    """Read a schedule written by :func:`write_schedule`."""
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r", newline="", encoding="utf-8") if own else source  # type: ignore[assignment,arg-type]
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise ScheduleFormatError("empty schedule file") from exc
+        if tuple(header) != COLUMNS:
+            raise ScheduleFormatError(
+                f"unexpected header {header!r}; expected {list(COLUMNS)}"
+            )
+        items = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(COLUMNS):
+                raise ScheduleFormatError(
+                    f"line {lineno}: expected {len(COLUMNS)} fields, got {len(row)}"
+                )
+            try:
+                job = Job(
+                    job_id=int(row[0]),
+                    submit_time=float(row[1]),
+                    nodes=int(row[2]),
+                    runtime=float(row[3]),
+                    estimate=float(row[4]) if row[4] else None,
+                    user=int(row[5]),
+                    weight=float(row[6]) if row[6] else None,
+                )
+                items.append(
+                    ScheduledJob(
+                        job=job,
+                        start_time=float(row[7]),
+                        end_time=float(row[8]),
+                        cancelled=bool(int(row[9])),
+                    )
+                )
+            except ValueError as exc:
+                raise ScheduleFormatError(f"line {lineno}: {exc}") from exc
+        return Schedule(items)
+    finally:
+        if own:
+            handle.close()

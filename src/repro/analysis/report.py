@@ -1,0 +1,123 @@
+"""One-shot site report: everything an administrator reviews after a run.
+
+Bundles the pieces the rest of :mod:`repro.analysis` and
+:mod:`repro.metrics` provide into a single text report — the artifact a
+site administrator following the paper's methodology would circulate after
+an evaluation run:
+
+* schedule summary (ART, AWRT, waits, utilisation),
+* Section 2.3 improvement potential against the theoretical bounds,
+* fairness: slowdown by width band and the spread across users,
+* the utilisation chart.
+
+Also :func:`compare_schedulers`, the side-by-side table used by the
+examples and the algorithm-selection step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.fairness import fairness_spread, slowdown_by_user, slowdown_by_width
+from repro.analysis.gantt import render_gantt
+from repro.analysis.summary import summarize
+from repro.core.job import Job
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import SimulationResult, simulate
+from repro.metrics.bounds import improvement_potential
+from repro.metrics.objectives import (
+    average_response_time,
+    average_weighted_response_time,
+)
+
+
+def site_report(
+    result: SimulationResult,
+    jobs: Sequence[Job],
+    total_nodes: int,
+    *,
+    title: str = "site report",
+    gantt_buckets: int = 24,
+) -> str:
+    """Render the full post-run report as text."""
+    schedule = result.schedule
+    lines = [title, "=" * len(title), ""]
+    lines.append(summarize(schedule, total_nodes).describe())
+
+    unw = improvement_potential(schedule, jobs, total_nodes, weighted=False)
+    wtd = improvement_potential(schedule, jobs, total_nodes, weighted=True)
+    lines += [
+        "",
+        "improvement potential (Section 2.3 bounds)",
+        f"  unweighted: measured {unw.measured:.3E}, bound {unw.lower_bound:.3E}, "
+        f"headroom {unw.headroom:.0%}",
+        f"  weighted:   measured {wtd.measured:.3E}, bound {wtd.lower_bound:.3E}, "
+        f"headroom {wtd.headroom:.0%}",
+    ]
+
+    width_table = slowdown_by_width(schedule)
+    user_spread = fairness_spread(slowdown_by_user(schedule))
+    lines += ["", "fairness (mean bounded slowdown)"]
+    for band, value in sorted(width_table.items(), key=lambda kv: kv[0]):
+        lines.append(f"  width {band:<6} {value:8.2f}")
+    lines.append(f"  spread across users: {user_spread:.2f}x")
+
+    lines += [
+        "",
+        f"peak wait queue: {result.max_queue_length} jobs over "
+        f"{result.decision_points} decision points",
+        "",
+        "utilisation over time",
+        render_gantt(schedule, total_nodes, buckets=gantt_buckets),
+    ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One contender in a side-by-side comparison."""
+
+    name: str
+    art: float
+    awrt: float
+    makespan: float
+    max_queue: int
+
+
+def compare_schedulers(
+    jobs: Sequence[Job],
+    contenders: Sequence[tuple[str, Callable[[], Scheduler]]],
+    total_nodes: int,
+) -> list[ComparisonRow]:
+    """Run every contender over the same stream; rows sorted by ART.
+
+    ``contenders`` pairs a label with a zero-argument factory so each run
+    gets a fresh scheduler (no state leakage).
+    """
+    rows: list[ComparisonRow] = []
+    for name, factory in contenders:
+        result = simulate(jobs, factory(), total_nodes)
+        result.schedule.validate(total_nodes)
+        rows.append(
+            ComparisonRow(
+                name=name,
+                art=average_response_time(result.schedule),
+                awrt=average_weighted_response_time(result.schedule),
+                makespan=result.schedule.makespan,
+                max_queue=result.max_queue_length,
+            )
+        )
+    rows.sort(key=lambda r: r.art)
+    return rows
+
+
+def format_comparison_rows(rows: Sequence[ComparisonRow]) -> str:
+    """Text table of :func:`compare_schedulers` output."""
+    lines = [f"{'scheduler':<30}{'ART (s)':>12}{'AWRT':>14}{'makespan':>12}{'peakQ':>7}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:<30}{row.art:>12.0f}{row.awrt:>14.3E}"
+            f"{row.makespan:>12.0f}{row.max_queue:>7}"
+        )
+    return "\n".join(lines)

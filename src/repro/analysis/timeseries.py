@@ -1,0 +1,108 @@
+"""Time-series analysis of simulator runs.
+
+The simulator's optional trace (``collect_trace=True``) records queue
+length and free nodes at every decision point; this module turns those
+point samples and the finished schedule into the series a capacity planner
+reads:
+
+* :func:`utilisation_series` — busy-node fraction over uniform buckets;
+* :func:`backlog_series` — queued work (node-seconds, by estimates) over
+  time, reconstructed exactly from the schedule (submission adds a job's
+  estimated area, start removes it);
+* :func:`queue_length_series` — waiting-job counts reconstructed the same
+  way, available even without a collected trace;
+* :func:`saturation_point` — the first time the backlog exceeds a
+  threshold and never returns below it: where an overloaded system (the
+  paper's 430-nodes-of-demand on 256 nodes) visibly diverges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.core.schedule import Schedule
+
+
+def _bucket_edges(t0: float, t1: float, buckets: int) -> list[float]:
+    if buckets < 1:
+        raise ValueError("buckets must be at least 1")
+    span = max(t1 - t0, 1e-9)
+    return [t0 + span * i / buckets for i in range(buckets + 1)]
+
+
+def utilisation_series(
+    schedule: Schedule, total_nodes: int, *, buckets: int = 50
+) -> list[tuple[float, float]]:
+    """``(bucket_start, mean busy fraction)`` over the schedule's span."""
+    if len(schedule) == 0:
+        return []
+    t0 = min(item.job.submit_time for item in schedule)
+    t1 = schedule.makespan
+    edges = _bucket_edges(t0, t1, buckets)
+    busy = [0.0] * buckets
+    for item in schedule:
+        if item.end_time <= item.start_time:
+            continue
+        for b in range(buckets):
+            lo, hi = edges[b], edges[b + 1]
+            overlap = min(item.end_time, hi) - max(item.start_time, lo)
+            if overlap > 0:
+                busy[b] += overlap * item.job.nodes
+    return [
+        (edges[b], busy[b] / ((edges[b + 1] - edges[b]) * total_nodes))
+        for b in range(buckets)
+    ]
+
+
+def _event_series(schedule: Schedule, value_fn) -> list[tuple[float, float]]:
+    """Step series built from per-job (submit +v, start -v) deltas."""
+    deltas: dict[float, float] = {}
+    for item in schedule:
+        v = value_fn(item)
+        deltas[item.job.submit_time] = deltas.get(item.job.submit_time, 0.0) + v
+        deltas[item.start_time] = deltas.get(item.start_time, 0.0) - v
+    level = 0.0
+    series = []
+    for time in sorted(deltas):
+        level += deltas[time]
+        series.append((time, max(level, 0.0)))
+    return series
+
+
+def backlog_series(schedule: Schedule) -> list[tuple[float, float]]:
+    """Queued work (estimated node-seconds) after each queue event."""
+    return _event_series(schedule, lambda item: item.job.estimated_area)
+
+
+def queue_length_series(schedule: Schedule) -> list[tuple[float, float]]:
+    """Number of waiting jobs after each submission/start event."""
+    return _event_series(schedule, lambda item: 1.0)
+
+
+def saturation_point(
+    series: Sequence[tuple[float, float]], threshold: float
+) -> float | None:
+    """First time the series exceeds ``threshold`` for good (never drops
+    back at any later sample); ``None`` if it always recovers."""
+    last_below = None
+    first_above = None
+    for time, value in series:
+        if value > threshold:
+            if first_above is None:
+                first_above = time
+        else:
+            last_below = time
+            first_above = None
+    return first_above
+
+
+def sample_series(
+    series: Sequence[tuple[float, float]], time: float
+) -> float:
+    """Value of a step series at an arbitrary time (0 before the first)."""
+    if not series:
+        return 0.0
+    times = [t for t, _v in series]
+    idx = bisect_right(times, time) - 1
+    return series[idx][1] if idx >= 0 else 0.0

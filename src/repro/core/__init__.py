@@ -1,0 +1,39 @@
+"""Core substrate: job and machine models, events, the discrete-event
+simulation engine, schedule records and validity checking.
+
+This package is the foundation every other subsystem builds on.  It knows
+nothing about specific scheduling algorithms or workload models; it only
+defines
+
+* what a :class:`~repro.core.job.Job` is (the rigid job model of the paper's
+  Example 5),
+* what a :class:`~repro.core.machine.Machine` is (a space-shared partition of
+  identical nodes, no time sharing, exclusive access),
+* how simulated time advances (:mod:`repro.core.engine`),
+* what a finished :class:`~repro.core.schedule.Schedule` looks like and what
+  makes it *valid*, and
+* the :class:`~repro.core.profile.AvailabilityProfile` step function used by
+  backfilling and reservations.
+"""
+
+from repro.core.job import Job, JobState
+from repro.core.machine import Machine
+from repro.core.schedule import Schedule, ScheduledJob, ValidityError
+from repro.core.events import Event, EventKind, EventQueue
+from repro.core.profile import AvailabilityProfile
+from repro.core.simulator import Simulator, SimulationResult
+
+__all__ = [
+    "AvailabilityProfile",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Job",
+    "JobState",
+    "Machine",
+    "Schedule",
+    "ScheduledJob",
+    "SimulationResult",
+    "Simulator",
+    "ValidityError",
+]

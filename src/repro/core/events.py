@@ -1,0 +1,81 @@
+"""Event types and the event queue of the discrete-event engine.
+
+The scheduling system of the paper reacts to exactly two external stimuli:
+the arrival of job submission data ("a stream of job submission data",
+Section 2) and the completion of a running job (which may differ from the
+projected completion because estimates are upper limits).  Internally we add
+a ``TIMER`` event kind so schedulers can request wake-ups (PSRS's wide-job
+patience, policy rules like Example 4's 10am class) without polling.
+
+Events are processed in ``(time, priority, sequence)`` order.  Completions
+are processed *before* submissions at the same instant — a scheduler seeing
+a new job should already know about every node freed at that time — and the
+monotone ``sequence`` counter makes the order total and deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of simulator events; the integer value is the same-time priority.
+
+    Cancellations process after submissions at the same instant (a job
+    submitted and cancelled in the same second is first seen, then
+    withdrawn), and before timers.
+    """
+
+    COMPLETION = 0
+    SUBMISSION = 1
+    CANCELLATION = 2
+    TIMER = 3
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """A single simulator event.
+
+    Ordering is by time, then kind priority, then insertion sequence, so a
+    heap of events pops deterministically.  ``payload`` carries the job for
+    submission/completion events and an arbitrary token for timers.
+    """
+
+    time: float
+    kind: EventKind
+    sequence: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event and return it."""
+        event = Event(time=time, kind=kind, sequence=self._sequence, payload=payload)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.  Raises ``IndexError`` if empty."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,105 @@
+"""Machine model: a space-shared partition of identical nodes.
+
+Example 5 of the paper fixes the machine: 288 identical nodes of which 256
+form the batch partition, variable partitioning, no time sharing, exclusive
+access to partitions.  :class:`Machine` models exactly that — a counter of
+free identical nodes plus bookkeeping of which job holds how many.
+
+The machine deliberately does *not* model node topology: the paper's
+machine supports variable partitioning ("any subset of nodes works"), so
+only the count matters.  Heterogeneous node types in the original CTC trace
+are handled upstream by the workload transforms (the administrator "decides
+to ignore all additional hardware requests", Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.job import Job
+
+
+class Machine:
+    """A pool of ``total_nodes`` identical, space-shared nodes.
+
+    Allocation is by node count only (variable partitioning).  The class
+    enforces the two validity constraints of the target machine:
+
+    * a job receives exactly ``job.nodes`` nodes, exclusively;
+    * the sum of allocated nodes never exceeds ``total_nodes`` (no time
+      sharing).
+    """
+
+    __slots__ = ("total_nodes", "_free", "_allocations")
+
+    #: Batch partition size used throughout the paper's evaluation.
+    PAPER_BATCH_NODES = 256
+
+    def __init__(self, total_nodes: int = PAPER_BATCH_NODES) -> None:
+        if total_nodes <= 0:
+            raise ValueError(f"total_nodes must be positive, got {total_nodes}")
+        self.total_nodes = total_nodes
+        self._free = total_nodes
+        self._allocations: dict[int, int] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def free_nodes(self) -> int:
+        """Number of currently unallocated nodes."""
+        return self._free
+
+    @property
+    def busy_nodes(self) -> int:
+        """Number of currently allocated nodes."""
+        return self.total_nodes - self._free
+
+    def fits(self, job: Job) -> bool:
+        """True iff the job could start right now."""
+        return job.nodes <= self._free
+
+    def can_ever_fit(self, job: Job) -> bool:
+        """True iff the job fits an empty machine at all."""
+        return job.nodes <= self.total_nodes
+
+    def allocation_of(self, job_id: int) -> int | None:
+        """Nodes currently held by ``job_id``, or ``None`` if not running."""
+        return self._allocations.get(job_id)
+
+    @property
+    def running_jobs(self) -> list[int]:
+        """Ids of jobs currently holding nodes (unspecified order)."""
+        return list(self._allocations)
+
+    # -- state changes -------------------------------------------------------
+
+    def allocate(self, job: Job) -> None:
+        """Give ``job`` its partition.  Raises if it does not fit."""
+        if job.job_id in self._allocations:
+            raise ValueError(f"job {job.job_id} is already running")
+        if job.nodes > self._free:
+            raise ValueError(
+                f"job {job.job_id} needs {job.nodes} nodes but only "
+                f"{self._free} of {self.total_nodes} are free"
+            )
+        self._allocations[job.job_id] = job.nodes
+        self._free -= job.nodes
+
+    def release(self, job_id: int) -> int:
+        """Return the partition of ``job_id`` to the free pool.
+
+        Returns the number of nodes released.  Raises ``KeyError`` if the
+        job is not running.
+        """
+        nodes = self._allocations.pop(job_id)
+        self._free += nodes
+        return nodes
+
+    def reset(self) -> None:
+        """Release everything (fresh simulation run)."""
+        self._free = self.total_nodes
+        self._allocations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(total_nodes={self.total_nodes}, free={self._free}, "
+            f"running={len(self._allocations)})"
+        )

@@ -1,0 +1,173 @@
+"""Schedule records and validity checking.
+
+Section 2 of the paper: "A schedule is an allocation of system resources to
+individual jobs for certain time periods" and "the final schedule is only
+available after the execution of all jobs."  A :class:`Schedule` is that
+final record — one :class:`ScheduledJob` per job, with the realised start
+and completion times.
+
+Validity (Section 2 again) is defined by the target machine, not by the
+jobs: here the constraints of Example 5 are (a) the node capacity is never
+exceeded, (b) no job starts before its submission, and (c) a job runs
+without interruption for exactly its execution time (no time sharing, no
+preemption).  :meth:`Schedule.validate` checks all three with an event sweep
+in ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.job import Job
+
+
+class ValidityError(ValueError):
+    """Raised when a schedule violates a machine constraint."""
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledJob:
+    """The realised allocation of one job.
+
+    ``end_time`` is the realised completion: start + actual runtime for a
+    normally completed job; earlier for a cancelled one (killed at its
+    estimate limit, or cancelled mid-run by its user).
+    """
+
+    job: Job
+    start_time: float
+    end_time: float
+    cancelled: bool = False
+
+    @property
+    def response_time(self) -> float:
+        """Completion minus submission — the paper's per-job response time."""
+        return self.end_time - self.job.submit_time
+
+    @property
+    def wait_time(self) -> float:
+        """Start minus submission."""
+        return self.start_time - self.job.submit_time
+
+    @property
+    def weighted_response_time(self) -> float:
+        """Response time multiplied by the job's effective weight."""
+        return self.response_time * self.job.effective_weight
+
+
+class Schedule:
+    """An immutable collection of :class:`ScheduledJob` records."""
+
+    __slots__ = ("_items", "_by_id")
+
+    def __init__(self, items: Iterable[ScheduledJob]) -> None:
+        self._items: tuple[ScheduledJob, ...] = tuple(items)
+        self._by_id: dict[int, ScheduledJob] = {}
+        for item in self._items:
+            if item.job.job_id in self._by_id:
+                raise ValidityError(f"job {item.job.job_id} scheduled twice")
+            self._by_id[item.job.job_id] = item
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[ScheduledJob]:
+        return iter(self._items)
+
+    def __getitem__(self, job_id: int) -> ScheduledJob:
+        return self._by_id[job_id]
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_id
+
+    @property
+    def jobs(self) -> tuple[ScheduledJob, ...]:
+        return self._items
+
+    # -- aggregate properties ---------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Latest completion time (0 for an empty schedule)."""
+        return max((s.end_time for s in self._items), default=0.0)
+
+    @property
+    def first_submission(self) -> float:
+        return min((s.job.submit_time for s in self._items), default=0.0)
+
+    # -- validity ---------------------------------------------------------------
+
+    def validate(self, total_nodes: int) -> None:
+        """Raise :class:`ValidityError` unless this schedule is valid.
+
+        Checks, per Section 2's machine-defined validity:
+
+        * every job's node request fits the machine,
+        * no job starts before its submission time,
+        * a completed job occupies the machine for exactly its runtime; a
+          cancelled job for at most its estimate (kills can happen any
+          time up to the limit),
+        * at no instant do concurrently running jobs hold more than
+          ``total_nodes`` nodes.
+        """
+        events: list[tuple[float, int, int]] = []  # (time, +nodes at start / -nodes at end)
+        for item in self._items:
+            job = item.job
+            if job.nodes > total_nodes:
+                raise ValidityError(
+                    f"job {job.job_id} requests {job.nodes} nodes on a "
+                    f"{total_nodes}-node machine"
+                )
+            if item.start_time < job.submit_time:
+                raise ValidityError(
+                    f"job {job.job_id} starts at {item.start_time} before its "
+                    f"submission at {job.submit_time}"
+                )
+            duration = item.end_time - item.start_time
+            if item.cancelled:
+                limit = job.estimated_runtime
+                if duration < -1e-9 or duration > limit + 1e-9 * max(1.0, limit):
+                    raise ValidityError(
+                        f"cancelled job {job.job_id} occupies the machine for "
+                        f"{duration}s, beyond its {limit}s limit"
+                    )
+            elif abs(duration - job.runtime) > 1e-9 * max(1.0, job.runtime):
+                raise ValidityError(
+                    f"job {job.job_id} occupies the machine for {duration}s, "
+                    f"expected {job.runtime}s"
+                )
+            if duration > 0:
+                events.append((item.start_time, 1, job.nodes))
+                events.append((item.end_time, 0, -job.nodes))
+        # Releases (tag 0) sort before allocations (tag 1) at equal times, so
+        # back-to-back jobs on the same nodes are legal.
+        events.sort()
+        used = 0
+        for _time, _tag, delta in events:
+            used += delta
+            if used > total_nodes:
+                raise ValidityError(
+                    f"capacity exceeded at t={_time}: {used} > {total_nodes} nodes in use"
+                )
+
+    def utilisation_profile(self) -> list[tuple[float, int]]:
+        """Step function of busy nodes: list of ``(time, nodes_in_use_after)``.
+
+        Consecutive entries have strictly increasing times; the profile
+        starts at the first event and the node count after the last entry
+        stays at its value (always 0 for a finite schedule).
+        """
+        deltas: dict[float, int] = {}
+        for item in self._items:
+            if item.end_time > item.start_time:
+                deltas[item.start_time] = deltas.get(item.start_time, 0) + item.job.nodes
+                deltas[item.end_time] = deltas.get(item.end_time, 0) - item.job.nodes
+        profile: list[tuple[float, int]] = []
+        used = 0
+        for time in sorted(deltas):
+            used += deltas[time]
+            profile.append((time, used))
+        return profile

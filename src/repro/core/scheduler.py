@@ -1,0 +1,147 @@
+"""The on-line scheduler interface driven by the simulator.
+
+Section 2 of the paper: the scheduling system "receives a stream of job
+submission data and produces a valid schedule" and "may not be aware of any
+data arriving in the future".  The :class:`Scheduler` interface encodes that
+contract: the simulator notifies the scheduler of submissions and
+completions as they happen, and after each batch of simultaneous events asks
+it which queued jobs to start *now*.
+
+Schedulers may inspect
+
+* the machine state (free nodes),
+* the currently running jobs with their *projected* completions
+  (start + user estimate — never the actual runtime), and
+* their own wait queue.
+
+They may not look at actual runtimes of unfinished jobs or at future
+arrivals; the simulator hands them only the information an on-line system
+would have.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.core.job import Job
+from repro.core.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class RunningJob:
+    """A job currently holding a partition."""
+
+    job: Job
+    start_time: float
+
+    @property
+    def projected_end(self) -> float:
+        """Completion as the scheduler may project it (start + estimate)."""
+        return self.start_time + self.job.estimated_runtime
+
+
+class SchedulerContext:
+    """Read-only view of the system state handed to schedulers.
+
+    Wraps the machine and the running-job table; exposes the current
+    simulated time.  A fresh context is not built per event — the simulator
+    keeps one and updates ``now``.
+    """
+
+    __slots__ = ("machine", "_running", "now")
+
+    def __init__(self, machine: Machine, running: dict[int, RunningJob]) -> None:
+        self.machine = machine
+        self._running = running
+        self.now: float = 0.0
+
+    @property
+    def running(self) -> Mapping[int, RunningJob]:
+        """Currently running jobs, keyed by job id (read-only)."""
+        return MappingProxyType(self._running)
+
+    @property
+    def free_nodes(self) -> int:
+        return self.machine.free_nodes
+
+    @property
+    def total_nodes(self) -> int:
+        return self.machine.total_nodes
+
+    def projected_releases(self) -> list[tuple[float, int]]:
+        """``(projected_end, nodes)`` for every running job.
+
+        This is the raw material for an availability profile; the order is
+        unspecified.
+        """
+        return [(r.projected_end, r.job.nodes) for r in self._running.values()]
+
+
+class Scheduler(abc.ABC):
+    """Base class for on-line schedulers.
+
+    Subclasses must manage their own wait queue (``on_submit`` /
+    ``on_complete`` bookkeeping) and implement :meth:`select_jobs`.
+    """
+
+    #: Human-readable name used by the experiment harness and registries.
+    name: str = "scheduler"
+
+    #: Whether the algorithm reads user runtime estimates.  Purely
+    #: informational (used by reports); enforcement is by code review —
+    #: estimate-free algorithms simply never touch ``estimated_runtime``.
+    uses_estimates: bool = True
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh simulation run."""
+
+    @abc.abstractmethod
+    def on_submit(self, job: Job, ctx: SchedulerContext) -> None:
+        """A new job arrived; enqueue it."""
+
+    def on_complete(self, job: Job, ctx: SchedulerContext) -> None:
+        """A running job finished (its nodes are already released)."""
+
+    def on_cancel(self, job: Job, ctx: SchedulerContext) -> None:
+        """A *queued* job was cancelled by its user; drop it from the queue.
+
+        Cancellation of running jobs is handled by the simulator (the job
+        is killed and reported through ``on_complete``); schedulers only
+        see queue withdrawals here.  The default raises — schedulers must
+        opt in, because silently ignoring a cancellation would leave a
+        ghost job in the queue.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support queued-job cancellation"
+        )
+
+    @abc.abstractmethod
+    def select_jobs(self, ctx: SchedulerContext) -> list[Job]:
+        """Return queued jobs to start *now*, in start order.
+
+        The returned jobs must jointly fit the free nodes; the simulator
+        validates and allocates them in order.  Returning an empty list
+        means "wait for the next event".  Selected jobs must be removed
+        from the scheduler's own queue before returning.
+        """
+
+    def next_wakeup(self, ctx: SchedulerContext) -> float | None:
+        """Optional timer request, polled after each decision point.
+
+        Return a future instant at which the simulator should create a
+        decision point even if no job event occurs then — e.g. the end of
+        a reservation window after which queued jobs may start.  ``None``
+        (the default) requests nothing.
+        """
+        return None
+
+    @property
+    def pending_count(self) -> int:
+        """Number of jobs in the wait queue (for diagnostics)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

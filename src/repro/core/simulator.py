@@ -1,0 +1,285 @@
+"""The discrete-event simulator driving an on-line scheduler.
+
+The simulator owns the clock, the event queue, the machine, and the table of
+running jobs.  The scheduler owns the wait queue and the policy.  Per
+decision point (a batch of events at one instant) the flow is:
+
+1. apply every completion at this instant (release nodes, notify scheduler),
+2. apply every submission at this instant (notify scheduler),
+3. ask the scheduler which queued jobs to start now, allocate them, and
+   push their completion events.
+
+Completions are applied before submissions at equal times (see
+:mod:`repro.core.events`), so a newly submitted job sees every node freed at
+its arrival instant — the behaviour of a real batch system where the
+resource manager processes its event queue in order.
+
+Jobs whose actual runtime exceeds the user limit can optionally be cancelled
+at the limit (``cancel_over_limit=True``), matching policy rule 2 of
+Example 5 ("If the execution of a job exceeds this upper limit, the job may
+be cancelled").  The paper's evaluation does not exercise cancellation (the
+CTC trace records realised runtimes), so the default is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.events import EventKind, EventQueue
+from repro.core.job import Job, validate_stream
+from repro.core.machine import Machine
+from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.scheduler import RunningJob, Scheduler, SchedulerContext
+
+
+@dataclass(frozen=True, slots=True)
+class Cancellation:
+    """A user withdrawing a job at ``time`` (failure-injection input).
+
+    A queued job disappears from the wait queue; a running job is killed
+    (its partial execution appears in the schedule with ``cancelled=True``).
+    Cancellations of already-completed jobs are ignored — the realistic
+    race of a user cancelling just as the job finishes.
+    """
+
+    time: float
+    job_id: int
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    schedule: Schedule
+    #: Number of decision points at which the scheduler was invoked.
+    decision_points: int
+    #: Peak length of the scheduler's wait queue observed at decision points.
+    max_queue_length: int
+    #: Final simulated time (== schedule makespan unless the stream was empty).
+    end_time: float
+    #: Ids of jobs cancelled while still queued (they never ran and do not
+    #: appear in the schedule).
+    cancelled_queued: tuple[int, ...] = ()
+    #: Ids of jobs killed while running (partial execution in the schedule).
+    killed_running: tuple[int, ...] = ()
+
+    @property
+    def job_count(self) -> int:
+        return len(self.schedule)
+
+
+@dataclass(slots=True)
+class _Trace:
+    """Optional per-run instrumentation collected by the simulator."""
+
+    queue_lengths: list[tuple[float, int]] = field(default_factory=list)
+    free_nodes: list[tuple[float, int]] = field(default_factory=list)
+
+
+class Simulator:
+    """Run a job stream through a scheduler on a machine.
+
+    Parameters
+    ----------
+    machine:
+        The target machine.  A fresh simulation resets it.
+    scheduler:
+        Any :class:`~repro.core.scheduler.Scheduler`.
+    cancel_over_limit:
+        If True, a job whose actual runtime exceeds its estimate is killed
+        at the estimate (recorded with ``cancelled=True``).
+    collect_trace:
+        If True, record queue length and free nodes at every decision point
+        (for the analysis plots); adds memory overhead on large runs.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: Scheduler,
+        *,
+        cancel_over_limit: bool = False,
+        collect_trace: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.cancel_over_limit = cancel_over_limit
+        self.collect_trace = collect_trace
+        self.trace = _Trace() if collect_trace else None
+
+    def run(
+        self,
+        jobs: Iterable[Job],
+        cancellations: Sequence[Cancellation] = (),
+    ) -> SimulationResult:
+        """Simulate the whole stream and return the final schedule.
+
+        ``cancellations`` injects user withdrawals / failures; each must
+        reference a job in the stream and fire no earlier than its
+        submission.
+        """
+        stream: Sequence[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        validate_stream(list(stream))
+        by_id = {job.job_id: job for job in stream}
+        for job in stream:
+            if not self.machine.can_ever_fit(job):
+                raise ValueError(
+                    f"job {job.job_id} requests {job.nodes} nodes but the machine "
+                    f"has only {self.machine.total_nodes}; filter the workload first "
+                    "(see repro.workloads.transforms.cap_nodes)"
+                )
+        for cancel in cancellations:
+            if cancel.job_id not in by_id:
+                raise ValueError(f"cancellation references unknown job {cancel.job_id}")
+            if cancel.time < by_id[cancel.job_id].submit_time:
+                raise ValueError(
+                    f"job {cancel.job_id} cancelled at {cancel.time} before its "
+                    f"submission at {by_id[cancel.job_id].submit_time}"
+                )
+
+        self.machine.reset()
+        self.scheduler.reset()
+        events = EventQueue()
+        pending_timers: set[float] = set()
+        running: dict[int, RunningJob] = {}
+        ctx = SchedulerContext(self.machine, running)
+        completed: list[ScheduledJob] = []
+        decision_points = 0
+        max_queue = 0
+        now = 0.0
+
+        for job in stream:
+            events.push(job.submit_time, EventKind.SUBMISSION, job)
+        for cancel in cancellations:
+            events.push(cancel.time, EventKind.CANCELLATION, cancel.job_id)
+        started_ids: set[int] = set()
+        finished_ids: set[int] = set()
+        cancelled_queued: list[int] = []
+        killed_running: list[int] = []
+
+        while events:
+            now = events.peek().time
+            ctx.now = now
+            # Batch every event at this instant; completions first by the
+            # event-kind priority.
+            while events and events.peek().time == now:
+                event = events.pop()
+                if event.kind is EventKind.COMPLETION:
+                    item: ScheduledJob = event.payload
+                    if item.job.job_id not in running:
+                        continue  # stale completion of a killed job
+                    self.machine.release(item.job.job_id)
+                    del running[item.job.job_id]
+                    finished_ids.add(item.job.job_id)
+                    completed.append(item)
+                    self.scheduler.on_complete(item.job, ctx)
+                elif event.kind is EventKind.SUBMISSION:
+                    self.scheduler.on_submit(event.payload, ctx)
+                elif event.kind is EventKind.CANCELLATION:
+                    job_id: int = event.payload
+                    job = by_id[job_id]
+                    if job_id in running:
+                        # Kill mid-run: partial execution enters the record.
+                        start_time = running[job_id].start_time
+                        self.machine.release(job_id)
+                        del running[job_id]
+                        finished_ids.add(job_id)
+                        killed_running.append(job_id)
+                        completed.append(
+                            ScheduledJob(
+                                job=job,
+                                start_time=start_time,
+                                end_time=now,
+                                cancelled=True,
+                            )
+                        )
+                        self.scheduler.on_complete(job, ctx)
+                    elif job_id not in finished_ids and job_id not in started_ids:
+                        # Still queued: withdraw it.
+                        self.scheduler.on_cancel(job, ctx)
+                        cancelled_queued.append(job_id)
+                    # else: already finished — the realistic no-op race.
+                else:
+                    # TIMER events need no state change; they exist to
+                    # create a decision point.
+                    pending_timers.discard(event.time)
+
+            decision_points += 1
+            started = self.scheduler.select_jobs(ctx)
+            for job in started:
+                started_ids.add(job.job_id)
+                cancelled = (
+                    self.cancel_over_limit
+                    and job.estimate is not None
+                    and job.runtime > job.estimate
+                )
+                duration = job.estimate if cancelled else job.runtime
+                item = ScheduledJob(
+                    job=job,
+                    start_time=now,
+                    end_time=now + duration,
+                    cancelled=cancelled,
+                )
+                self.machine.allocate(job)  # raises if the scheduler overcommitted
+                running[job.job_id] = RunningJob(job=job, start_time=now)
+                events.push(item.end_time, EventKind.COMPLETION, item)
+
+            # Honour timer requests; only queue jobs justify a wake-up, so a
+            # drained scheduler cannot keep an otherwise-finished simulation
+            # alive forever.
+            wake = self.scheduler.next_wakeup(ctx)
+            if (
+                wake is not None
+                and wake > now
+                and wake not in pending_timers
+                and (self.scheduler.pending_count > 0 or running)
+            ):
+                pending_timers.add(wake)
+                events.push(wake, EventKind.TIMER)
+
+            try:
+                queue_len = self.scheduler.pending_count
+            except NotImplementedError:  # pragma: no cover - exotic schedulers
+                queue_len = 0
+            max_queue = max(max_queue, queue_len)
+            if self.trace is not None:
+                self.trace.queue_lengths.append((now, queue_len))
+                self.trace.free_nodes.append((now, self.machine.free_nodes))
+
+        if running:
+            raise RuntimeError(
+                f"simulation drained its events with {len(running)} jobs still "
+                "running — scheduler pushed no completion?"
+            )
+        leftover = self.scheduler.pending_count
+        if leftover:
+            raise RuntimeError(
+                f"simulation ended with {leftover} jobs still queued — the "
+                "scheduler starved them (every job fits the machine, so a "
+                "work-conserving scheduler must eventually start everything)"
+            )
+
+        schedule = Schedule(completed)
+        return SimulationResult(
+            schedule=schedule,
+            decision_points=decision_points,
+            max_queue_length=max_queue,
+            end_time=now,
+            cancelled_queued=tuple(cancelled_queued),
+            killed_running=tuple(killed_running),
+        )
+
+
+def simulate(
+    jobs: Iterable[Job],
+    scheduler: Scheduler,
+    total_nodes: int = Machine.PAPER_BATCH_NODES,
+    *,
+    cancellations: Sequence[Cancellation] = (),
+    **kwargs: object,
+) -> SimulationResult:
+    """One-call convenience wrapper: build a machine, run, return the result."""
+    return Simulator(Machine(total_nodes), scheduler, **kwargs).run(  # type: ignore[arg-type]
+        jobs, cancellations=cancellations
+    )

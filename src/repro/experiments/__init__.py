@@ -1,0 +1,31 @@
+"""Experiment harness regenerating the paper's Tables 3–8 and Figures 3–6.
+
+* :mod:`repro.experiments.runner` — run the scheduler grid over a workload,
+  collecting objective values and algorithm computation times;
+* :mod:`repro.experiments.tables` — render results in the paper's table
+  layout (Listscheduler / Backfilling / EASY-Backfilling columns, absolute
+  values plus percentages against the FCFS+EASY reference);
+* :mod:`repro.experiments.paper` — one entry per paper artifact, each
+  bundling the workload recipe, the regime, the paper's published numbers
+  and the comparison report;
+* :mod:`repro.experiments.cli` — ``repro-experiments`` command line.
+"""
+
+from repro.experiments.runner import CellResult, GridResult, run_grid
+from repro.experiments.paper import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.experiments.tables import format_grid, format_comparison
+
+__all__ = [
+    "CellResult",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "GridResult",
+    "format_comparison",
+    "format_grid",
+    "run_experiment",
+    "run_grid",
+]

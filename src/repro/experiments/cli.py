@@ -1,0 +1,114 @@
+"""Command line: ``repro-experiments [ids...] [--scale N] [--seed S]``.
+
+Regenerates paper artifacts from the shell::
+
+    repro-experiments table3                 # laptop-scale Table 3
+    repro-experiments fig3 fig4 --scale 2000
+    repro-experiments all --scale 1000       # everything, small
+    repro-experiments table3 --full          # paper-scale job count (slow!)
+
+Reports print to stdout; ``--out DIR`` additionally writes one text file
+per experiment and regime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.paper import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Krallmann et al. (IPPS'99).",
+    )
+    from repro.experiments.extensions import EXTENSIONS
+
+    parser.add_argument(
+        "ids",
+        nargs="+",
+        help="experiment ids "
+        f"({', '.join(sorted(EXPERIMENTS))}; extensions: "
+        f"{', '.join(sorted(EXTENSIONS))}), 'all' (paper artifacts) or "
+        "'ext-all' (extensions)",
+    )
+    parser.add_argument("--scale", type=int, default=None, help="jobs per workload")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's job counts (very slow for conservative cells)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--nodes", type=int, default=256)
+    parser.add_argument("--out", type=Path, default=None, help="directory for report files")
+    parser.add_argument(
+        "--swf",
+        type=Path,
+        default=None,
+        help="real trace (Standard Workload Format) replacing the synthetic "
+        "CTC stand-in — e.g. the genuine CTC SP2 trace from the Parallel "
+        "Workloads Archive",
+    )
+    args = parser.parse_args(argv)
+
+    source_trace = None
+    if args.swf is not None:
+        from repro.workloads.swf import read_swf
+
+        source_trace = read_swf(args.swf)
+        print(f"loaded {len(source_trace)} jobs from {args.swf}", file=sys.stderr)
+
+    ids = list(args.ids)
+    if "all" in ids:
+        ids = sorted(EXPERIMENTS) + [i for i in ids if i != "all" and i in EXTENSIONS]
+    if "ext-all" in ids:
+        ids = [i for i in ids if i != "ext-all"] + sorted(EXTENSIONS)
+    unknown = [i for i in ids if i not in EXPERIMENTS and i not in EXTENSIONS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    from repro.experiments.extensions import run_extension
+
+    for experiment_id in (i for i in ids if i in EXTENSIONS):
+        result = run_extension(experiment_id, scale=args.scale, seed=args.seed)
+        banner = f"=== {experiment_id} — {EXTENSIONS[experiment_id].description} ==="
+        print(banner)
+        print(result.report)
+        print(f"claim holds: {result.claim_holds}")
+        print()
+        if args.out is not None:
+            (args.out / f"{experiment_id}.txt").write_text(
+                banner + "\n" + result.report + f"\nclaim holds: {result.claim_holds}\n"
+            )
+
+    for experiment_id in (i for i in ids if i in EXPERIMENTS):
+        spec = EXPERIMENTS[experiment_id]
+        scale = spec.paper_scale if args.full else args.scale
+        result = run_experiment(
+            experiment_id,
+            scale=scale,
+            seed=args.seed,
+            total_nodes=args.nodes,
+            progress=lambda msg: print(f"[{experiment_id}] {msg}", file=sys.stderr),
+            source_trace=source_trace,
+        )
+        for regime, report in result.reports.items():
+            banner = f"=== {experiment_id} ({regime}) — {spec.description} ==="
+            print(banner)
+            print(report)
+            print(f"rank agreement with the paper: {result.agreement[regime]:.2f}")
+            print()
+            if args.out is not None:
+                path = args.out / f"{experiment_id}_{regime}.txt"
+                path.write_text(banner + "\n" + report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

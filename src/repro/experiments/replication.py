@@ -1,0 +1,146 @@
+"""Seed replication: are the conclusions artifacts of one random workload?
+
+The paper simulates each workload once (real traces cannot be resampled;
+1999 compute budgets discouraged replication of the artificial ones).
+With generated workloads we can do better: re-run an experiment over many
+seeds and report the distribution of every cell's percentage-vs-reference,
+plus the per-seed stability of the paper's ordered claims.
+
+Used by ``benchmarks/bench_replication.py`` and available as a library
+API for anyone extending the study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.paper import EXPERIMENTS, run_experiment
+
+
+@dataclass(frozen=True, slots=True)
+class CellStats:
+    """Across-seed distribution of one grid cell's pct-vs-reference."""
+
+    key: str
+    mean_pct: float
+    std_pct: float
+    min_pct: float
+    max_pct: float
+    n_seeds: int
+
+    @property
+    def sign_stable(self) -> bool:
+        """True when every seed agrees on better/worse than the reference."""
+        return self.min_pct >= 0.0 or self.max_pct <= 0.0
+
+
+@dataclass(slots=True)
+class ReplicationResult:
+    """Replicated experiment: per-cell stats and claim stability."""
+
+    experiment_id: str
+    regime: str
+    seeds: tuple[int, ...]
+    cells: dict[str, CellStats]
+    #: (better_key, worse_key) -> fraction of seeds where the order held.
+    claim_stability: dict[tuple[str, str], float]
+
+    def format(self) -> str:
+        lines = [
+            f"replication: {self.experiment_id} ({self.regime}), "
+            f"{len(self.seeds)} seeds"
+        ]
+        lines.append(f"{'cell':<26}{'mean pct':>10}{'std':>8}{'range':>22}{'sign':>6}")
+        for key, stats in self.cells.items():
+            sign = "yes" if stats.sign_stable else "NO"
+            lines.append(
+                f"{key:<26}{stats.mean_pct:>+9.1f}%{stats.std_pct:>7.1f}"
+                f"  [{stats.min_pct:+8.1f}%, {stats.max_pct:+8.1f}%]{sign:>6}"
+            )
+        if self.claim_stability:
+            lines.append("claim stability (fraction of seeds where the order held):")
+            for (better, worse), frac in self.claim_stability.items():
+                lines.append(f"  {better} < {worse}: {frac:.0%}")
+        return "\n".join(lines)
+
+
+def replicate_experiment(
+    experiment_id: str,
+    *,
+    seeds: Sequence[int],
+    scale: int | None = None,
+    regime: str = "unweighted",
+    claims: Sequence[tuple[str, str]] = (),
+) -> ReplicationResult:
+    """Run one paper experiment across seeds and aggregate.
+
+    ``claims`` are ordered cell pairs (better, worse) whose per-seed
+    stability is reported — e.g. ``("gg/list", "fcfs/easy")`` for "G&G
+    beats the reference".
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(experiment_id)
+
+    per_seed_pcts: list[dict[str, float]] = []
+    per_seed_values: list[dict[str, float]] = []
+    for seed in seeds:
+        result = run_experiment(
+            experiment_id, scale=scale, seed=seed, regimes=[regime]
+        )
+        grid = result.grids[regime]
+        per_seed_pcts.append({key: grid.pct(key) for key in grid.cells})
+        per_seed_values.append(
+            {key: cell.objective for key, cell in grid.cells.items()}
+        )
+
+    keys = per_seed_pcts[0].keys()
+    cells: dict[str, CellStats] = {}
+    for key in keys:
+        pcts = [sample[key] for sample in per_seed_pcts]
+        mean = sum(pcts) / len(pcts)
+        var = sum((p - mean) ** 2 for p in pcts) / len(pcts)
+        cells[key] = CellStats(
+            key=key,
+            mean_pct=mean,
+            std_pct=math.sqrt(var),
+            min_pct=min(pcts),
+            max_pct=max(pcts),
+            n_seeds=len(seeds),
+        )
+
+    stability: dict[tuple[str, str], float] = {}
+    for better, worse in claims:
+        hits = sum(
+            1
+            for sample in per_seed_values
+            if sample[better] < sample[worse]
+        )
+        stability[(better, worse)] = hits / len(seeds)
+
+    return ReplicationResult(
+        experiment_id=experiment_id,
+        regime=regime,
+        seeds=tuple(seeds),
+        cells=cells,
+        claim_stability=stability,
+    )
+
+
+#: The Section 7 headline claims in orderable form, reused by benchmarks.
+SECTION7_UNWEIGHTED_CLAIMS: tuple[tuple[str, str], ...] = (
+    ("fcfs/easy", "fcfs/list"),          # backfilling rescues FCFS
+    ("psrs/easy", "fcfs/easy"),          # reordering beats the reference
+    ("smart-ffia/easy", "fcfs/easy"),
+    ("gg/list", "fcfs/easy"),            # G&G good...
+    ("smart-ffia/easy", "gg/list"),      # ...but not best
+)
+SECTION7_WEIGHTED_CLAIMS: tuple[tuple[str, str], ...] = (
+    ("gg/list", "fcfs/easy"),            # G&G wins the weighted regime
+    ("gg/list", "psrs/easy"),
+    ("gg/list", "smart-ffia/easy"),
+    ("fcfs/easy", "fcfs/list"),
+)

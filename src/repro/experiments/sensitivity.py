@@ -1,0 +1,181 @@
+"""Parameter-sensitivity sweeps (the "parametric fine tuning" of Section 6.1).
+
+"Any parametric fine tuning must be done with a better workload" — the
+paper defers it; this module supplies the machinery.  A sweep varies one
+knob, re-simulates, and reports the objective series:
+
+* :func:`sweep_smart_gamma` — SMART's bin growth factor ("The parameter
+  gamma can be chosen to optimize the schedule", Section 5.4);
+* :func:`sweep_psrs_patience` — PSRS's wide-job delay budget;
+* :func:`sweep_recompute_threshold` — the on-line 2/3 recomputation rule;
+* :func:`sweep_estimate_noise` — per-job estimate error (continuous
+  Table 6);
+* :func:`sweep_load` — offered load via interarrival scaling, locating
+  the saturation knee of a scheduler.
+
+Each returns a :class:`SweepResult` mapping parameter values to the
+objective, with convenience accessors for the best setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.job import Job
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import simulate
+from repro.metrics.objectives import average_response_time
+from repro.schedulers.base import OrderedQueueScheduler
+from repro.schedulers.disciplines import EasyBackfill
+from repro.schedulers.psrs import PsrsOrderPolicy
+from repro.schedulers.smart import SmartOrderPolicy, SmartVariant
+from repro.schedulers.weights import unit_weight
+from repro.workloads.transforms import scale_interarrival, with_noisy_estimates
+
+ObjectiveFn = Callable[..., float]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Outcome of a one-knob sensitivity sweep (lower objective = better)."""
+
+    knob: str
+    objective_name: str
+    series: tuple[tuple[float, float], ...]   # (parameter, objective)
+
+    @property
+    def best(self) -> tuple[float, float]:
+        return min(self.series, key=lambda kv: kv[1])
+
+    @property
+    def spread(self) -> float:
+        """Worst over best objective across the sweep (1.0 = insensitive)."""
+        values = [v for _p, v in self.series]
+        low = min(values)
+        return max(values) / low if low > 0 else float("inf")
+
+    def format(self) -> str:
+        lines = [f"sweep: {self.knob} (objective: {self.objective_name})"]
+        best_param, _ = self.best
+        for param, value in self.series:
+            marker = " <- best" if param == best_param else ""
+            lines.append(f"  {param:>10.4g}  {value:14.1f}{marker}")
+        lines.append(f"  spread: {self.spread:.2f}x")
+        return "\n".join(lines)
+
+
+def _run_series(
+    knob: str,
+    values: Sequence[float],
+    make_scheduler: Callable[[float], Scheduler],
+    jobs_for: Callable[[float], Sequence[Job]],
+    total_nodes: int,
+) -> SweepResult:
+    series = []
+    for value in values:
+        result = simulate(jobs_for(value), make_scheduler(value), total_nodes)
+        series.append((float(value), average_response_time(result.schedule)))
+    return SweepResult(knob=knob, objective_name="ART", series=tuple(series))
+
+
+def sweep_smart_gamma(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    gammas: Sequence[float] = (1.5, 2.0, 3.0, 4.0, 8.0),
+    *,
+    variant: SmartVariant = SmartVariant.FFIA,
+) -> SweepResult:
+    """ART of SMART+EASY as a function of the bin growth factor."""
+    return _run_series(
+        "smart.gamma",
+        gammas,
+        lambda gamma: OrderedQueueScheduler(
+            SmartOrderPolicy(total_nodes, variant=variant, weight=unit_weight, gamma=gamma),
+            EasyBackfill(),
+            name="smart",
+        ),
+        lambda _gamma: jobs,
+        total_nodes,
+    )
+
+
+def sweep_psrs_patience(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    patiences: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> SweepResult:
+    """ART of PSRS+EASY as a function of the wide-job patience factor."""
+    return _run_series(
+        "psrs.patience",
+        patiences,
+        lambda patience: OrderedQueueScheduler(
+            PsrsOrderPolicy(total_nodes, weight=unit_weight, patience=patience),
+            EasyBackfill(),
+            name="psrs",
+        ),
+        lambda _p: jobs,
+        total_nodes,
+    )
+
+
+def sweep_recompute_threshold(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    thresholds: Sequence[float] = (0.25, 0.5, 2.0 / 3.0, 0.9, 1.0),
+) -> SweepResult:
+    """ART of SMART+EASY as a function of the on-line recompute threshold."""
+    return _run_series(
+        "online.recompute_threshold",
+        thresholds,
+        lambda threshold: OrderedQueueScheduler(
+            SmartOrderPolicy(
+                total_nodes,
+                variant=SmartVariant.FFIA,
+                weight=unit_weight,
+                recompute_threshold=threshold,
+            ),
+            EasyBackfill(),
+            name="smart",
+        ),
+        lambda _t: jobs,
+        total_nodes,
+    )
+
+
+def sweep_estimate_noise(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    make_scheduler: Callable[[], Scheduler],
+    sigmas: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 3.0),
+    *,
+    seed: int = 0,
+) -> SweepResult:
+    """ART of any scheduler as per-job estimate noise grows (Table 6 axis)."""
+    return _run_series(
+        "estimates.noise_sigma",
+        sigmas,
+        lambda _sigma: make_scheduler(),
+        lambda sigma: with_noisy_estimates(jobs, sigma, seed=seed),
+        total_nodes,
+    )
+
+
+def sweep_load(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    make_scheduler: Callable[[], Scheduler],
+    compressions: Sequence[float] = (1.5, 1.2, 1.0, 0.8, 0.6),
+) -> SweepResult:
+    """ART as offered load rises (interarrival compression < 1 = overload).
+
+    The parameter recorded in the series is the *compression factor*; lower
+    means higher load.  Saturation shows up as the characteristic knee.
+    """
+    return _run_series(
+        "load.interarrival_factor",
+        compressions,
+        lambda _factor: make_scheduler(),
+        lambda factor: scale_interarrival(jobs, factor),
+        total_nodes,
+    )

@@ -1,0 +1,164 @@
+"""Render grid results in the paper's table and figure layouts.
+
+Tables 3–6 print one row per algorithm and three columns (Listscheduler,
+Backfilling, EASY-Backfilling), each cell holding the objective in seconds
+(scientific notation, as in the paper) and the percentage against the
+FCFS + EASY reference.  Tables 7–8 print computation-time percentages.
+Figures 3–6 are horizontal ASCII bar charts of the same data — the paper's
+figures carry no information beyond their tables, so a textual rendering
+reproduces them faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import GridResult
+from repro.schedulers.registry import COLUMN_LABELS, COLUMNS, ROW_LABELS, ROWS
+
+
+def _sci(value: float) -> str:
+    """Paper-style scientific notation: 4.91E+06."""
+    return f"{value:.2E}"
+
+
+def _pct(value: float) -> str:
+    return f"{value:+.1f}%"
+
+
+def format_grid(grid: GridResult, *, title: str | None = None) -> str:
+    """Tables 3–6 layout: objective value and pct per cell."""
+    regime = "Weighted" if grid.weighted else "Unweighted"
+    head = title or (
+        f"Average {'Weighted ' if grid.weighted else ''}Response Time — "
+        f"{grid.workload_name} ({grid.n_jobs} jobs, {grid.total_nodes} nodes)"
+    )
+    lines = [head, ""]
+    col_w = 22
+    header = f"{regime:<14}" + "".join(
+        f"{COLUMN_LABELS[c]:>{col_w}}" for c in COLUMNS
+    )
+    lines.append(header)
+    for row in ROWS:
+        cells = []
+        for column in COLUMNS:
+            key = f"{row}/{column}"
+            if key not in grid.cells:
+                cells.append(f"{'—':>{col_w}}")
+                continue
+            cell = grid.cells[key]
+            cells.append(f"{_sci(cell.objective)} {_pct(grid.pct(key)):>9}".rjust(col_w))
+        lines.append(f"{ROW_LABELS[row]:<14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_compute_times(grid: GridResult, *, title: str | None = None) -> str:
+    """Tables 7–8 layout: computation time pct vs FCFS + EASY.
+
+    The paper merges the two SMART variants into one "SMART" row for the
+    cost tables; we print both variants.
+    """
+    head = title or (
+        f"Scheduling computation time — {grid.workload_name} "
+        f"({'weighted' if grid.weighted else 'unweighted'})"
+    )
+    lines = [head, ""]
+    col_w = 26
+    lines.append(
+        f"{'':<14}" + "".join(f"{COLUMN_LABELS[c]:>{col_w}}" for c in COLUMNS)
+    )
+    for row in ROWS:
+        cells = []
+        for column in COLUMNS:
+            key = f"{row}/{column}"
+            if key not in grid.cells:
+                cells.append(f"{'—':>{col_w}}")
+                continue
+            cell = grid.cells[key]
+            cells.append(
+                f"{cell.compute_time:8.3f}s {_pct(grid.compute_pct(key)):>9}".rjust(col_w)
+            )
+        lines.append(f"{ROW_LABELS[row]:<14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_bars(
+    grid: GridResult,
+    *,
+    title: str | None = None,
+    width: int = 48,
+) -> str:
+    """Figures 3–6 as horizontal ASCII bars, longest bar = worst objective."""
+    head = title or f"{grid.workload_name} ({'AWRT' if grid.weighted else 'ART'})"
+    entries = []
+    for row in ROWS:
+        for column in COLUMNS:
+            key = f"{row}/{column}"
+            if key in grid.cells:
+                label = f"{ROW_LABELS[row]} + {COLUMN_LABELS[column]}"
+                entries.append((label, grid.cells[key].objective))
+    worst = max(v for _l, v in entries)
+    lines = [head, ""]
+    for label, value in entries:
+        bar = "#" * max(1, round(value / worst * width))
+        lines.append(f"{label:<34} {bar} {_sci(value)}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    measured: GridResult,
+    paper_values: dict[str, float],
+    *,
+    title: str | None = None,
+) -> str:
+    """Paper-vs-measured report for EXPERIMENTS.md.
+
+    ``paper_values`` maps cell keys to the paper's absolute numbers; the
+    comparison is on *percentages against the reference cell*, because the
+    paper's absolute values belong to a trace we cannot replay.
+    """
+    head = title or f"paper vs measured — {measured.workload_name}"
+    ref_paper = paper_values["fcfs/easy"]
+    lines = [head, ""]
+    lines.append(
+        f"{'cell':<24}{'paper':>12}{'paper pct':>12}{'measured':>12}{'meas pct':>12}"
+    )
+    for row in ROWS:
+        for column in COLUMNS:
+            key = f"{row}/{column}"
+            if key not in paper_values or key not in measured.cells:
+                continue
+            p = paper_values[key]
+            p_pct = (p - ref_paper) / ref_paper * 100.0
+            m = measured.cells[key].objective
+            m_pct = measured.pct(key)
+            lines.append(
+                f"{key:<24}{_sci(p):>12}{_pct(p_pct):>12}"
+                f"{_sci(m):>12}{_pct(m_pct):>12}"
+            )
+    return "\n".join(lines)
+
+
+def agreement_score(
+    measured: GridResult, paper_values: dict[str, float]
+) -> float:
+    """Kendall-style rank agreement between paper and measured cell orders.
+
+    1.0 means the measured objective orders every comparable cell pair the
+    same way the paper does; 0.0 means every pair is inverted.  Used by the
+    reproduction tests to assert shape fidelity without chasing absolute
+    numbers.
+    """
+    keys = [k for k in paper_values if k in measured.cells]
+    agree = 0
+    total = 0
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            pa, pb = paper_values[a], paper_values[b]
+            ma, mb = measured.cells[a].objective, measured.cells[b].objective
+            if pa == pb or ma == mb:
+                continue
+            total += 1
+            if (pa < pb) == (ma < mb):
+                agree += 1
+    return agree / total if total else 1.0

@@ -1,0 +1,41 @@
+"""Gang scheduling substrate (the paper's reference [15]).
+
+The paper's target machine "does not allow time sharing", which rules out
+gang scheduling and PSRS's preemptive schedules — but the paper leans on
+Schwiegelshohn & Yahyapour, *Improving first-come-first-serve job
+scheduling by gang scheduling* (JSSPP'98) [15] when arguing that FCFS "may
+produce acceptable results for certain workloads".  This package makes the
+comparison concrete: a time-sliced machine model and an FCFS gang
+scheduler, so the no-time-sharing design decision of Example 5 can itself
+be evaluated (the Section 2.3 constraint "schedule restrictions given by
+the system, like the availability of ... gang scheduling").
+
+The model follows the slot semantics of [15]:
+
+* the machine's time is shared between *slots*; each slot holds a set of
+  jobs that jointly fit the machine and always run concurrently (a gang);
+* with ``k`` populated slots, every job progresses at rate ``1/k``
+  (fluid/processor-sharing idealisation of round-robin time slices — the
+  standard analysis model, which [15] also uses for its bounds);
+* FCFS-gang assigns each arriving job to the first slot with room, or
+  opens a new slot; empty slots disappear, restoring full speed to the
+  rest.
+
+Because gang-scheduled jobs stretch over time, the non-preemptive
+:class:`repro.core.schedule.Schedule` validity rules do not apply; this
+package ships its own result record and validity checker.
+"""
+
+from repro.gang.simulator import (
+    GangResult,
+    GangScheduledJob,
+    GangValidityError,
+    fcfs_gang_schedule,
+)
+
+__all__ = [
+    "GangResult",
+    "GangScheduledJob",
+    "GangValidityError",
+    "fcfs_gang_schedule",
+]

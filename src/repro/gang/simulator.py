@@ -1,0 +1,242 @@
+"""Fluid gang-scheduling simulator and the FCFS-gang policy of [15].
+
+Semantics (see the package docstring): jobs live in slots; all non-empty
+slots share the machine's time equally, so every running job progresses at
+rate ``1/k`` where ``k`` is the number of populated slots.  FCFS-gang puts
+each arriving job into the lowest-numbered slot with enough free nodes,
+else opens a new slot.  Slots never exchange jobs; an emptied slot stops
+counting toward ``k``.
+
+The simulation is event driven over arrivals and completions and is exact
+for the fluid model: between events every rate is constant, so remaining
+work decreases linearly and the earliest completion is
+``min(remaining) * k`` wall seconds away.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.job import Job, validate_stream
+
+
+class GangValidityError(ValueError):
+    """Raised when a gang schedule violates the slot-capacity rules."""
+
+
+@dataclass(frozen=True, slots=True)
+class GangScheduledJob:
+    """Realised gang execution of one job."""
+
+    job: Job
+    slot: int
+    start_time: float
+    end_time: float
+
+    @property
+    def response_time(self) -> float:
+        return self.end_time - self.job.submit_time
+
+    @property
+    def stretch(self) -> float:
+        """Wall time in service over pure runtime (>= 1 under time sharing)."""
+        if self.job.runtime == 0:
+            return 1.0
+        return (self.end_time - self.start_time) / self.job.runtime
+
+
+class GangResult:
+    """Outcome of a gang-scheduled run."""
+
+    __slots__ = ("jobs", "max_slots", "total_nodes")
+
+    def __init__(
+        self, jobs: Iterable[GangScheduledJob], max_slots: int, total_nodes: int
+    ) -> None:
+        self.jobs = tuple(jobs)
+        self.max_slots = max_slots
+        self.total_nodes = total_nodes
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __getitem__(self, job_id: int) -> GangScheduledJob:
+        for item in self.jobs:
+            if item.job.job_id == job_id:
+                return item
+        raise KeyError(job_id)
+
+    @property
+    def makespan(self) -> float:
+        return max((j.end_time for j in self.jobs), default=0.0)
+
+    def average_response_time(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(j.response_time for j in self.jobs) / len(self.jobs)
+
+    def average_weighted_response_time(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return (
+            sum(j.response_time * j.job.effective_weight for j in self.jobs)
+            / len(self.jobs)
+        )
+
+    def validate(self) -> None:
+        """Check the slot-capacity invariant and per-job sanity.
+
+        Jobs never migrate between slots, so per-slot capacity is checked
+        with an interval sweep over each slot's members.  Time sharing
+        means stretches are at least 1 (every job needs at least its
+        runtime of wall time).
+        """
+        by_slot: dict[int, list[GangScheduledJob]] = {}
+        for item in self.jobs:
+            if item.start_time < item.job.submit_time:
+                raise GangValidityError(
+                    f"job {item.job.job_id} starts before its submission"
+                )
+            if item.end_time - item.start_time < item.job.runtime - 1e-6:
+                raise GangValidityError(
+                    f"job {item.job.job_id} received less service than its runtime"
+                )
+            by_slot.setdefault(item.slot, []).append(item)
+        for slot, members in by_slot.items():
+            events: list[tuple[float, int, int]] = []
+            for item in members:
+                if item.end_time > item.start_time:
+                    events.append((item.start_time, 1, item.job.nodes))
+                    events.append((item.end_time, 0, -item.job.nodes))
+            events.sort()
+            used = 0
+            for _t, _tag, delta in events:
+                used += delta
+                if used > self.total_nodes:
+                    raise GangValidityError(
+                        f"slot {slot} exceeds machine capacity ({used} nodes)"
+                    )
+
+
+def fcfs_gang_schedule(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    *,
+    max_slots: int | None = None,
+) -> GangResult:
+    """Run the FCFS gang scheduler of [15] over a job stream.
+
+    ``max_slots`` caps the multiprogramming level (a common real-system
+    limit); arriving jobs that fit no slot wait in FCFS order for a slot
+    to make room.  ``None`` means unbounded slots — every job starts the
+    moment it arrives, the purely time-shared regime.
+    """
+    stream = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    validate_stream(list(stream))
+    for job in stream:
+        if job.nodes > total_nodes:
+            raise ValueError(
+                f"job {job.job_id} needs {job.nodes} nodes on a "
+                f"{total_nodes}-node machine"
+            )
+    if max_slots is not None and max_slots < 1:
+        raise ValueError("max_slots must be at least 1")
+
+    # Slot state: stable ids, free node counts, member remaining work.
+    slot_free: dict[int, int] = {}
+    slot_members: dict[int, dict[int, float]] = {}   # slot -> {job_id: remaining}
+    job_slot: dict[int, int] = {}
+    job_info: dict[int, Job] = {j.job_id: j for j in stream}
+    starts: dict[int, float] = {}
+    finished: list[GangScheduledJob] = []
+    waiting: list[Job] = []
+    next_slot_id = 0
+    peak_slots = 0
+    clock = stream[0].submit_time if stream else 0.0
+    idx = 0
+    n = len(stream)
+
+    def active_slots() -> int:
+        return sum(1 for members in slot_members.values() if members)
+
+    def try_place(job: Job, now: float) -> bool:
+        nonlocal next_slot_id
+        for slot in sorted(slot_members):
+            if slot_free[slot] >= job.nodes:
+                _admit(slot, job, now)
+                return True
+        if max_slots is None or len(slot_members) < max_slots:
+            slot = next_slot_id
+            next_slot_id += 1
+            slot_free[slot] = total_nodes
+            slot_members[slot] = {}
+            _admit(slot, job, now)
+            return True
+        return False
+
+    def _admit(slot: int, job: Job, now: float) -> None:
+        slot_free[slot] -= job.nodes
+        slot_members[slot][job.job_id] = job.runtime
+        job_slot[job.job_id] = slot
+        starts[job.job_id] = now
+
+    def advance(delta: float) -> None:
+        """Progress every running job by wall time ``delta``."""
+        k = active_slots()
+        if k == 0 or delta <= 0:
+            return
+        rate = 1.0 / k
+        for members in slot_members.values():
+            for job_id in members:
+                members[job_id] -= delta * rate
+
+    def pop_completions(now: float) -> None:
+        for slot in list(slot_members):
+            members = slot_members[slot]
+            done = [job_id for job_id, rem in members.items() if rem <= 1e-9]
+            for job_id in done:
+                del members[job_id]
+                job = job_info[job_id]
+                slot_free[slot] += job.nodes
+                finished.append(
+                    GangScheduledJob(
+                        job=job, slot=slot, start_time=starts[job_id], end_time=now
+                    )
+                )
+            if not members:
+                del slot_members[slot]
+                del slot_free[slot]
+
+    while idx < n or any(slot_members.values()) or waiting:
+        k = active_slots()
+        next_arrival = stream[idx].submit_time if idx < n else float("inf")
+        if k == 0:
+            # Nothing running: jump to the next arrival (waiting jobs can
+            # only exist when slots are full, which requires k > 0).
+            clock = max(clock, next_arrival)
+        else:
+            min_remaining = min(
+                rem for members in slot_members.values() for rem in members.values()
+            )
+            next_completion = clock + min_remaining * k
+            next_time = min(next_completion, next_arrival)
+            advance(next_time - clock)
+            clock = next_time
+        pop_completions(clock)
+        # Admit waiting jobs in FCFS order now that slots may have room.
+        still_waiting: list[Job] = []
+        for job in waiting:
+            if not try_place(job, clock):
+                still_waiting.append(job)
+        waiting = still_waiting
+        # Admit newly arrived jobs.
+        while idx < n and stream[idx].submit_time <= clock:
+            job = stream[idx]
+            idx += 1
+            if not try_place(job, clock):
+                waiting.append(job)
+        peak_slots = max(peak_slots, len(slot_members))
+
+    return GangResult(finished, max_slots=peak_slots, total_nodes=total_nodes)

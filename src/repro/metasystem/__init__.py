@@ -1,0 +1,49 @@
+"""Multi-site metacomputing substrate (the paper's reference [17]).
+
+Section 2 notes that advance resource reservation "is especially
+beneficial for multisite metacomputing [17]" — Schwiegelshohn & Yahyapour,
+*Resource Allocation and Scheduling in Metasystems* (HPCN'99).  The
+metasystem model there: several independently owned parallel machines, a
+meta-scheduler that places each submitted job on one site, and per-site
+local schedulers of the kind this library already provides.
+
+This package implements that substrate:
+
+* :class:`~repro.metasystem.system.Site` — a machine plus a local
+  scheduler;
+* routing policies (:mod:`repro.metasystem.routing`) deciding the target
+  site per submission from live site state: round robin, least loaded,
+  best fit, random, and home-site-with-overflow;
+* :class:`~repro.metasystem.system.Metasystem` — the shared-clock
+  co-simulation across all sites, with an optional wide-area transfer
+  delay for jobs placed away from their home site.
+
+Placement is per-job and whole (no co-allocation across sites — the [17]
+scenario this library's rigid job model supports); every site schedule is
+validated independently.
+"""
+
+from repro.metasystem.routing import (
+    BestFitRouter,
+    HomeSiteRouter,
+    LeastLoadedRouter,
+    RandomRouter,
+    Router,
+    RoundRobinRouter,
+    SiteView,
+)
+from repro.metasystem.system import Metasystem, MetasystemResult, Site, SiteResult
+
+__all__ = [
+    "BestFitRouter",
+    "HomeSiteRouter",
+    "LeastLoadedRouter",
+    "Metasystem",
+    "MetasystemResult",
+    "RandomRouter",
+    "RoundRobinRouter",
+    "Router",
+    "Site",
+    "SiteResult",
+    "SiteView",
+]

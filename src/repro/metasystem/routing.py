@@ -1,0 +1,151 @@
+"""Meta-scheduler routing policies.
+
+A :class:`Router` sees the submitted job and a live :class:`SiteView` per
+site and names the target site.  Views expose what a metasystem broker
+realistically knows: machine size, free nodes, queue length, and the
+*projected* backlog (node-seconds of queued + remaining running work by
+estimates — never actual runtimes).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class SiteView:
+    """Broker-visible state of one site at a decision instant."""
+
+    name: str
+    total_nodes: int
+    free_nodes: int
+    queue_length: int
+    #: Projected node-seconds of work ahead: queued jobs' estimated areas
+    #: plus running jobs' remaining estimated areas.
+    projected_backlog: float
+
+    @property
+    def relative_backlog(self) -> float:
+        """Backlog normalised by machine size — comparable across sites."""
+        return self.projected_backlog / self.total_nodes
+
+
+class Router(abc.ABC):
+    """Chooses the site for each submitted job."""
+
+    name: str = "router"
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run."""
+
+    @abc.abstractmethod
+    def route(self, job: Job, sites: Sequence[SiteView]) -> str:
+        """Return the name of the chosen site.
+
+        ``sites`` lists every site, in the metasystem's fixed order.  The
+        router must pick a site whose machine can ever fit the job; helper
+        :meth:`feasible` filters them.
+        """
+
+    @staticmethod
+    def feasible(job: Job, sites: Sequence[SiteView]) -> list[SiteView]:
+        out = [s for s in sites if job.nodes <= s.total_nodes]
+        if not out:
+            raise ValueError(
+                f"job {job.job_id} ({job.nodes} nodes) fits no site"
+            )
+        return out
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the feasible sites, ignoring load entirely."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def reset(self) -> None:
+        self._counter = 0
+
+    def route(self, job: Job, sites: Sequence[SiteView]) -> str:
+        feasible = self.feasible(job, sites)
+        choice = feasible[self._counter % len(feasible)]
+        self._counter += 1
+        return choice.name
+
+
+class LeastLoadedRouter(Router):
+    """Send the job to the site with the smallest relative backlog."""
+
+    name = "least-loaded"
+
+    def route(self, job: Job, sites: Sequence[SiteView]) -> str:
+        feasible = self.feasible(job, sites)
+        return min(feasible, key=lambda s: (s.relative_backlog, s.name)).name
+
+
+class BestFitRouter(Router):
+    """Prefer the smallest machine that can run the job at all.
+
+    Keeps big machines free for big jobs — the packing heuristic of
+    hierarchical metasystems; ties broken by lower relative backlog.
+    """
+
+    name = "best-fit"
+
+    def route(self, job: Job, sites: Sequence[SiteView]) -> str:
+        feasible = self.feasible(job, sites)
+        return min(
+            feasible, key=lambda s: (s.total_nodes, s.relative_backlog, s.name)
+        ).name
+
+
+class RandomRouter(Router):
+    """Uniform random feasible site (seeded) — the routing sanity baseline."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def route(self, job: Job, sites: Sequence[SiteView]) -> str:
+        return self._rng.choice(self.feasible(job, sites)).name
+
+
+class HomeSiteRouter(Router):
+    """Keep jobs home unless the home backlog exceeds a threshold.
+
+    Models the sociology of metasystems in [17]: users submit to their own
+    machine; the broker offloads to the least-loaded remote site only when
+    home is congested (``overflow_factor`` times the best remote backlog).
+    The home site is ``job.meta['home']``, falling back to the first site.
+    """
+
+    name = "home-overflow"
+
+    def __init__(self, overflow_factor: float = 2.0) -> None:
+        if overflow_factor <= 0:
+            raise ValueError("overflow_factor must be positive")
+        self.overflow_factor = overflow_factor
+
+    def route(self, job: Job, sites: Sequence[SiteView]) -> str:
+        feasible = self.feasible(job, sites)
+        home_name = job.meta.get("home", feasible[0].name)
+        home = next((s for s in feasible if s.name == home_name), feasible[0])
+        best = min(feasible, key=lambda s: (s.relative_backlog, s.name))
+        if (
+            best.name != home.name
+            and home.relative_backlog > self.overflow_factor * best.relative_backlog
+        ):
+            return best.name
+        return home.name

@@ -1,0 +1,189 @@
+"""Theoretical lower bounds on schedule cost (Section 2.3).
+
+"Occasionally, this [theoretical] method is used to determine lower bounds
+for schedules.  These lower bounds can provide an estimate for a potential
+improvement of the schedule by switching to a different algorithm."
+
+This module implements classical lower bounds applicable to the paper's
+setting (rigid jobs, release dates, space sharing, no preemption) and an
+*empirical competitiveness* report relating a measured schedule to them.
+
+All bounds rest on the **squashed single-machine relaxation**: replace the
+``m``-node machine by one processor of speed ``m`` node-seconds per second
+(processor sharing allowed) and each rigid job by a task of length
+``area_j / m``.  Any valid parallel schedule induces a feasible squashed
+schedule with identical completion times (the parallel machine never does
+more than ``m`` node-seconds of work per second), so optima of the
+relaxation bound every real schedule from below:
+
+* :func:`makespan_lower_bound` — max of the area bound and the
+  longest-single-job bound;
+* :func:`srpt_squashed_bound` — optimal mean response of the relaxation
+  with release dates, computed exactly by SRPT (optimal for
+  ``1 | r_j, pmtn | sum C_j``);
+* :func:`smith_squashed_bound` — optimal total *weighted* completion time
+  of the release-free relaxation via Smith's rule (optimal for
+  ``1 || sum w_j C_j``, Smith [19]; with release dates the weighted
+  problem is NP-hard, so the release-free optimum is used and release
+  dates are subtracted on the outside);
+* :func:`art_lower_bound` / :func:`awrt_lower_bound` — the trivial
+  per-job bounds (``response >= runtime``), always valid, used as floors.
+
+These power :func:`improvement_potential`, the Section 2.3 estimate of how
+much headroom a better algorithm could still have.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.job import Job
+from repro.core.schedule import Schedule
+from repro.schedulers.weights import WeightFn, area_weight
+
+
+def makespan_lower_bound(jobs: Sequence[Job], total_nodes: int) -> float:
+    """Max of area and longest-job bounds on the makespan."""
+    if not jobs:
+        return 0.0
+    first_release = min(j.submit_time for j in jobs)
+    area_bound = first_release + sum(j.area for j in jobs) / total_nodes
+    job_bound = max(j.submit_time + j.runtime for j in jobs)
+    return max(area_bound, job_bound)
+
+
+def art_lower_bound(jobs: Sequence[Job]) -> float:
+    """Trivial ART bound: every response is at least the job's runtime."""
+    if not jobs:
+        return 0.0
+    return sum(j.runtime for j in jobs) / len(jobs)
+
+
+def awrt_lower_bound(jobs: Sequence[Job], weight: WeightFn = area_weight) -> float:
+    """Trivial AWRT bound: ``sum(w_j * p_j) / n``."""
+    if not jobs:
+        return 0.0
+    return sum(weight(j) * j.runtime for j in jobs) / len(jobs)
+
+
+def srpt_squashed_bound(jobs: Sequence[Job], total_nodes: int) -> float:
+    """Mean response of SRPT on the squashed relaxation (a valid ART bound).
+
+    SRPT (shortest remaining processing time) is optimal for
+    ``1 | r_j, pmtn | sum C_j``; with lengths ``area_j / m`` and the real
+    release dates, its mean flow time lower-bounds the ART of every valid
+    schedule of the original instance, capturing contention that the
+    per-job bound misses.  Exact event-driven simulation, O(n log n).
+    """
+    if not jobs:
+        return 0.0
+    releases = sorted(
+        ((j.submit_time, j.area / total_nodes, j.job_id) for j in jobs)
+    )
+    n = len(releases)
+    heap: list[tuple[float, int, float]] = []  # (remaining, id, release)
+    total_response = 0.0
+    clock = releases[0][0]
+    idx = 0
+    while idx < n or heap:
+        if not heap:
+            clock = max(clock, releases[idx][0])
+        # Admit everything released by `clock`.
+        while idx < n and releases[idx][0] <= clock:
+            r, length, job_id = releases[idx]
+            heapq.heappush(heap, (length, job_id, r))
+            idx += 1
+        remaining, job_id, release = heapq.heappop(heap)
+        next_release = releases[idx][0] if idx < n else float("inf")
+        if clock + remaining <= next_release:
+            clock += remaining
+            total_response += clock - release
+        else:
+            worked = next_release - clock
+            clock = next_release
+            heapq.heappush(heap, (remaining - worked, job_id, release))
+    return total_response / n
+
+
+def smith_squashed_bound(
+    jobs: Sequence[Job], total_nodes: int, weight: WeightFn = area_weight
+) -> float:
+    """Optimal ``sum w_j C_j`` of the release-free squashed relaxation.
+
+    Smith's rule (largest ``w/p`` first) is optimal for
+    ``1 || sum w_j C_j``; dropping release dates only lowers the optimum,
+    so the result bounds the total weighted completion time of every valid
+    schedule.  Returns the *total* (not mean) so callers can subtract
+    ``sum w_j r_j`` when bounding weighted response.
+    """
+    if not jobs:
+        return 0.0
+    tasks = [(j.area / total_nodes, weight(j)) for j in jobs]
+
+    def ratio(entry: tuple[float, float]) -> float:
+        length, w = entry
+        return float("inf") if length == 0 else w / length
+
+    tasks.sort(key=ratio, reverse=True)
+    clock = 0.0
+    cost = 0.0
+    for length, w in tasks:
+        clock += length
+        cost += w * clock
+    return cost
+
+
+@dataclass(frozen=True, slots=True)
+class ImprovementPotential:
+    """Section 2.3's 'potential improvement' estimate for one schedule."""
+
+    measured: float
+    lower_bound: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured cost over the bound — an empirical competitive ratio
+        (>= 1 up to bound looseness)."""
+        if self.lower_bound == 0:
+            return float("inf") if self.measured > 0 else 1.0
+        return self.measured / self.lower_bound
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the measured cost that a better algorithm could at
+        most remove (0 when the schedule already meets the bound)."""
+        if self.measured == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.lower_bound / self.measured)
+
+
+def improvement_potential(
+    schedule: Schedule,
+    jobs: Sequence[Job],
+    total_nodes: int,
+    *,
+    weighted: bool = False,
+) -> ImprovementPotential:
+    """Relate a measured schedule cost to the best applicable lower bound."""
+    from repro.metrics.objectives import (
+        average_response_time,
+        average_weighted_response_time,
+    )
+
+    if weighted:
+        measured = average_weighted_response_time(schedule)
+        # Bound weighted *response*: subtract the release contribution from
+        # the completion-time bound, floor at the per-job bound.
+        release_term = sum(area_weight(j) * j.submit_time for j in jobs)
+        completion_bound = smith_squashed_bound(jobs, total_nodes)
+        n = max(len(jobs), 1)
+        bound = max(
+            awrt_lower_bound(jobs),
+            (completion_bound - release_term) / n,
+        )
+    else:
+        measured = average_response_time(schedule)
+        bound = max(art_lower_bound(jobs), srpt_squashed_bound(jobs, total_nodes))
+    return ImprovementPotential(measured=measured, lower_bound=bound)

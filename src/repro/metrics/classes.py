@@ -1,0 +1,92 @@
+"""Per-class criterion functions (Example 1's rule set, measurable).
+
+Example 1's rules reference job *categories* — the drug design lab, the
+chemistry department, the university, industrial partners — and Section
+2.2 demands that every policy rule map to a single-criterion function.
+These are those functions, for workloads whose jobs carry a
+``meta['class']`` label:
+
+* :func:`class_response_time` — mean response of one class (Rule 1's
+  "as soon as possible" for the drug design lab);
+* :func:`class_compute_share` — fraction of delivered node-seconds
+  consumed by one class (Rule 4's "computation time sold to industry");
+* :func:`class_breakdown` — the full per-class table.
+
+Classless jobs fall into the ``None`` class; all functions are usable as
+:class:`repro.policy.rules.Criterion` evaluators via ``functools.partial``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+
+
+def _label(item) -> str | None:
+    return item.job.meta.get("class")
+
+
+def class_response_time(schedule: Schedule, job_class: str | None) -> float:
+    """Mean response time of jobs in one class (0 when the class is empty)."""
+    items = [i for i in schedule if _label(i) == job_class]
+    if not items:
+        return 0.0
+    return sum(i.response_time for i in items) / len(items)
+
+
+def class_compute_share(schedule: Schedule, job_class: str | None) -> float:
+    """Share of delivered node-seconds consumed by one class.
+
+    'Delivered' means realised execution (``nodes * runtime``), the
+    quantity Example 1's industry quota would be accounted in.
+    """
+    total = sum(i.job.area for i in schedule)
+    if total == 0:
+        return 0.0
+    mine = sum(i.job.area for i in schedule if _label(i) == job_class)
+    return mine / total
+
+
+@dataclass(frozen=True, slots=True)
+class ClassRow:
+    """Per-class aggregate record."""
+
+    job_class: str | None
+    jobs: int
+    mean_response: float
+    mean_wait: float
+    compute_share: float
+
+
+def class_breakdown(schedule: Schedule) -> list[ClassRow]:
+    """Per-class table, ordered by descending compute share."""
+    groups: dict[str | None, list] = {}
+    for item in schedule:
+        groups.setdefault(_label(item), []).append(item)
+    total_area = sum(i.job.area for i in schedule) or 1.0
+    rows = [
+        ClassRow(
+            job_class=label,
+            jobs=len(items),
+            mean_response=sum(i.response_time for i in items) / len(items),
+            mean_wait=sum(i.wait_time for i in items) / len(items),
+            compute_share=sum(i.job.area for i in items) / total_area,
+        )
+        for label, items in groups.items()
+    ]
+    rows.sort(key=lambda r: -r.compute_share)
+    return rows
+
+
+def format_class_breakdown(rows: list[ClassRow]) -> str:
+    lines = [
+        f"{'class':<14}{'jobs':>6}{'mean resp (s)':>15}{'mean wait (s)':>15}{'share':>8}"
+    ]
+    for row in rows:
+        label = row.job_class if row.job_class is not None else "(none)"
+        lines.append(
+            f"{label:<14}{row.jobs:>6}{row.mean_response:>15.0f}"
+            f"{row.mean_wait:>15.0f}{row.compute_share:>8.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""The Section-2 methodology: policy -> objective function -> algorithm.
+
+The paper's central claim is structural: a scheduling system should be
+designed as three layers, and the middle layer (the objective function) is
+*derived* from the top one (the owner's policy) via multi-criteria
+analysis.  This package implements that machinery:
+
+* :mod:`repro.policy.rules` — policy rules with criterion functions and
+  conflict-resolution priorities (Examples 1 and 5 ship as presets);
+* :mod:`repro.policy.pareto` — Pareto-optimal schedule selection, partial
+  orders over the front, and synthesis of a scalar objective function that
+  generates a desired partial order (the 4-step recipe of Section 2.2);
+* :mod:`repro.policy.regions` — achievable-region analysis comparing
+  on-line and off-line algorithm families (Figure 2).
+"""
+
+from repro.policy.rules import (
+    Criterion,
+    PolicyRule,
+    SchedulingPolicy,
+    example1_policy,
+    example5_policy,
+)
+from repro.policy.pareto import (
+    ParetoPoint,
+    dominates,
+    fit_linear_objective,
+    pareto_front,
+)
+from repro.policy.regions import AchievableRegion, achievable_region
+
+__all__ = [
+    "AchievableRegion",
+    "Criterion",
+    "ParetoPoint",
+    "PolicyRule",
+    "SchedulingPolicy",
+    "achievable_region",
+    "dominates",
+    "example1_policy",
+    "example5_policy",
+    "fit_linear_objective",
+    "pareto_front",
+]

@@ -1,0 +1,167 @@
+"""Pareto-optimal schedule selection and objective synthesis (Section 2.2).
+
+The paper's recipe for deriving an objective function from a policy:
+
+1. for a typical set of jobs, determine the Pareto-optimal schedules with
+   respect to the policy's criteria (:func:`pareto_front`);
+2. define a partial order over these schedules (ranks assigned by the
+   owner, Figure 1's ``0 < 1 < 2`` labelling);
+3. derive an objective function that generates this order
+   (:func:`fit_linear_objective`);
+4. repeat for other job sets and refine.
+
+The synthesis in step 3 searches for a weighted sum of the (normalised)
+criteria whose induced order matches the owner's partial order — the
+simplest objective family that is still a single scalar *schedule cost* as
+Section 2.2 requires.  A perceptron-style update over violated pairs finds
+a consistent weighting whenever one exists in that family; otherwise the
+best-found weighting and the residual violations are reported so the owner
+can split rules or revisit the order (the paper's "refine … accordingly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.policy.rules import Criterion, Direction
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoPoint:
+    """One candidate schedule in criterion space."""
+
+    label: str
+    values: tuple[float, ...]
+    #: Owner-assigned rank; larger = preferred (Figure 1).  ``None`` until
+    #: the owner orders the front.
+    rank: int | None = None
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    criteria: Sequence[Criterion],
+) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere and strictly
+    better somewhere."""
+    if len(a) != len(b) or len(a) != len(criteria):
+        raise ValueError("dimension mismatch between points and criteria")
+    at_least_as_good = True
+    strictly_better = False
+    for av, bv, crit in zip(a, b, criteria):
+        if crit.better(bv, av):
+            at_least_as_good = False
+            break
+        if crit.better(av, bv):
+            strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    points: Sequence[ParetoPoint],
+    criteria: Sequence[Criterion],
+) -> list[ParetoPoint]:
+    """The non-dominated subset, preserving input order."""
+    front: list[ParetoPoint] = []
+    for p in points:
+        if any(dominates(q.values, p.values, criteria) for q in points if q is not p):
+            continue
+        front.append(p)
+    return front
+
+
+@dataclass(frozen=True, slots=True)
+class LinearObjective:
+    """A scalar schedule cost: weighted sum of normalised criteria."""
+
+    criteria: tuple[Criterion, ...]
+    weights: tuple[float, ...]
+    #: Per-criterion (offset, scale) used for normalisation.
+    normalisers: tuple[tuple[float, float], ...]
+    #: Pairs (preferred_label, inferior_label) the fit could not satisfy.
+    violations: tuple[tuple[str, str], ...] = ()
+
+    def cost(self, values: Sequence[float]) -> float:
+        """Schedule cost of a raw criterion vector (lower is better)."""
+        total = 0.0
+        for v, w, (offset, scale), crit in zip(
+            values, self.weights, self.normalisers, self.criteria
+        ):
+            norm = (v - offset) / scale
+            if crit.direction is Direction.MAXIMIZE:
+                norm = -norm
+            total += w * norm
+        return total
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+def fit_linear_objective(
+    points: Sequence[ParetoPoint],
+    criteria: Sequence[Criterion],
+    *,
+    max_epochs: int = 500,
+    margin: float = 1e-3,
+) -> LinearObjective:
+    """Find non-negative weights so that higher-ranked points cost less.
+
+    Ranked points (``rank is not None``) define the constraints: for every
+    pair with ``rank(a) > rank(b)`` we require ``cost(a) + margin <=
+    cost(b)``.  Criteria are min-max normalised over the given points first
+    so weights are comparable across units.
+    """
+    ranked = [p for p in points if p.rank is not None]
+    if len(ranked) < 2:
+        raise ValueError("need at least two ranked points to fit an objective")
+    dim = len(criteria)
+    raw = np.array([p.values for p in ranked], dtype=np.float64)
+    if raw.shape[1] != dim:
+        raise ValueError("point dimension does not match criteria count")
+
+    # Normalise: minimise-direction, range [0, 1] over the sample.
+    offsets = raw.min(axis=0)
+    scales = np.where(raw.max(axis=0) > offsets, raw.max(axis=0) - offsets, 1.0)
+    norm = (raw - offsets) / scales
+    for j, crit in enumerate(criteria):
+        if crit.direction is Direction.MAXIMIZE:
+            norm[:, j] = -norm[:, j]
+
+    pairs = [
+        (i, j)
+        for i, a in enumerate(ranked)
+        for j, b in enumerate(ranked)
+        if a.rank is not None and b.rank is not None and a.rank > b.rank
+    ]
+    weights = np.ones(dim) / dim
+    for _ in range(max_epochs):
+        changed = False
+        for i, j in pairs:
+            # want cost_i < cost_j : w . (norm_i - norm_j) <= -margin
+            gap = float(weights @ (norm[i] - norm[j]))
+            if gap > -margin:
+                weights -= 0.1 * (norm[i] - norm[j])
+                weights = np.clip(weights, 0.0, None)
+                if weights.sum() == 0.0:
+                    weights = np.ones(dim) / dim
+                else:
+                    weights /= weights.sum()
+                changed = True
+        if not changed:
+            break
+
+    violations = tuple(
+        (ranked[i].label, ranked[j].label)
+        for i, j in pairs
+        if float(weights @ (norm[i] - norm[j])) > 0.0
+    )
+    return LinearObjective(
+        criteria=tuple(criteria),
+        weights=tuple(float(w) for w in weights),
+        normalisers=tuple((float(o), float(s)) for o, s in zip(offsets, scales)),
+        violations=violations,
+    )

@@ -1,0 +1,85 @@
+"""Achievable-region analysis: on-line versus off-line (Figure 2).
+
+Figure 2 of the paper sketches the region of criterion space reachable by
+schedules: off-line methods with complete knowledge cover a larger area
+than on-line algorithms, which may force the owner to "review the conflict
+resolving strategy".  :func:`achievable_region` makes that picture concrete
+for any pair of criteria: it runs a family of schedulers over a workload
+(the on-line family through the simulator; an off-line bound family with
+exact information) and returns both point clouds and their Pareto fronts.
+
+The off-line family here is the on-line algorithms re-run with exact
+runtime knowledge (the paper's own Table 6 device) — a *lower envelope*
+approximation of the true off-line region, which is all the construction
+needs to exhibit the containment of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.job import Job
+from repro.core.machine import Machine
+from repro.core.simulator import Simulator
+from repro.policy.pareto import ParetoPoint, pareto_front
+from repro.policy.rules import Criterion
+from repro.schedulers.registry import SchedulerConfig, build_scheduler, paper_configurations
+from repro.workloads.transforms import with_exact_estimates
+
+
+@dataclass(frozen=True, slots=True)
+class AchievableRegion:
+    """Criterion-space point clouds for the on-line and off-line families."""
+
+    criteria: tuple[Criterion, ...]
+    online_points: tuple[ParetoPoint, ...]
+    offline_points: tuple[ParetoPoint, ...]
+
+    @property
+    def online_front(self) -> list[ParetoPoint]:
+        return pareto_front(self.online_points, self.criteria)
+
+    @property
+    def offline_front(self) -> list[ParetoPoint]:
+        return pareto_front(self.offline_points, self.criteria)
+
+    def offline_dominates_online(self) -> bool:
+        """True iff every on-line front point is weakly dominated by some
+        off-line point — the containment Figure 2 depicts."""
+        from repro.policy.pareto import dominates
+
+        for p in self.online_front:
+            if not any(
+                q.values == p.values or dominates(q.values, p.values, self.criteria)
+                for q in self.offline_points
+            ):
+                return False
+        return True
+
+
+def achievable_region(
+    jobs: Sequence[Job],
+    criteria: Sequence[Criterion],
+    *,
+    total_nodes: int = 256,
+    configs: Sequence[SchedulerConfig] | None = None,
+    weighted: bool = False,
+) -> AchievableRegion:
+    """Map the region of ``criteria`` space reachable by the scheduler zoo."""
+    chosen = list(configs) if configs is not None else list(paper_configurations())
+    exact = with_exact_estimates(jobs)
+
+    def run(config: SchedulerConfig, stream: Sequence[Job], tag: str) -> ParetoPoint:
+        scheduler = build_scheduler(config, total_nodes, weighted=weighted)
+        result = Simulator(Machine(total_nodes), scheduler).run(stream)
+        values = tuple(c.evaluate(result.schedule) for c in criteria)
+        return ParetoPoint(label=f"{config.key}[{tag}]", values=values)
+
+    online = tuple(run(c, jobs, "online") for c in chosen)
+    offline = tuple(run(c, exact, "offline") for c in chosen)
+    return AchievableRegion(
+        criteria=tuple(criteria),
+        online_points=online,
+        offline_points=offline,
+    )

@@ -1,0 +1,207 @@
+"""Scheduling policies as collections of rules (Section 2.1).
+
+"The scheduling strategy is a collection of rules to determine the resource
+allocation if not enough resources are available to satisfy all requests
+immediately."  A good policy, per the paper, (1) contains rules to resolve
+conflicts between other rules, and (2) can be implemented.
+
+A :class:`PolicyRule` couples a human-readable statement with an optional
+machine-checkable :class:`Criterion` — the paper's requirement that "each
+rule of the scheduling policy [be] associated with single criterion
+functions … If this is not the case, complex rules must be split."
+Conflicts are resolved by rule priority (smaller number wins), which is the
+paper's "rules to resolve conflicts" in its simplest implementable form.
+
+The two worked examples of the paper ship as ready-made policies:
+:func:`example1_policy` (the chemistry department machine) and
+:func:`example5_policy` (Institution B's 256-node batch system whose rules
+drive the entire evaluation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.schedule import Schedule
+
+
+class Direction(enum.Enum):
+    """Whether a criterion should be minimised or maximised."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+@dataclass(frozen=True, slots=True)
+class Criterion:
+    """A single-criterion function attached to a policy rule."""
+
+    name: str
+    evaluate: Callable[[Schedule], float]
+    direction: Direction = Direction.MINIMIZE
+
+    def better(self, a: float, b: float) -> bool:
+        """True iff value ``a`` is strictly better than ``b``."""
+        return a < b if self.direction is Direction.MINIMIZE else a > b
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyRule:
+    """One rule of a scheduling policy.
+
+    ``priority`` resolves conflicts (lower wins); rules without a criterion
+    are *structural* (they constrain the system configuration — partition
+    sizes, job limits — rather than rank schedules) and take no part in
+    objective-function synthesis, mirroring Section 4's "she ignores
+    Rules 1 to 4 because they do not affect the schedule for a specific
+    workload".
+    """
+
+    name: str
+    statement: str
+    priority: int = 100
+    criterion: Criterion | None = None
+    #: Times of day/week the rule applies to; free-form, used for reporting.
+    applies_when: str = "always"
+
+
+@dataclass(slots=True)
+class SchedulingPolicy:
+    """An ordered collection of policy rules."""
+
+    name: str
+    rules: list[PolicyRule] = field(default_factory=list)
+
+    def add(self, rule: PolicyRule) -> "SchedulingPolicy":
+        self.rules.append(rule)
+        return self
+
+    @property
+    def criteria(self) -> list[Criterion]:
+        """The criterion functions of all non-structural rules, by priority."""
+        ranked = sorted(
+            (r for r in self.rules if r.criterion is not None),
+            key=lambda r: r.priority,
+        )
+        return [r.criterion for r in ranked if r.criterion is not None]
+
+    def conflicting_pairs(self) -> list[tuple[PolicyRule, PolicyRule]]:
+        """Rule pairs with equal priority and both carrying criteria.
+
+        The paper demands that a good policy resolve conflicts between its
+        rules; equal-priority criteria cannot be resolved mechanically, so
+        they are flagged for the owner.
+        """
+        carriers = [r for r in self.rules if r.criterion is not None]
+        out: list[tuple[PolicyRule, PolicyRule]] = []
+        for i, a in enumerate(carriers):
+            for b in carriers[i + 1 :]:
+                if a.priority == b.priority and a.applies_when == b.applies_when:
+                    out.append((a, b))
+        return out
+
+    def evaluate(self, schedule: Schedule) -> dict[str, float]:
+        """All criterion values for one schedule, keyed by criterion name."""
+        return {c.name: c.evaluate(schedule) for c in self.criteria}
+
+
+# -- the paper's two example policies ----------------------------------------------
+
+
+def example1_policy() -> SchedulingPolicy:
+    """The chemistry-department policy of Example 1 (structural rules only;
+    its criteria need job-category data so they are attached by the caller
+    if the workload carries user classes)."""
+    policy = SchedulingPolicy(name="Example 1 (chemistry department)")
+    policy.add(PolicyRule(
+        name="drug-design-priority",
+        statement="All jobs from the drug design lab have the highest priority "
+        "and must be executed as soon as possible.",
+        priority=1,
+    ))
+    policy.add(PolicyRule(
+        name="drug-design-storage",
+        statement="100 GB of secondary storage is reserved for data from the "
+        "drug design lab.",
+        priority=2,
+    ))
+    policy.add(PolicyRule(
+        name="university-access",
+        statement="Applications from the whole university are accepted but the "
+        "labs of the chemistry department have preferred access.",
+        priority=3,
+    ))
+    policy.add(PolicyRule(
+        name="industry-quota",
+        statement="Some computation time is sold to cooperation partners from "
+        "the chemical industry.",
+        priority=4,
+    ))
+    policy.add(PolicyRule(
+        name="lab-course",
+        statement="Some computation time is made available to the theoretical "
+        "chemistry lab course during their scheduled hours.",
+        priority=5,
+    ))
+    return policy
+
+
+def example5_policy(total_nodes: int = 256) -> SchedulingPolicy:
+    """Institution B's policy (Example 5) with the two derived criteria.
+
+    Rules 1–4 are structural; Rule 5 (daytime) carries the average response
+    time criterion and Rule 6 (nights/weekends) the average weighted
+    response time — exactly the objective functions the administrator
+    derives in Section 4.
+    """
+    from repro.metrics.objectives import (
+        average_response_time,
+        average_weighted_response_time,
+    )
+
+    policy = SchedulingPolicy(name="Example 5 (Institution B)")
+    policy.add(PolicyRule(
+        name="batch-partition",
+        statement="The batch partition must be as large as possible, leaving a "
+        "few nodes for interactive jobs and services.",
+        priority=10,
+    ))
+    policy.add(PolicyRule(
+        name="rigid-jobs",
+        statement="The user must provide the exact number of nodes for each job "
+        "and an upper limit for the execution time.",
+        priority=20,
+    ))
+    policy.add(PolicyRule(
+        name="charging",
+        statement="The user is charged based on a combination of projected and "
+        "actual resource consumption.",
+        priority=30,
+    ))
+    policy.add(PolicyRule(
+        name="two-job-limit",
+        statement="Every user is allowed at most two batch jobs on the machine "
+        "at any time.",
+        priority=40,
+    ))
+    policy.add(PolicyRule(
+        name="daytime-response",
+        statement="Between 7am and 8pm on weekdays the response time for all "
+        "jobs should be as small as possible.",
+        priority=50,
+        applies_when="weekdays 07:00-20:00",
+        criterion=Criterion("average_response_time", average_response_time),
+    ))
+    policy.add(PolicyRule(
+        name="offpeak-load",
+        statement="Between 8pm and 7am on weekdays and all weekend or on "
+        "holidays it is the goal to achieve a high system load.",
+        priority=50,
+        applies_when="nights and weekends",
+        criterion=Criterion(
+            "average_weighted_response_time", average_weighted_response_time
+        ),
+    ))
+    return policy

@@ -1,0 +1,104 @@
+"""The paper's scheduler zoo.
+
+Section 5 of the paper evaluates seven algorithm families, each reduced to
+two orthogonal choices:
+
+* an **order policy** — how the wait queue is ordered (submission order for
+  FCFS and Garey & Graham; SMART-FFIA / SMART-NFIW shelf orders; the PSRS
+  non-preemptive conversion order), and
+* a **servicing discipline** — how the ordered queue is turned into start
+  decisions (head-blocking greedy list scheduling, conservative
+  backfilling, EASY backfilling, or Garey & Graham's any-fit greedy).
+
+Every cell of the paper's Tables 3–6 is one ``(order policy, discipline)``
+pair; :mod:`repro.schedulers.registry` enumerates them all.
+"""
+
+from repro.schedulers.base import (
+    Discipline,
+    OrderPolicy,
+    OrderedQueueScheduler,
+    SubmitOrderPolicy,
+)
+from repro.schedulers.disciplines import (
+    AnyFitDiscipline,
+    ConservativeBackfill,
+    EasyBackfill,
+    HeadBlockingDiscipline,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.garey_graham import GareyGrahamScheduler
+from repro.schedulers.smart import (
+    SmartOrderPolicy,
+    smart_order,
+    SmartVariant,
+)
+from repro.schedulers.psrs import PsrsOrderPolicy, psrs_order, preemptive_psrs
+from repro.schedulers.weights import area_weight, unit_weight
+from repro.schedulers.registry import (
+    SchedulerConfig,
+    build_scheduler,
+    paper_configurations,
+)
+from repro.schedulers.baselines import (
+    KeyOrderPolicy,
+    RandomOrderPolicy,
+    all_baselines,
+    baseline_scheduler,
+)
+from repro.schedulers.regimes import (
+    WEEKDAY_DAYTIME,
+    RegimeSwitchingScheduler,
+    TimeWindow,
+    example5_combined_scheduler,
+)
+from repro.schedulers.drain import (
+    DrainDiscipline,
+    DrainingScheduler,
+    Reservation,
+    example4_reservations,
+)
+from repro.schedulers.slack import SlackBackfill
+from repro.schedulers.admission import (
+    ClassPriorityOrderPolicy,
+    UserLimitDiscipline,
+)
+
+__all__ = [
+    "AnyFitDiscipline",
+    "ClassPriorityOrderPolicy",
+    "ConservativeBackfill",
+    "Discipline",
+    "DrainDiscipline",
+    "DrainingScheduler",
+    "EasyBackfill",
+    "FCFSScheduler",
+    "GareyGrahamScheduler",
+    "HeadBlockingDiscipline",
+    "KeyOrderPolicy",
+    "OrderPolicy",
+    "OrderedQueueScheduler",
+    "PsrsOrderPolicy",
+    "RandomOrderPolicy",
+    "RegimeSwitchingScheduler",
+    "Reservation",
+    "SchedulerConfig",
+    "SlackBackfill",
+    "SmartOrderPolicy",
+    "SmartVariant",
+    "SubmitOrderPolicy",
+    "UserLimitDiscipline",
+    "TimeWindow",
+    "WEEKDAY_DAYTIME",
+    "all_baselines",
+    "area_weight",
+    "baseline_scheduler",
+    "build_scheduler",
+    "example4_reservations",
+    "example5_combined_scheduler",
+    "paper_configurations",
+    "preemptive_psrs",
+    "psrs_order",
+    "smart_order",
+    "unit_weight",
+]

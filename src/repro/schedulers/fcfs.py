@@ -1,0 +1,52 @@
+"""First-Come-First-Serve (Section 5.1).
+
+Jobs are ordered by submission time and serviced by greedy list scheduling.
+The paper lists its virtues: fairness (a job's completion is independent of
+later submissions), no need for runtime estimates, trivial implementation —
+and its vice: "a relatively large percentage of idle nodes especially if
+many highly parallel jobs are submitted", which is why production sites
+combined it with backfilling.
+
+``FCFSScheduler`` composes the submit-order policy with a configurable
+discipline, covering the FCFS row of Tables 3–6:
+
+>>> FCFSScheduler()                    # plain FCFS ("Listscheduler" column)
+>>> FCFSScheduler.with_easy()          # FCFS + EASY backfilling (CTC setup)
+>>> FCFSScheduler.with_conservative()  # FCFS + conservative backfilling
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Discipline, OrderedQueueScheduler, SubmitOrderPolicy
+from repro.schedulers.disciplines import (
+    ConservativeBackfill,
+    EasyBackfill,
+    HeadBlockingDiscipline,
+)
+
+
+class FCFSScheduler(OrderedQueueScheduler):
+    """FCFS with a pluggable servicing discipline (default: head-blocking)."""
+
+    def __init__(self, discipline: Discipline | None = None, name: str | None = None) -> None:
+        discipline = discipline or HeadBlockingDiscipline()
+        super().__init__(
+            SubmitOrderPolicy(),
+            discipline,
+            name=name or f"FCFS/{discipline.name}",
+        )
+
+    @classmethod
+    def plain(cls) -> "FCFSScheduler":
+        """Head-blocking FCFS — the paper's "Listscheduler" cell."""
+        return cls(HeadBlockingDiscipline(), name="FCFS")
+
+    @classmethod
+    def with_easy(cls) -> "FCFSScheduler":
+        """FCFS + EASY backfilling — the paper's reference configuration."""
+        return cls(EasyBackfill(), name="FCFS+EASY")
+
+    @classmethod
+    def with_conservative(cls) -> "FCFSScheduler":
+        """FCFS + conservative backfilling."""
+        return cls(ConservativeBackfill(), name="FCFS+CONS")

@@ -1,0 +1,22 @@
+"""Classical list scheduling of Garey & Graham (Section 5.3).
+
+"Always starts the next job for which enough resources are available.  Ties
+can be broken in an arbitrary fashion."  We break ties by submission order
+(the natural arbitrary choice and the one that makes runs deterministic).
+No runtime knowledge is required, and backfilling is pointless: the
+discipline never leaves a startable job waiting, so there is nothing to
+backfill — which is why the Garey&Graham row of Tables 3–6 has only the
+"Listscheduler" column.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import OrderedQueueScheduler, SubmitOrderPolicy
+from repro.schedulers.disciplines import AnyFitDiscipline
+
+
+class GareyGrahamScheduler(OrderedQueueScheduler):
+    """Greedy any-fit list scheduling over the submission order."""
+
+    def __init__(self, name: str = "Garey&Graham") -> None:
+        super().__init__(SubmitOrderPolicy(), AnyFitDiscipline(), name=name)

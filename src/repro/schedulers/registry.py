@@ -1,0 +1,153 @@
+"""Registry of the paper's scheduler configurations.
+
+Tables 3–6 evaluate a 5 x 3 grid (minus the cells the paper omits):
+
+==============  =============  ============  ================
+row             Listscheduler  Backfilling   EASY-Backfilling
+==============  =============  ============  ================
+FCFS            x              x             x (reference)
+PSRS            x              x             x
+SMART-FFIA      x              x             x
+SMART-NFIW      x              x             x
+Garey&Graham    x              —             —
+==============  =============  ============  ================
+
+"Backfilling" is conservative backfilling; Garey & Graham has no backfill
+columns because any-fit scheduling already fills every hole.
+:func:`paper_configurations` enumerates the 13 cells;
+:func:`build_scheduler` instantiates any of them for a machine size and
+weight regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.scheduler import Scheduler
+from repro.schedulers.base import (
+    Discipline,
+    OrderedQueueScheduler,
+    OrderPolicy,
+    SubmitOrderPolicy,
+)
+from repro.schedulers.disciplines import (
+    AnyFitDiscipline,
+    ConservativeBackfill,
+    EasyBackfill,
+    HeadBlockingDiscipline,
+)
+from repro.schedulers.psrs import PsrsOrderPolicy
+from repro.schedulers.smart import SmartOrderPolicy, SmartVariant
+from repro.schedulers.weights import WeightFn, estimated_area_weight, unit_weight
+
+#: Row keys, in the paper's table order.
+ROWS = ("fcfs", "psrs", "smart-ffia", "smart-nfiw", "gg")
+
+#: Column keys, in the paper's table order.
+COLUMNS = ("list", "conservative", "easy")
+
+#: Human-readable labels matching the paper's tables.
+ROW_LABELS = {
+    "fcfs": "FCFS",
+    "psrs": "PSRS",
+    "smart-ffia": "SMART-FFIA",
+    "smart-nfiw": "SMART-NFIW",
+    "gg": "Garey&Graham",
+}
+COLUMN_LABELS = {
+    "list": "Listscheduler",
+    "conservative": "Backfilling",
+    "easy": "EASY-Backfilling",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerConfig:
+    """One cell of the paper's evaluation grid."""
+
+    row: str
+    column: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.row}/{self.column}"
+
+    @property
+    def label(self) -> str:
+        return f"{ROW_LABELS[self.row]} + {COLUMN_LABELS[self.column]}"
+
+    @property
+    def is_reference(self) -> bool:
+        """FCFS + EASY is the paper's 0% reference (the CTC production setup)."""
+        return self.row == "fcfs" and self.column == "easy"
+
+
+def paper_configurations() -> Iterator[SchedulerConfig]:
+    """The 13 grid cells of Tables 3–6, row-major in paper order."""
+    for row in ROWS:
+        for column in COLUMNS:
+            if row == "gg" and column != "list":
+                continue  # backfilling is no benefit for any-fit scheduling
+            yield SchedulerConfig(row=row, column=column)
+
+
+def _make_discipline(column: str, row: str) -> Discipline:
+    if row == "gg":
+        return AnyFitDiscipline()
+    if column == "list":
+        return HeadBlockingDiscipline()
+    if column == "conservative":
+        return ConservativeBackfill()
+    if column == "easy":
+        return EasyBackfill()
+    raise ValueError(f"unknown column {column!r}")
+
+
+def _make_order_policy(
+    row: str,
+    total_nodes: int,
+    weight: WeightFn,
+    recompute_threshold: float,
+) -> OrderPolicy:
+    if row in ("fcfs", "gg"):
+        return SubmitOrderPolicy()
+    if row == "psrs":
+        return PsrsOrderPolicy(
+            total_nodes, weight=weight, recompute_threshold=recompute_threshold
+        )
+    if row == "smart-ffia":
+        return SmartOrderPolicy(
+            total_nodes,
+            variant=SmartVariant.FFIA,
+            weight=weight,
+            recompute_threshold=recompute_threshold,
+        )
+    if row == "smart-nfiw":
+        return SmartOrderPolicy(
+            total_nodes,
+            variant=SmartVariant.NFIW,
+            weight=weight,
+            recompute_threshold=recompute_threshold,
+        )
+    raise ValueError(f"unknown row {row!r}")
+
+
+def build_scheduler(
+    config: SchedulerConfig,
+    total_nodes: int,
+    *,
+    weighted: bool = False,
+    recompute_threshold: float = 2.0 / 3.0,
+) -> Scheduler:
+    """Instantiate the scheduler for one grid cell.
+
+    ``weighted`` selects the ordering weight that SMART/PSRS use: job weight
+    1 in the unweighted regime, estimated area in the weighted regime
+    (Section 4; FCFS and Garey & Graham ignore weights entirely).
+    """
+    weight = estimated_area_weight if weighted else unit_weight
+    order = _make_order_policy(config.row, total_nodes, weight, recompute_threshold)
+    discipline = _make_discipline(config.column, config.row)
+    name = config.label if config.row != "gg" else ROW_LABELS["gg"]
+    return OrderedQueueScheduler(order, discipline, name=name)

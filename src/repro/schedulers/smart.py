@@ -1,0 +1,177 @@
+"""The SMART shelf algorithm (Turek et al. [21], Schwiegelshohn et al. [14]).
+
+Section 5.4 of the paper.  Off-line, SMART proceeds in three steps:
+
+1. **Binning** — jobs are assigned to bins by execution time; the bin upper
+   bounds form the geometric sequence ``1, gamma, gamma^2, ...`` (intervals
+   ``]0,1], ]1,gamma], ]gamma, gamma^2], ...``).  The paper uses
+   ``gamma = 2``.
+2. **Shelving** — within each bin jobs are packed onto *shelves*
+   (sub-schedules whose jobs start concurrently), each shelf at most the
+   machine width.  Two packing variants from [14]:
+
+   * **FFIA** (First Fit Increasing Area): jobs sorted by increasing area
+     (runtime × nodes); each job goes on the first shelf of its bin with
+     room, else opens a new shelf.
+   * **NFIW** (Next Fit Increasing Width to Weight): jobs sorted by
+     increasing ``nodes / weight``; each job goes on the *current* shelf if
+     it fits, else a new shelf becomes current.
+
+3. **Smith's rule over shelves** — every shelf gets the ratio
+   ``sum of job weights / max job execution time``; shelves are scheduled in
+   decreasing ratio order (Smith [19] applied to shelves as compound jobs).
+
+The returned *job order* concatenates the shelves; the on-line adapter
+(:class:`SmartOrderPolicy`, built on :mod:`repro.schedulers.reorder`)
+services it with a greedy list schedule exactly as the paper prescribes.
+All runtimes seen here are user estimates — the off-line algorithm never
+gets to peek at realised runtimes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.job import Job
+from repro.schedulers.reorder import RecomputingOrderPolicy
+from repro.schedulers.weights import WeightFn, estimated_area_weight
+
+
+class SmartVariant(enum.Enum):
+    """Shelf-packing variant of step 2."""
+
+    FFIA = "ffia"
+    NFIW = "nfiw"
+
+
+@dataclass(slots=True)
+class _Shelf:
+    """A set of jobs started concurrently; width-bounded by the machine."""
+
+    index: int
+    bin_index: int
+    jobs: list[Job] = field(default_factory=list)
+    used_nodes: int = 0
+    max_runtime: float = 0.0
+    total_weight: float = 0.0
+
+    def add(self, job: Job, weight: float) -> None:
+        self.jobs.append(job)
+        self.used_nodes += job.nodes
+        self.max_runtime = max(self.max_runtime, job.estimated_runtime)
+        self.total_weight += weight
+
+    def smith_ratio(self) -> float:
+        if self.max_runtime == 0.0:
+            return math.inf
+        return self.total_weight / self.max_runtime
+
+
+def runtime_bin(runtime: float, gamma: float) -> int:
+    """Bin index of an execution time under the geometric binning of step 1.
+
+    Bin 0 is ``]0, 1]`` (and absorbs zero runtimes); bin ``k`` is
+    ``]gamma^(k-1), gamma^k]``.
+    """
+    if runtime <= 1.0:
+        return 0
+    # ceil(log_gamma(runtime)) with a tolerance so exact powers of gamma land
+    # on their closed upper boundary instead of the next bin.
+    raw = math.log(runtime) / math.log(gamma)
+    return max(1, math.ceil(raw - 1e-9))
+
+
+def smart_order(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    *,
+    variant: SmartVariant = SmartVariant.FFIA,
+    weight: WeightFn = estimated_area_weight,
+    gamma: float = 2.0,
+) -> list[Job]:
+    """Run off-line SMART and return the service order of ``jobs``.
+
+    ``gamma`` is the bin growth factor (paper: 2).  ``weight`` is the
+    scheduler-visible job weight (1 in the unweighted regime, estimated
+    area in the weighted regime).
+    """
+    if gamma <= 1.0:
+        raise ValueError(f"gamma must exceed 1, got {gamma}")
+    if not jobs:
+        return []
+
+    # Step 1: bin by (estimated) execution time.
+    bins: dict[int, list[Job]] = {}
+    for job in jobs:
+        bins.setdefault(runtime_bin(job.estimated_runtime, gamma), []).append(job)
+
+    # Step 2: pack each bin onto shelves.
+    shelves: list[_Shelf] = []
+    for bin_index in sorted(bins):
+        bin_jobs = bins[bin_index]
+        if variant is SmartVariant.FFIA:
+            bin_jobs = sorted(
+                bin_jobs, key=lambda j: (j.nodes * j.estimated_runtime, j.job_id)
+            )
+            bin_shelves: list[_Shelf] = []
+            for job in bin_jobs:
+                for shelf in bin_shelves:  # first fit over this bin's shelves
+                    if shelf.used_nodes + job.nodes <= total_nodes:
+                        shelf.add(job, weight(job))
+                        break
+                else:
+                    shelf = _Shelf(index=len(shelves) + len(bin_shelves), bin_index=bin_index)
+                    shelf.add(job, weight(job))
+                    bin_shelves.append(shelf)
+            shelves.extend(bin_shelves)
+        else:  # NFIW
+            def width_to_weight(job: Job) -> float:
+                w = weight(job)
+                return math.inf if w == 0 else job.nodes / w
+
+            bin_jobs = sorted(bin_jobs, key=lambda j: (width_to_weight(j), j.job_id))
+            current: _Shelf | None = None
+            for job in bin_jobs:
+                if current is None or current.used_nodes + job.nodes > total_nodes:
+                    current = _Shelf(index=len(shelves), bin_index=bin_index)
+                    shelves.append(current)
+                current.add(job, weight(job))
+
+    # Step 3: Smith's rule over shelves, largest ratio first.  Ties broken by
+    # creation order so the result is deterministic.
+    shelves.sort(key=lambda s: (-s.smith_ratio(), s.bin_index, s.index))
+    order: list[Job] = []
+    for shelf in shelves:
+        order.extend(shelf.jobs)
+    return order
+
+
+class SmartOrderPolicy(RecomputingOrderPolicy):
+    """On-line wait-queue ordering by repeated off-line SMART runs."""
+
+    def __init__(
+        self,
+        total_nodes: int,
+        *,
+        variant: SmartVariant = SmartVariant.FFIA,
+        weight: WeightFn = estimated_area_weight,
+        gamma: float = 2.0,
+        recompute_threshold: float = 2.0 / 3.0,
+    ) -> None:
+        super().__init__(total_nodes, recompute_threshold=recompute_threshold)
+        self.variant = variant
+        self.weight = weight
+        self.gamma = gamma
+        self.name = f"SMART-{variant.value.upper()}"
+
+    def compute_order(self, jobs: Sequence[Job]) -> list[Job]:
+        return smart_order(
+            jobs,
+            self.total_nodes,
+            variant=self.variant,
+            weight=self.weight,
+            gamma=self.gamma,
+        )

@@ -1,0 +1,47 @@
+"""Job weight functions for the two objective regimes of the paper.
+
+Section 4: during weekday daytime the objective is the (unweighted) average
+response time — "the job weight is always 1"; at night it is the average
+weighted response time with weight equal to the job's resource consumption,
+"the product of the execution time and the number of required nodes".
+
+The *objective* weighs jobs by their actual area; an *on-line scheduler*
+cannot know actual runtimes, so ordering decisions (Smith ratios in SMART
+and PSRS) use the estimated area instead.  Both functions live here so the
+distinction is made exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.job import Job
+
+WeightFn = Callable[[Job], float]
+
+
+def unit_weight(job: Job) -> float:
+    """Weight 1 for every job — the unweighted (daytime) regime."""
+    return 1.0
+
+
+def area_weight(job: Job) -> float:
+    """Actual resource consumption ``nodes * runtime`` — the objective's weight."""
+    return job.area
+
+
+def estimated_area_weight(job: Job) -> float:
+    """Projected resource consumption ``nodes * estimate``.
+
+    What an on-line scheduler may use as a stand-in for :func:`area_weight`
+    when ordering jobs.
+    """
+    return job.estimated_area
+
+
+#: Named weight regimes used by the experiment harness.
+WEIGHT_REGIMES: dict[str, tuple[WeightFn, WeightFn]] = {
+    # regime -> (objective weight, scheduler-visible ordering weight)
+    "unweighted": (unit_weight, unit_weight),
+    "weighted": (area_weight, estimated_area_weight),
+}

@@ -1,0 +1,154 @@
+"""Command line: ``repro-workload`` — inspect, generate and convert workloads.
+
+Subcommands::
+
+    repro-workload describe trace.swf          # stats + model fit + cycles
+    repro-workload describe --synthetic ctc --jobs 5000
+    repro-workload generate ctc out.swf --jobs 5000 --seed 7
+    repro-workload generate randomized out.swf --jobs 2000
+    repro-workload resample trace.swf out.swf --jobs 10000   # Section 6.2
+
+The `describe` report is the verification step Section 6.2 demands before
+trusting a model: marginals, interarrival model comparison (Weibull vs
+exponential), and the daily/weekly cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.job import Job
+
+
+def _load(args: argparse.Namespace) -> list[Job]:
+    from repro.workloads.ctc import ctc_like_workload
+    from repro.workloads.randomized import randomized_workload
+    from repro.workloads.swf import read_swf
+
+    if args.trace is not None:
+        return read_swf(args.trace)
+    if args.synthetic == "ctc":
+        return ctc_like_workload(args.jobs, seed=args.seed)
+    if args.synthetic == "randomized":
+        return randomized_workload(args.jobs, seed=args.seed)
+    raise SystemExit("describe needs a trace path or --synthetic")
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    from repro.workloads.cycles import (
+        DAY_LABELS,
+        HOUR_LABELS,
+        format_profile,
+        hourly_profile,
+        peak_to_trough,
+        weekday_profile,
+    )
+    from repro.workloads.goodness import compare_interarrival_models
+    from repro.workloads.stats import workload_stats
+
+    jobs = _load(args)
+    if not jobs:
+        print("empty workload", file=sys.stderr)
+        return 1
+    print(f"--- statistics ({len(jobs)} jobs) ---")
+    print(workload_stats(jobs, args.nodes).describe())
+
+    try:
+        cmp = compare_interarrival_models(jobs)
+        print("\n--- interarrival model (Section 6.2) ---")
+        print(
+            f"Weibull(shape={cmp.weibull.shape:.3f}, scale={cmp.weibull.scale:.1f}s)  "
+            f"KS={cmp.weibull_ks.statistic:.4f}"
+        )
+        print(
+            f"Exponential(scale={cmp.exponential_scale:.1f}s)           "
+            f"KS={cmp.exponential_ks.statistic:.4f}"
+        )
+        verdict = "Weibull" if cmp.weibull_preferred else "Exponential"
+        print(f"preferred: {verdict} (log-likelihood advantage "
+              f"{cmp.loglik_advantage:+.1f})")
+    except ValueError as exc:
+        print(f"\n(interarrival model skipped: {exc})")
+
+    hourly = hourly_profile(jobs)
+    weekly = weekday_profile(jobs)
+    print(f"\n--- daily cycle (peak/trough {peak_to_trough(hourly):.1f}x) ---")
+    print(format_profile(hourly, HOUR_LABELS))
+    print(f"\n--- weekly cycle (peak/trough {peak_to_trough(weekly):.1f}x) ---")
+    print(format_profile(weekly, DAY_LABELS))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.ctc import ctc_like_workload
+    from repro.workloads.randomized import randomized_workload
+    from repro.workloads.swf import write_swf
+
+    if args.model == "ctc":
+        jobs = ctc_like_workload(args.jobs, seed=args.seed)
+        header = f"synthetic CTC-like workload, {args.jobs} jobs, seed {args.seed}"
+    else:
+        jobs = randomized_workload(args.jobs, seed=args.seed)
+        header = f"randomized workload (Table 2), {args.jobs} jobs, seed {args.seed}"
+    write_swf(jobs, args.output, header=header)
+    print(f"wrote {len(jobs)} jobs to {args.output}")
+    return 0
+
+
+def cmd_resample(args: argparse.Namespace) -> int:
+    from repro.workloads.probabilistic import ProbabilisticModel
+    from repro.workloads.swf import read_swf, write_swf
+
+    source = read_swf(args.trace)
+    model = ProbabilisticModel.fit(source)
+    jobs = model.sample(args.jobs, seed=args.seed)
+    write_swf(
+        jobs,
+        args.output,
+        header=(
+            f"Section 6.2 resample of {args.trace} "
+            f"({model.n_cells} cells, Weibull shape {model.weibull.shape:.3f})"
+        ),
+    )
+    print(f"fitted {model.n_cells} cells; wrote {len(jobs)} jobs to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-workload", description="Workload inspection and generation."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="statistics, model fit and cycles")
+    describe.add_argument("trace", nargs="?", type=Path, default=None)
+    describe.add_argument("--synthetic", choices=("ctc", "randomized"), default=None)
+    describe.add_argument("--jobs", type=int, default=5000)
+    describe.add_argument("--seed", type=int, default=0)
+    describe.add_argument("--nodes", type=int, default=256)
+    describe.set_defaults(func=cmd_describe)
+
+    generate = sub.add_parser("generate", help="write a synthetic workload as SWF")
+    generate.add_argument("model", choices=("ctc", "randomized"))
+    generate.add_argument("output", type=Path)
+    generate.add_argument("--jobs", type=int, default=5000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=cmd_generate)
+
+    resample = sub.add_parser(
+        "resample", help="fit the Section 6.2 model to a trace and sample"
+    )
+    resample.add_argument("trace", type=Path)
+    resample.add_argument("output", type=Path)
+    resample.add_argument("--jobs", type=int, default=5000)
+    resample.add_argument("--seed", type=int, default=0)
+    resample.set_defaults(func=cmd_resample)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

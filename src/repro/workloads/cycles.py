@@ -1,0 +1,83 @@
+"""Arrival-cycle analysis: daily and weekly submission patterns.
+
+The CTC workload's daily and weekly cycles are what make its interarrivals
+Weibull-like (Section 6.2) and what the Example 5 policy's 7am–8pm rule is
+built around.  This module extracts those cycles from any trace:
+
+* :func:`hourly_profile` / :func:`weekday_profile` — arrival-rate shares
+  by hour of day and day of week (Monday-epoch convention, matching
+  :class:`repro.workloads.ctc.CTCModel` and
+  :class:`repro.schedulers.regimes.TimeWindow`);
+* :func:`peak_to_trough` — the day/night contrast figure;
+* :func:`profile_distance` — total-variation distance between two
+  profiles, the calibration check between a synthetic generator and its
+  target trace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.job import Job
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+
+def hourly_profile(jobs: Sequence[Job], *, offset_hours: float = 0.0) -> np.ndarray:
+    """Share of submissions per hour of day (length 24, sums to 1).
+
+    ``offset_hours`` shifts trace time to local wall-clock when the trace
+    epoch is not midnight.
+    """
+    if not jobs:
+        raise ValueError("empty workload")
+    hours = (
+        ((np.array([j.submit_time for j in jobs]) / 3600.0) + offset_hours) % 24.0
+    ).astype(np.int64)
+    counts = np.bincount(hours, minlength=24).astype(np.float64)
+    return counts / counts.sum()
+
+
+def weekday_profile(jobs: Sequence[Job], *, offset_days: int = 0) -> np.ndarray:
+    """Share of submissions per day of week (length 7, Monday first)."""
+    if not jobs:
+        raise ValueError("empty workload")
+    days = (
+        (np.array([j.submit_time for j in jobs]) // DAY).astype(np.int64) + offset_days
+    ) % 7
+    counts = np.bincount(days, minlength=7).astype(np.float64)
+    return counts / counts.sum()
+
+
+def peak_to_trough(profile: np.ndarray) -> float:
+    """Largest share over smallest non-zero share (cycle contrast)."""
+    positive = profile[profile > 0]
+    if positive.size == 0:
+        return 1.0
+    return float(profile.max() / positive.min())
+
+
+def profile_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Total-variation distance between two normalised profiles (0..1)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"profile shapes differ: {a.shape} vs {b.shape}")
+    return float(0.5 * np.abs(a - b).sum())
+
+
+def format_profile(profile: np.ndarray, labels: Sequence[str], *, width: int = 40) -> str:
+    """ASCII bars of a normalised profile."""
+    peak = profile.max() or 1.0
+    lines = []
+    for label, share in zip(labels, profile):
+        bar = "#" * round(share / peak * width)
+        lines.append(f"  {label:>4} {bar:<{width}} {share * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+HOUR_LABELS = [f"{h:02d}h" for h in range(24)]
+DAY_LABELS = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]

@@ -1,0 +1,144 @@
+"""Goodness-of-fit checks for workload models (Section 6.2's verification).
+
+"Again conformity with future real job data is essential and must be
+verified."  The paper asserts a Weibull "matches best" the CTC submission
+gaps; this module provides the machinery to make such statements:
+
+* :func:`ks_statistic` / :func:`ks_test` — the one-sample
+  Kolmogorov–Smirnov statistic against an arbitrary CDF, with the
+  asymptotic p-value (Kolmogorov distribution series — self-contained, no
+  SciPy);
+* :func:`weibull_ks` — KS test of samples against a fitted
+  :class:`~repro.workloads.probabilistic.WeibullFit`;
+* :func:`compare_interarrival_models` — fit Weibull and exponential to a
+  trace's gaps and report which "matches best" by KS distance and by
+  log-likelihood (reproducing the paper's model-selection step).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.job import Job
+from repro.workloads.probabilistic import WeibullFit, fit_weibull
+
+
+@dataclass(frozen=True, slots=True)
+class KSResult:
+    """Kolmogorov–Smirnov test outcome."""
+
+    statistic: float
+    p_value: float
+    n_samples: int
+
+    def rejects(self, alpha: float = 0.05) -> bool:
+        """True when the null (samples follow the CDF) is rejected."""
+        return self.p_value < alpha
+
+
+def ks_statistic(samples: Sequence[float] | np.ndarray, cdf: Callable[[np.ndarray], np.ndarray]) -> float:
+    """Sup-distance between the empirical CDF and ``cdf``."""
+    x = np.sort(np.asarray(samples, dtype=np.float64))
+    n = x.size
+    if n == 0:
+        raise ValueError("need at least one sample")
+    theoretical = np.asarray(cdf(x), dtype=np.float64)
+    ecdf_hi = np.arange(1, n + 1) / n
+    ecdf_lo = np.arange(0, n) / n
+    return float(np.max(np.maximum(ecdf_hi - theoretical, theoretical - ecdf_lo)))
+
+
+def kolmogorov_sf(x: float, terms: int = 100) -> float:
+    """Survival function of the Kolmogorov distribution.
+
+    ``Q(x) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 x^2)``, clamped to
+    [0, 1].  Converges extremely fast for x > 0.2.
+    """
+    if x <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, terms + 1):
+        term = math.exp(-2.0 * k * k * x * x)
+        total += term if k % 2 else -term
+        if term < 1e-12:
+            break
+    return min(1.0, max(0.0, 2.0 * total))
+
+
+def ks_test(
+    samples: Sequence[float] | np.ndarray,
+    cdf: Callable[[np.ndarray], np.ndarray],
+) -> KSResult:
+    """One-sample KS test with the asymptotic p-value."""
+    x = np.asarray(samples, dtype=np.float64)
+    d = ks_statistic(x, cdf)
+    n = x.size
+    # Stephens' small-sample correction for the asymptotic distribution.
+    effective = (math.sqrt(n) + 0.12 + 0.11 / math.sqrt(n)) * d
+    return KSResult(statistic=d, p_value=kolmogorov_sf(effective), n_samples=n)
+
+
+def weibull_cdf(fit: WeibullFit) -> Callable[[np.ndarray], np.ndarray]:
+    """CDF of a fitted Weibull, usable with :func:`ks_test`."""
+    def cdf(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x)
+        positive = x > 0
+        out[positive] = 1.0 - np.exp(-np.power(x[positive] / fit.scale, fit.shape))
+        return out
+
+    return cdf
+
+
+def weibull_ks(samples: Sequence[float] | np.ndarray, fit: WeibullFit) -> KSResult:
+    """KS test of positive samples against a fitted Weibull."""
+    x = np.asarray(samples, dtype=np.float64)
+    return ks_test(x[x > 0], weibull_cdf(fit))
+
+
+@dataclass(frozen=True, slots=True)
+class ModelComparison:
+    """Which interarrival model 'matches best' (the Section 6.2 decision)."""
+
+    weibull: WeibullFit
+    weibull_ks: KSResult
+    exponential_scale: float
+    exponential_ks: KSResult
+    #: log-likelihood difference (weibull - exponential); > 0 favours Weibull.
+    loglik_advantage: float
+
+    @property
+    def weibull_preferred(self) -> bool:
+        return (
+            self.weibull_ks.statistic <= self.exponential_ks.statistic
+            or self.loglik_advantage > 0
+        )
+
+
+def compare_interarrival_models(jobs: Sequence[Job]) -> ModelComparison:
+    """Fit Weibull and exponential to a trace's submission gaps and compare."""
+    submits = np.sort(np.asarray([j.submit_time for j in jobs], dtype=np.float64))
+    gaps = np.diff(submits)
+    gaps = gaps[gaps > 0]
+    if gaps.size < 8:
+        raise ValueError("need at least 8 positive interarrival gaps")
+    weib = fit_weibull(gaps)
+    w_ks = weibull_ks(gaps, weib)
+    scale = float(gaps.mean())
+
+    def exp_cdf(x: np.ndarray) -> np.ndarray:
+        return 1.0 - np.exp(-np.asarray(x) / scale)
+
+    e_ks = ks_test(gaps, exp_cdf)
+    exp_loglik = float(-gaps.size * math.log(scale) - gaps.sum() / scale)
+    return ModelComparison(
+        weibull=weib,
+        weibull_ks=w_ks,
+        exponential_scale=scale,
+        exponential_ks=e_ks,
+        loglik_advantage=weib.log_likelihood - exp_loglik,
+    )

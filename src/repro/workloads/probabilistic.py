@@ -1,0 +1,224 @@
+"""The probability-distribution workload model (Section 6.2).
+
+"An analysis of the CTC workload trace yields that a Weibull distribution
+matches best the submission times of the jobs in the trace.  It is
+difficult to find a suitable distribution for the other parameters.
+Therefore, bins are created for every possible requested resource number
+(between 1 and 256), various ranges of requested time and of actual
+execution length.  Then probability values are calculated for each bin from
+the CTC trace.  Randomized values are used and associated to the bins
+according to their probability."
+
+:class:`ProbabilisticModel` implements exactly this two-part construction:
+
+* interarrival times: a Weibull distribution fitted by maximum likelihood
+  to the source trace's interarrival gaps (pure-NumPy Newton iteration, no
+  SciPy dependency);
+* job parameters: a joint histogram over ``(nodes, requested-time range,
+  runtime range)`` cells with geometric time-range boundaries; sampling
+  picks a cell by its empirical probability, then draws the two times
+  uniformly inside their ranges (runtime capped at the drawn estimate, as
+  in the source trace where the limit is enforced).
+
+``fit`` + ``sample`` round-trips a trace into "a workload that is very
+similar to the [source] data set" while decoupling it from the source's
+specific job sequence — the paper's answer to the limited length of real
+traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class WeibullFit:
+    """Weibull(shape, scale) parameters and fit diagnostics."""
+
+    shape: float
+    scale: float
+    n_samples: int
+    log_likelihood: float
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=size)
+
+
+def fit_weibull(samples: Sequence[float] | np.ndarray, *, tol: float = 1e-10, max_iter: int = 200) -> WeibullFit:
+    """Maximum-likelihood Weibull fit.
+
+    Solves the profile-likelihood equation for the shape ``k``::
+
+        1/k = sum(x^k ln x) / sum(x^k) - mean(ln x)
+
+    by Newton iteration with a bisection fallback, then sets the scale to
+    ``(mean(x^k))^(1/k)``.  Zero samples are excluded (a zero interarrival
+    gap carries no information about the continuous distribution).
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    x = x[x > 0]
+    if x.size < 2:
+        raise ValueError(f"need at least 2 positive samples, got {x.size}")
+    logx = np.log(x)
+    mean_logx = float(logx.mean())
+
+    def g(k: float) -> float:
+        xk = np.power(x, k)
+        return float((xk * logx).sum() / xk.sum() - mean_logx - 1.0 / k)
+
+    # Bracket the root: g is increasing in k, g(k) -> -inf as k -> 0+.
+    lo, hi = 1e-3, 1.0
+    while g(hi) < 0 and hi < 1e3:
+        lo, hi = hi, hi * 2.0
+    k = 0.5 * (lo + hi)
+    for _ in range(max_iter):
+        val = g(k)
+        if abs(val) < tol:
+            break
+        # Numeric derivative; fall back to bisection if the step escapes the
+        # bracket (g is monotone, so the bracket always contains the root).
+        eps = max(1e-8, 1e-8 * k)
+        deriv = (g(k + eps) - val) / eps
+        if val < 0:
+            lo = k
+        else:
+            hi = k
+        step = k - val / deriv if deriv > 0 else None
+        k = step if step is not None and lo < step < hi else 0.5 * (lo + hi)
+
+    scale = float(np.power(np.power(x, k).mean(), 1.0 / k))
+    loglik = float(
+        x.size * (math.log(k) - k * math.log(scale))
+        + (k - 1.0) * logx.sum()
+        - np.power(x / scale, k).sum()
+    )
+    return WeibullFit(shape=float(k), scale=scale, n_samples=int(x.size), log_likelihood=loglik)
+
+
+def geometric_edges(max_value: float, *, base: float = 2.0, first: float = 60.0) -> np.ndarray:
+    """Time-range boundaries ``[0, first, first*base, ...]`` covering ``max_value``."""
+    if max_value <= 0:
+        return np.array([0.0, first])
+    edges = [0.0, first]
+    while edges[-1] < max_value:
+        edges.append(edges[-1] * base)
+    return np.asarray(edges)
+
+
+class ProbabilisticModel:
+    """Weibull interarrivals + joint (nodes, estimate-range, runtime-range) bins."""
+
+    def __init__(
+        self,
+        weibull: WeibullFit,
+        cells: np.ndarray,
+        probabilities: np.ndarray,
+        estimate_edges: np.ndarray,
+        runtime_edges: np.ndarray,
+    ) -> None:
+        self.weibull = weibull
+        self._cells = cells                # (n_cells, 3): nodes, est_bin, run_bin
+        self._probabilities = probabilities
+        self.estimate_edges = estimate_edges
+        self.runtime_edges = runtime_edges
+
+    # -- fitting -----------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        jobs: Sequence[Job],
+        *,
+        time_bin_base: float = 2.0,
+        first_bin: float = 60.0,
+    ) -> "ProbabilisticModel":
+        """Extract the statistical model from a source trace."""
+        if len(jobs) < 3:
+            raise ValueError("need at least 3 jobs to fit the model")
+        ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        submits = np.array([j.submit_time for j in ordered])
+        gaps = np.diff(submits)
+        weibull = fit_weibull(gaps[gaps > 0])
+
+        estimates = np.array([j.estimated_runtime for j in ordered])
+        runtimes = np.array([j.runtime for j in ordered])
+        nodes = np.array([j.nodes for j in ordered])
+        est_edges = geometric_edges(float(estimates.max()), base=time_bin_base, first=first_bin)
+        run_edges = geometric_edges(float(runtimes.max()), base=time_bin_base, first=first_bin)
+        est_bins = np.clip(np.searchsorted(est_edges, estimates, side="left") - 1, 0, None)
+        run_bins = np.clip(np.searchsorted(run_edges, runtimes, side="left") - 1, 0, None)
+
+        keys = np.stack([nodes, est_bins, run_bins], axis=1)
+        cells, counts = np.unique(keys, axis=0, return_counts=True)
+        probabilities = counts / counts.sum()
+        return cls(weibull, cells, probabilities, est_edges, run_edges)
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample(self, n_jobs: int, seed: int = 0) -> list[Job]:
+        """Draw a fresh workload of ``n_jobs`` jobs from the fitted model."""
+        if n_jobs < 0:
+            raise ValueError("n_jobs must be non-negative")
+        if n_jobs == 0:
+            return []
+        rng = np.random.default_rng(seed)
+        gaps = self.weibull.sample(rng, n_jobs)
+        submits = np.cumsum(gaps)
+        picks = rng.choice(len(self._probabilities), size=n_jobs, p=self._probabilities)
+        u_est = rng.random(n_jobs)
+        u_run = rng.random(n_jobs)
+        jobs: list[Job] = []
+        for i in range(n_jobs):
+            node_count, est_bin, run_bin = self._cells[picks[i]]
+            est_lo, est_hi = self._bin_range(self.estimate_edges, int(est_bin))
+            run_lo, run_hi = self._bin_range(self.runtime_edges, int(run_bin))
+            estimate = est_lo + u_est[i] * (est_hi - est_lo)
+            runtime = run_lo + u_run[i] * (run_hi - run_lo)
+            # The source machine kills jobs at the limit, so realised
+            # runtimes never exceed the estimate.
+            runtime = min(runtime, estimate)
+            runtime = max(runtime, 1.0)
+            estimate = max(estimate, runtime)
+            jobs.append(
+                Job(
+                    job_id=i,
+                    submit_time=float(submits[i]),
+                    nodes=int(node_count),
+                    runtime=float(runtime),
+                    estimate=float(estimate),
+                )
+            )
+        return jobs
+
+    @staticmethod
+    def _bin_range(edges: np.ndarray, index: int) -> tuple[float, float]:
+        index = min(index, len(edges) - 2)
+        return float(edges[index]), float(edges[index + 1])
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._probabilities)
+
+    def cell_table(self) -> list[tuple[int, int, int, float]]:
+        """(nodes, estimate_bin, runtime_bin, probability) rows, most likely first."""
+        order = np.argsort(-self._probabilities)
+        return [
+            (
+                int(self._cells[i][0]),
+                int(self._cells[i][1]),
+                int(self._cells[i][2]),
+                float(self._probabilities[i]),
+            )
+            for i in order
+        ]

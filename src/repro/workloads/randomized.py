@@ -1,0 +1,71 @@
+"""The randomized workload (Section 6.3, Table 2).
+
+"Totally randomized data are used as a third input data set.  The
+administrator is aware of the fact that this workload will not represent
+any real workload on her machine.  But she wants to determine the
+performance of scheduling algorithms even in case of unusual job
+combinations."
+
+Table 2 gives the parameter ranges, all equally (uniformly) distributed:
+
+====================================  ======================
+Submission of jobs                    >= 1 job per hour
+Requested number of nodes             1 – 256
+Upper limit for the execution time    5 min – 24 h
+Actual execution time                 1 s – upper limit
+====================================  ======================
+
+We read ">= 1 job per hour" as interarrival gaps uniform on ``[0, 3600]``
+seconds (at least one arrival falls in every hour in expectation and the
+distribution is "equally distributed" like the other parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.job import Job
+
+#: Number of jobs in the paper's randomized workload (Table 1).
+PAPER_RANDOMIZED_JOBS = 50_000
+
+
+@dataclass(frozen=True, slots=True)
+class RandomizedModel:
+    """Uniform-parameter workload generator per Table 2."""
+
+    max_interarrival: float = 3600.0   # ">= 1 job per hour"
+    min_nodes: int = 1
+    max_nodes: int = 256
+    min_estimate: float = 300.0        # 5 minutes
+    max_estimate: float = 86400.0      # 24 hours
+    min_runtime: float = 1.0           # 1 second
+
+    def generate(self, n_jobs: int, seed: int = 0) -> list[Job]:
+        if n_jobs < 0:
+            raise ValueError("n_jobs must be non-negative")
+        if n_jobs == 0:
+            return []
+        rng = np.random.default_rng(seed)
+        gaps = rng.uniform(0.0, self.max_interarrival, size=n_jobs)
+        submits = np.cumsum(gaps)
+        nodes = rng.integers(self.min_nodes, self.max_nodes + 1, size=n_jobs)
+        estimates = rng.uniform(self.min_estimate, self.max_estimate, size=n_jobs)
+        runtimes = rng.uniform(self.min_runtime, estimates)
+        return [
+            Job(
+                job_id=i,
+                submit_time=float(submits[i]),
+                nodes=int(nodes[i]),
+                runtime=float(runtimes[i]),
+                estimate=float(estimates[i]),
+            )
+            for i in range(n_jobs)
+        ]
+
+
+def randomized_workload(n_jobs: int = PAPER_RANDOMIZED_JOBS, seed: int = 0) -> list[Job]:
+    """Generate the Table 2 workload with default parameters."""
+    return RandomizedModel().generate(n_jobs, seed=seed)

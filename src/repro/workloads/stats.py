@@ -1,0 +1,83 @@
+"""Workload summary statistics.
+
+Used by the paper-style workload tables (Table 1), by the similarity check
+between a source trace and its probabilistic resample (the paper's "In the
+first simulation mainly consistence between the results for the CTC and the
+artificial workload is checked"), and by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Aggregate shape statistics of a job stream."""
+
+    n_jobs: int
+    span: float                     # last submission - first submission
+    mean_interarrival: float
+    mean_nodes: float
+    median_nodes: float
+    serial_fraction: float          # share of 1-node jobs
+    power_of_two_fraction: float    # share of power-of-two widths
+    mean_runtime: float
+    median_runtime: float
+    mean_estimate: float
+    mean_overestimate: float        # mean(estimate / runtime) over runtime > 0
+    total_node_seconds: float
+    offered_load: float             # node-seconds / (span * nodes), see below
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"jobs                  {self.n_jobs}",
+            f"span                  {self.span / 86400.0:.1f} days",
+            f"mean interarrival     {self.mean_interarrival:.1f} s",
+            f"mean / median width   {self.mean_nodes:.1f} / {self.median_nodes:.0f} nodes",
+            f"serial jobs           {self.serial_fraction * 100.0:.1f} %",
+            f"power-of-two widths   {self.power_of_two_fraction * 100.0:.1f} %",
+            f"mean / median runtime {self.mean_runtime:.0f} / {self.median_runtime:.0f} s",
+            f"mean overestimate     {self.mean_overestimate:.2f} x",
+            f"offered load          {self.offered_load:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def workload_stats(jobs: Sequence[Job], total_nodes: int = 256) -> WorkloadStats:
+    """Compute :class:`WorkloadStats`; ``offered_load`` is relative to
+    ``total_nodes`` (demand > 1 means a growing backlog)."""
+    if not jobs:
+        raise ValueError("empty workload")
+    submits = np.array([j.submit_time for j in jobs])
+    nodes = np.array([j.nodes for j in jobs], dtype=np.float64)
+    runtimes = np.array([j.runtime for j in jobs])
+    estimates = np.array([j.estimated_runtime for j in jobs])
+    span = float(submits.max() - submits.min())
+    gaps = np.diff(np.sort(submits))
+    node_seconds = float((nodes * runtimes).sum())
+    positive = runtimes > 0
+    over = estimates[positive] / runtimes[positive]
+    widths = nodes.astype(np.int64)
+    p2 = (widths & (widths - 1)) == 0
+    return WorkloadStats(
+        n_jobs=len(jobs),
+        span=span,
+        mean_interarrival=float(gaps.mean()) if gaps.size else 0.0,
+        mean_nodes=float(nodes.mean()),
+        median_nodes=float(np.median(nodes)),
+        serial_fraction=float((widths == 1).mean()),
+        power_of_two_fraction=float(p2.mean()),
+        mean_runtime=float(runtimes.mean()),
+        median_runtime=float(np.median(runtimes)),
+        mean_estimate=float(estimates.mean()),
+        mean_overestimate=float(over.mean()) if over.size else 1.0,
+        total_node_seconds=node_seconds,
+        offered_load=node_seconds / (span * total_nodes) if span > 0 else float("inf"),
+    )

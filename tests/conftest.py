@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic workloads and machines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.machine import Machine
+
+
+def make_jobs(
+    n: int,
+    *,
+    seed: int = 0,
+    max_nodes: int = 64,
+    mean_gap: float = 120.0,
+    max_runtime: float = 3000.0,
+    loose_estimates: bool = True,
+) -> list[Job]:
+    """Small random-but-deterministic job streams for unit tests."""
+    rng = random.Random(seed)
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += rng.uniform(0, 2 * mean_gap)
+        runtime = rng.uniform(1.0, max_runtime)
+        estimate = runtime * rng.uniform(1.0, 4.0) if loose_estimates else runtime
+        jobs.append(
+            Job(
+                job_id=i,
+                submit_time=t,
+                nodes=rng.randint(1, max_nodes),
+                runtime=runtime,
+                estimate=estimate,
+            )
+        )
+    return jobs
+
+
+@pytest.fixture
+def small_stream() -> list[Job]:
+    return make_jobs(60, seed=7)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(128)

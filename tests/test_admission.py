@@ -1,0 +1,152 @@
+"""Tests for admission rules: user limits (Rule 4) and class priorities."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.simulator import simulate
+from repro.schedulers.admission import (
+    EXAMPLE1_RANKS,
+    ClassPriorityOrderPolicy,
+    UserLimitDiscipline,
+)
+from repro.schedulers.base import OrderedQueueScheduler, SubmitOrderPolicy
+from repro.schedulers.disciplines import AnyFitDiscipline, HeadBlockingDiscipline
+from tests.conftest import make_jobs
+
+
+def J(job_id, submit, nodes, runtime, user=0, job_class=None):
+    meta = {"class": job_class} if job_class else {}
+    return Job(
+        job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime,
+        user=user, meta=meta,
+    )
+
+
+def limited_fcfs(max_per_user=2):
+    return OrderedQueueScheduler(
+        SubmitOrderPolicy(),
+        UserLimitDiscipline(AnyFitDiscipline(), max_per_user),
+        name="fcfs-limited",
+    )
+
+
+class TestUserLimit:
+    def test_third_job_waits(self):
+        # User 0 submits three 1-node jobs; only two may run at once.
+        jobs = [J(i, 0.0, 1, 100.0, user=0) for i in range(3)]
+        res = simulate(jobs, limited_fcfs(2), 8)
+        starts = sorted(res.schedule[i].start_time for i in range(3))
+        assert starts[0] == 0.0 and starts[1] == 0.0
+        assert starts[2] == 100.0
+
+    def test_other_users_unaffected(self):
+        jobs = [J(i, 0.0, 1, 100.0, user=0) for i in range(3)]
+        jobs.append(J(9, 0.0, 1, 10.0, user=1))
+        res = simulate(jobs, limited_fcfs(2), 8)
+        assert res.schedule[9].start_time == 0.0
+
+    def test_limit_one(self):
+        jobs = [J(0, 0.0, 1, 50.0, user=0), J(1, 0.0, 1, 50.0, user=0)]
+        res = simulate(jobs, limited_fcfs(1), 8)
+        assert res.schedule[1].start_time == 50.0
+
+    def test_becomes_eligible_after_completion(self):
+        jobs = [
+            J(0, 0.0, 1, 10.0, user=0),
+            J(1, 0.0, 1, 100.0, user=0),
+            J(2, 0.0, 1, 5.0, user=0),
+        ]
+        res = simulate(jobs, limited_fcfs(2), 8)
+        # Job 2 starts when job 0 (the shorter) completes.
+        assert res.schedule[2].start_time == 10.0
+
+    def test_at_most_two_running_throughout(self):
+        jobs = make_jobs(40, seed=31, max_nodes=8, mean_gap=10.0)
+        # All jobs belong to the same two users.
+        jobs = [
+            Job(job_id=j.job_id, submit_time=j.submit_time, nodes=j.nodes,
+                runtime=j.runtime, estimate=j.estimate, user=j.job_id % 2)
+            for j in jobs
+        ]
+        res = simulate(jobs, limited_fcfs(2), 64)
+        res.schedule.validate(64)
+        # Sweep: per user, never more than 2 concurrent.
+        for user in (0, 1):
+            events = []
+            for item in res.schedule:
+                if item.job.user == user and item.end_time > item.start_time:
+                    events.append((item.start_time, 1))
+                    events.append((item.end_time, -1))
+            events.sort()
+            concurrent = 0
+            for _t, delta in events:
+                concurrent += delta
+                assert concurrent <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            UserLimitDiscipline(AnyFitDiscipline(), 0)
+
+    def test_name_and_estimate_flag(self):
+        wrapped = UserLimitDiscipline(HeadBlockingDiscipline())
+        assert "user-limit" in wrapped.name
+        assert wrapped.uses_estimates == HeadBlockingDiscipline().uses_estimates
+
+
+class TestClassPriority:
+    def build(self):
+        return OrderedQueueScheduler(
+            ClassPriorityOrderPolicy(SubmitOrderPolicy(), EXAMPLE1_RANKS),
+            HeadBlockingDiscipline(),
+            name="example1",
+        )
+
+    def test_drug_design_jumps_queue(self):
+        jobs = [
+            J(0, 0.0, 8, 100.0, job_class="university"),   # running
+            J(1, 1.0, 8, 10.0, job_class="industry"),
+            J(2, 2.0, 8, 10.0, job_class="drug-design"),   # submitted later
+        ]
+        res = simulate(jobs, self.build(), 8)
+        assert res.schedule[2].start_time == 100.0
+        assert res.schedule[1].start_time == 110.0
+
+    def test_fcfs_within_class(self):
+        jobs = [
+            J(0, 0.0, 8, 100.0, job_class="chemistry"),
+            J(1, 1.0, 8, 10.0, job_class="chemistry"),
+            J(2, 2.0, 8, 10.0, job_class="chemistry"),
+        ]
+        res = simulate(jobs, self.build(), 8)
+        assert res.schedule[1].start_time < res.schedule[2].start_time
+
+    def test_unknown_class_ranks_last(self):
+        jobs = [
+            J(0, 0.0, 8, 100.0, job_class="industry"),
+            J(1, 1.0, 8, 10.0),                      # no class at all
+            J(2, 2.0, 8, 10.0, job_class="mystery"),  # unknown label
+            J(3, 3.0, 8, 10.0, job_class="industry"),
+        ]
+        res = simulate(jobs, self.build(), 8)
+        # Industry (rank 3) beats unranked (default 1000).
+        assert res.schedule[3].start_time < res.schedule[1].start_time
+        assert res.schedule[3].start_time < res.schedule[2].start_time
+
+    def test_len_and_reset_delegate(self):
+        policy = ClassPriorityOrderPolicy(SubmitOrderPolicy(), EXAMPLE1_RANKS)
+        policy.enqueue(J(0, 0.0, 1, 1.0, job_class="industry"), 0.0)
+        assert len(policy) == 1
+        policy.reset()
+        assert len(policy) == 0
+
+    def test_compose_with_user_limit(self):
+        # Example 1 priorities under Example 5's user cap, together.
+        scheduler = OrderedQueueScheduler(
+            ClassPriorityOrderPolicy(SubmitOrderPolicy(), EXAMPLE1_RANKS),
+            UserLimitDiscipline(AnyFitDiscipline(), 2),
+            name="combined-rules",
+        )
+        jobs = [J(i, 0.0, 1, 50.0, user=0, job_class="drug-design") for i in range(4)]
+        res = simulate(jobs, scheduler, 8)
+        starts = sorted(res.schedule[i].start_time for i in range(4))
+        assert starts == [0.0, 0.0, 50.0, 50.0]

@@ -1,0 +1,75 @@
+"""Tests for the analysis helpers: Gantt renderers and summaries."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt, render_job_gantt
+from repro.analysis.summary import summarize
+from repro.core.job import Job
+from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.simulator import simulate
+from repro.schedulers.fcfs import FCFSScheduler
+from tests.conftest import make_jobs
+
+
+def item(job_id, submit, start, runtime, nodes=2):
+    job = Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime)
+    return ScheduledJob(job=job, start_time=start, end_time=start + runtime)
+
+
+class TestUtilisationGantt:
+    def test_empty(self):
+        assert "empty" in render_gantt(Schedule([]), 8)
+
+    def test_bucket_count(self):
+        sched = Schedule([item(0, 0.0, 0.0, 100.0)])
+        text = render_gantt(sched, 8, buckets=10)
+        assert len(text.splitlines()) == 10
+
+    def test_full_machine_shows_100(self):
+        sched = Schedule([item(0, 0.0, 0.0, 100.0, nodes=8)])
+        text = render_gantt(sched, 8, buckets=4)
+        assert "100.0%" in text
+
+    def test_zero_length(self):
+        sched = Schedule([item(0, 0.0, 0.0, 0.0)])
+        assert "zero-length" in render_gantt(sched, 8)
+
+
+class TestJobGantt:
+    def test_empty(self):
+        assert "empty" in render_job_gantt(Schedule([]))
+
+    def test_rows_per_job(self):
+        sched = Schedule([item(0, 0.0, 0.0, 10.0), item(1, 1.0, 10.0, 5.0)])
+        lines = render_job_gantt(sched).splitlines()
+        assert len(lines) == 3  # header + 2 jobs
+
+    def test_wait_rendered_as_dots(self):
+        sched = Schedule([item(0, 0.0, 50.0, 50.0)])
+        text = render_job_gantt(sched)
+        assert "." in text and "#" in text
+
+    def test_truncation(self):
+        items = [item(i, float(i), float(i), 10.0) for i in range(50)]
+        text = render_job_gantt(Schedule(items), max_jobs=10)
+        assert "more jobs not shown" in text
+        assert text.count("|") == 2 * 10 + 0  # ten job rows, two bars each
+
+    def test_real_schedule_renders(self):
+        jobs = make_jobs(20, seed=81, max_nodes=16)
+        res = simulate(jobs, FCFSScheduler.with_easy(), 64)
+        text = render_job_gantt(res.schedule)
+        assert len(text.splitlines()) == 21
+
+
+class TestSummary:
+    def test_fields(self):
+        jobs = make_jobs(25, seed=82, max_nodes=32)
+        res = simulate(jobs, FCFSScheduler.plain(), 64)
+        summary = summarize(res.schedule, 64)
+        assert summary.n_jobs == 25
+        assert summary.makespan == res.schedule.makespan
+        assert summary.p95_wait >= summary.median_wait
+        assert 0.0 < summary.utilisation <= 1.0
+        text = summary.describe()
+        assert "ART" in text and "utilisation" in text

@@ -1,0 +1,127 @@
+"""Tests for the theoretical lower bounds (Section 2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import Job
+from repro.core.simulator import simulate
+from repro.metrics.bounds import (
+    ImprovementPotential,
+    art_lower_bound,
+    awrt_lower_bound,
+    improvement_potential,
+    makespan_lower_bound,
+    smith_squashed_bound,
+    srpt_squashed_bound,
+)
+from repro.metrics.objectives import (
+    average_response_time,
+    average_weighted_response_time,
+    makespan,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.garey_graham import GareyGrahamScheduler
+from tests.conftest import make_jobs
+
+
+def J(job_id, submit, nodes, runtime):
+    return Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime)
+
+
+class TestMakespanBound:
+    def test_empty(self):
+        assert makespan_lower_bound([], 8) == 0.0
+
+    def test_single_job(self):
+        assert makespan_lower_bound([J(0, 5.0, 4, 10.0)], 8) == 15.0
+
+    def test_area_bound_dominates_when_saturated(self):
+        jobs = [J(i, 0.0, 8, 10.0) for i in range(4)]
+        # Four full-width jobs: area bound = 40.
+        assert makespan_lower_bound(jobs, 8) == 40.0
+
+    def test_long_job_dominates(self):
+        jobs = [J(0, 0.0, 1, 100.0), J(1, 0.0, 1, 1.0)]
+        assert makespan_lower_bound(jobs, 8) == 100.0
+
+
+class TestSRPTBound:
+    def test_single_job(self):
+        # One job, squashed length area/m = 4*10/8 = 5.
+        assert srpt_squashed_bound([J(0, 0.0, 4, 10.0)], 8) == 5.0
+
+    def test_two_simultaneous_jobs(self):
+        # Lengths 2 and 4 released at 0: SRPT runs short first.
+        jobs = [J(0, 0.0, 8, 2.0), J(1, 0.0, 8, 4.0)]
+        # responses: 2 and 6 -> mean 4.
+        assert srpt_squashed_bound(jobs, 8) == 4.0
+
+    def test_preemption_on_release(self):
+        # Long job at 0 (length 10), short one (length 1) at 2: SRPT
+        # preempts; short responds 1, long responds 11.
+        jobs = [J(0, 0.0, 8, 10.0), J(1, 2.0, 8, 1.0)]
+        assert srpt_squashed_bound(jobs, 8) == pytest.approx((11.0 + 1.0) / 2)
+
+    def test_idle_gap(self):
+        jobs = [J(0, 0.0, 8, 1.0), J(1, 100.0, 8, 1.0)]
+        assert srpt_squashed_bound(jobs, 8) == 1.0
+
+    def test_empty(self):
+        assert srpt_squashed_bound([], 8) == 0.0
+
+
+class TestSmithBound:
+    def test_single(self):
+        # total weighted completion; weight defaults to area.
+        job = J(0, 0.0, 4, 10.0)
+        assert smith_squashed_bound([job], 8) == pytest.approx(40.0 * 5.0)
+
+    def test_smith_order_optimal(self):
+        # Unit machine tasks 1 and 10 with weights 10 and 1: high-ratio first.
+        a = Job(job_id=0, submit_time=0.0, nodes=8, runtime=1.0, weight=10.0)
+        b = Job(job_id=1, submit_time=0.0, nodes=8, runtime=10.0, weight=1.0)
+        bound = smith_squashed_bound([a, b], 8, weight=lambda j: j.effective_weight)
+        # a first: 10*1 + 1*11 = 21 (vs 1*10 + 10*11 = 120).
+        assert bound == pytest.approx(21.0)
+
+
+class TestTrivialBounds:
+    def test_art(self):
+        assert art_lower_bound([J(0, 0.0, 1, 10.0), J(1, 0.0, 1, 30.0)]) == 20.0
+        assert art_lower_bound([]) == 0.0
+
+    def test_awrt(self):
+        jobs = [J(0, 0.0, 2, 10.0)]  # weight 20, runtime 10
+        assert awrt_lower_bound(jobs) == 200.0
+
+
+class TestImprovementPotential:
+    def test_ratio_and_headroom(self):
+        p = ImprovementPotential(measured=200.0, lower_bound=100.0)
+        assert p.ratio == 2.0
+        assert p.headroom == 0.5
+
+    def test_degenerate(self):
+        assert ImprovementPotential(0.0, 0.0).ratio == 1.0
+        assert ImprovementPotential(0.0, 100.0).headroom == 0.0
+
+
+@given(st.integers(min_value=0, max_value=10))
+@settings(max_examples=11, deadline=None)
+def test_bounds_hold_for_real_schedules(seed):
+    """Every bound must lie below the corresponding measured metric for
+    every scheduler — the defining property of a lower bound."""
+    jobs = make_jobs(40, seed=seed, max_nodes=48, loose_estimates=False)
+    for scheduler in (FCFSScheduler.plain(), FCFSScheduler.with_easy(), GareyGrahamScheduler()):
+        result = simulate(jobs, scheduler, 64)
+        sched = result.schedule
+        eps = 1e-6
+        assert makespan_lower_bound(jobs, 64) <= makespan(sched) + eps
+        assert art_lower_bound(jobs) <= average_response_time(sched) + eps
+        assert srpt_squashed_bound(jobs, 64) <= average_response_time(sched) + eps
+        assert awrt_lower_bound(jobs) <= average_weighted_response_time(sched) + eps
+        unw = improvement_potential(sched, jobs, 64, weighted=False)
+        assert unw.ratio >= 1.0 - 1e-9
+        wtd = improvement_potential(sched, jobs, 64, weighted=True)
+        assert wtd.ratio >= 1.0 - 1e-9

@@ -1,0 +1,93 @@
+"""Tests for per-class criteria (Example 1's measurable rules)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.simulator import simulate
+from repro.metrics.classes import (
+    class_breakdown,
+    class_compute_share,
+    class_response_time,
+    format_class_breakdown,
+)
+from repro.schedulers import FCFSScheduler, OrderedQueueScheduler, SubmitOrderPolicy
+from repro.schedulers.admission import EXAMPLE1_RANKS, ClassPriorityOrderPolicy
+from repro.schedulers.disciplines import EasyBackfill
+
+
+def item(job_id, submit, start, runtime, nodes=1, job_class=None):
+    meta = {"class": job_class} if job_class else {}
+    job = Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime, meta=meta)
+    return ScheduledJob(job=job, start_time=start, end_time=start + runtime)
+
+
+@pytest.fixture
+def mixed():
+    return Schedule([
+        item(0, 0.0, 0.0, 10.0, nodes=2, job_class="drug-design"),   # resp 10, area 20
+        item(1, 0.0, 10.0, 10.0, nodes=2, job_class="industry"),     # resp 20, area 20
+        item(2, 0.0, 20.0, 20.0, nodes=1, job_class="industry"),     # resp 40, area 20
+        item(3, 5.0, 40.0, 5.0, nodes=4),                            # no class, area 20
+    ])
+
+
+class TestClassCriteria:
+    def test_class_response_time(self, mixed):
+        assert class_response_time(mixed, "drug-design") == 10.0
+        assert class_response_time(mixed, "industry") == 30.0
+        assert class_response_time(mixed, None) == 40.0
+
+    def test_empty_class(self, mixed):
+        assert class_response_time(mixed, "unknown") == 0.0
+
+    def test_compute_share(self, mixed):
+        assert class_compute_share(mixed, "industry") == pytest.approx(0.5)
+        assert class_compute_share(mixed, "drug-design") == pytest.approx(0.25)
+        assert class_compute_share(mixed, None) == pytest.approx(0.25)
+
+    def test_empty_schedule(self):
+        empty = Schedule([])
+        assert class_compute_share(empty, "x") == 0.0
+
+    def test_breakdown_table(self, mixed):
+        rows = class_breakdown(mixed)
+        assert rows[0].job_class == "industry"   # largest share first
+        assert rows[0].jobs == 2
+        shares = sum(r.compute_share for r in rows)
+        assert shares == pytest.approx(1.0)
+        text = format_class_breakdown(rows)
+        assert "industry" in text and "(none)" in text
+
+
+class TestExample1Scenario:
+    def test_priorities_improve_drug_design_response(self):
+        # Contended machine; drug-design jobs submitted late must leapfrog.
+        jobs = []
+        jid = 0
+        for i in range(12):
+            jobs.append(Job(job_id=jid, submit_time=float(i), nodes=8, runtime=50.0,
+                            meta={"class": "university"}))
+            jid += 1
+        for i in range(4):
+            jobs.append(Job(job_id=jid, submit_time=20.0 + i, nodes=8, runtime=50.0,
+                            meta={"class": "drug-design"}))
+            jid += 1
+
+        blind = simulate(jobs, FCFSScheduler.with_easy(), 8)
+        prioritized = simulate(
+            jobs,
+            OrderedQueueScheduler(
+                ClassPriorityOrderPolicy(SubmitOrderPolicy(), EXAMPLE1_RANKS),
+                EasyBackfill(),
+                name="ex1",
+            ),
+            8,
+        )
+        blind_drug = class_response_time(blind.schedule, "drug-design")
+        prio_drug = class_response_time(prioritized.schedule, "drug-design")
+        assert prio_drug < blind_drug
+        # And the cost lands on the university class.
+        blind_uni = class_response_time(blind.schedule, "university")
+        prio_uni = class_response_time(prioritized.schedule, "university")
+        assert prio_uni >= blind_uni

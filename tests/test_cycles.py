@@ -1,0 +1,136 @@
+"""Tests for arrival-cycle analysis and the repro-workload CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.workloads.ctc import ctc_like_workload
+from repro.workloads.cycles import (
+    DAY_LABELS,
+    HOUR_LABELS,
+    format_profile,
+    hourly_profile,
+    peak_to_trough,
+    profile_distance,
+    weekday_profile,
+)
+
+
+def job_at(job_id, t):
+    return Job(job_id=job_id, submit_time=t, nodes=1, runtime=1.0)
+
+
+class TestProfiles:
+    def test_hourly_buckets(self):
+        jobs = [job_at(0, 0.0), job_at(1, 3_600.0), job_at(2, 3_700.0)]
+        profile = hourly_profile(jobs)
+        assert profile.shape == (24,)
+        assert profile[0] == pytest.approx(1 / 3)
+        assert profile[1] == pytest.approx(2 / 3)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_hourly_offset(self):
+        jobs = [job_at(0, 0.0)]
+        profile = hourly_profile(jobs, offset_hours=5.0)
+        assert profile[5] == 1.0
+
+    def test_weekday_buckets(self):
+        # Day 0 = Monday; day 5 = Saturday.
+        jobs = [job_at(0, 0.0), job_at(1, 5 * 86_400.0)]
+        profile = weekday_profile(jobs)
+        assert profile[0] == 0.5 and profile[5] == 0.5
+
+    def test_week_wraps(self):
+        jobs = [job_at(0, 7 * 86_400.0 + 10.0)]   # next Monday
+        assert weekday_profile(jobs)[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hourly_profile([])
+        with pytest.raises(ValueError):
+            weekday_profile([])
+
+    def test_peak_to_trough(self):
+        assert peak_to_trough(np.array([0.5, 0.25, 0.25])) == 2.0
+        assert peak_to_trough(np.array([0.0, 1.0])) == 1.0
+
+    def test_profile_distance(self):
+        a = np.array([0.5, 0.5])
+        b = np.array([1.0, 0.0])
+        assert profile_distance(a, b) == pytest.approx(0.5)
+        assert profile_distance(a, a) == 0.0
+        with pytest.raises(ValueError):
+            profile_distance(a, np.array([1.0]))
+
+    def test_format(self):
+        text = format_profile(np.ones(24) / 24, HOUR_LABELS)
+        assert "00h" in text and "%" in text
+        assert len(text.splitlines()) == 24
+
+
+class TestCTCGeneratorCycles:
+    def test_generator_has_daynight_cycle(self):
+        jobs = ctc_like_workload(6000, seed=101)
+        profile = hourly_profile(jobs)
+        # Afternoon busier than deep night, with a meaningful contrast.
+        assert profile[14] > profile[3]
+        assert peak_to_trough(profile) > 1.5
+
+    def test_generator_has_weekend_dip(self):
+        jobs = ctc_like_workload(6000, seed=102)
+        profile = weekday_profile(jobs)
+        weekday_mean = profile[:5].mean()
+        weekend_mean = profile[5:].mean()
+        assert weekday_mean > weekend_mean * 1.3
+
+    def test_resample_preserves_no_cycles(self):
+        # The Section 6.2 model uses a *renewal* Weibull process, which has
+        # no time-of-day structure: a documented fidelity loss.
+        from repro.workloads.probabilistic import ProbabilisticModel
+
+        source = ctc_like_workload(4000, seed=103)
+        resample = ProbabilisticModel.fit(source).sample(4000, seed=104)
+        d_source = peak_to_trough(hourly_profile(source))
+        d_resample = peak_to_trough(hourly_profile(resample))
+        assert d_resample < d_source
+
+
+class TestWorkloadCLI:
+    def test_describe_synthetic(self, capsys):
+        from repro.workloads.cli import main
+
+        code = main(["describe", "--synthetic", "ctc", "--jobs", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "statistics" in out
+        assert "interarrival model" in out
+        assert "daily cycle" in out
+
+    def test_generate_and_describe_file(self, tmp_path, capsys):
+        from repro.workloads.cli import main
+
+        path = tmp_path / "gen.swf"
+        assert main(["generate", "ctc", str(path), "--jobs", "400"]) == 0
+        capsys.readouterr()
+        assert path.exists()
+        assert main(["describe", str(path), "--jobs", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics (400 jobs)" in out
+
+    def test_resample_roundtrip(self, tmp_path, capsys):
+        from repro.workloads.cli import main
+        from repro.workloads.swf import read_swf
+
+        src = tmp_path / "src.swf"
+        out = tmp_path / "out.swf"
+        main(["generate", "ctc", str(src), "--jobs", "500"])
+        capsys.readouterr()
+        assert main(["resample", str(src), str(out), "--jobs", "300"]) == 0
+        assert len(read_swf(out)) == 300
+
+    def test_describe_randomized(self, capsys):
+        from repro.workloads.cli import main
+
+        assert main(["describe", "--synthetic", "randomized", "--jobs", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics" in out

@@ -1,0 +1,237 @@
+"""Semantics tests for the four servicing disciplines.
+
+These encode the paper's definitions directly: head-blocking greedy list
+scheduling, Garey & Graham any-fit, EASY's no-head-postponement invariant,
+and conservative backfilling's no-anyone-postponement invariant.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import Job
+from repro.core.simulator import simulate
+from repro.schedulers.base import OrderedQueueScheduler, SubmitOrderPolicy
+from repro.schedulers.disciplines import (
+    AnyFitDiscipline,
+    ConservativeBackfill,
+    EasyBackfill,
+    HeadBlockingDiscipline,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.garey_graham import GareyGrahamScheduler
+from tests.conftest import make_jobs
+
+
+def J(job_id, submit, nodes, runtime, estimate=None):
+    return Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime, estimate=estimate)
+
+
+def run(jobs, discipline, nodes=8):
+    scheduler = OrderedQueueScheduler(SubmitOrderPolicy(), discipline, name="test")
+    return simulate(jobs, scheduler, nodes)
+
+
+class TestHeadBlocking:
+    def test_head_blocks_smaller_followers(self):
+        jobs = [
+            J(0, 0.0, 8, 100.0),   # occupies everything
+            J(1, 1.0, 8, 10.0),    # head of queue, blocked
+            J(2, 2.0, 1, 1.0),     # would fit, must NOT start (FCFS)
+        ]
+        res = run(jobs, HeadBlockingDiscipline())
+        assert res.schedule[2].start_time >= res.schedule[1].start_time
+
+    def test_starts_in_order_when_fitting(self):
+        jobs = [J(0, 0.0, 2, 10.0), J(1, 0.0, 2, 10.0), J(2, 0.0, 2, 10.0)]
+        res = run(jobs, HeadBlockingDiscipline())
+        assert all(res.schedule[i].start_time == 0.0 for i in range(3))
+
+
+class TestAnyFit:
+    def test_fills_past_blocked_head(self):
+        jobs = [
+            J(0, 0.0, 8, 100.0),
+            J(1, 1.0, 8, 10.0),    # blocked head
+            J(2, 2.0, 1, 1.0),     # any-fit: starts during job 0? no - machine full
+        ]
+        res = run(jobs, AnyFitDiscipline())
+        # After job 0 completes at 100, job 1 (8 nodes) and job 2 compete;
+        # job 1 fits and is first in order.
+        assert res.schedule[1].start_time == 100.0
+
+    def test_small_job_leapfrogs(self):
+        jobs = [
+            J(0, 0.0, 6, 100.0),   # 6 of 8 busy
+            J(1, 1.0, 4, 10.0),    # needs 4, blocked
+            J(2, 2.0, 2, 1.0),     # fits the 2 free nodes immediately
+        ]
+        res = run(jobs, AnyFitDiscipline())
+        assert res.schedule[2].start_time == 2.0
+        assert res.schedule[1].start_time == 100.0
+
+    def test_never_idles_when_work_fits(self):
+        # Work-conserving property: whenever a queued job fits, it runs.
+        jobs = make_jobs(40, seed=11, max_nodes=32)
+        res = simulate(jobs, GareyGrahamScheduler(), 64)
+        res.schedule.validate(64)
+        # Every job starts either at submission or at some completion event.
+        ends = {item.end_time for item in res.schedule}
+        for item in res.schedule:
+            assert (
+                item.start_time == item.job.submit_time
+                or item.start_time in ends
+            )
+
+
+class TestEasyBackfill:
+    def test_backfills_short_job(self):
+        jobs = [
+            J(0, 0.0, 6, 100.0, estimate=100.0),  # 6 busy until 100
+            J(1, 1.0, 4, 10.0, estimate=10.0),    # head, needs 4, waits to 100
+            J(2, 2.0, 2, 50.0, estimate=50.0),    # fits 2 free, ends at 52 <= 100
+        ]
+        res = run(jobs, EasyBackfill())
+        assert res.schedule[2].start_time == 2.0
+
+    def test_never_postpones_projected_head_start(self):
+        jobs = [
+            J(0, 0.0, 6, 100.0, estimate=100.0),
+            J(1, 1.0, 4, 10.0, estimate=10.0),     # head: projected start 100
+            J(2, 2.0, 2, 200.0, estimate=200.0),   # would push head to 202; only 2 nodes though
+        ]
+        res = run(jobs, EasyBackfill())
+        # Job 2 uses only the extra nodes (6 busy + 2 = 8; head needs 4 of
+        # the 6 released at t=100... head start would move to 202).
+        # extra = free_at(shadow=100) - 4 = 8-4 = 4 >= 2, so job 2 IS allowed
+        # (it fits beside the head after t=100).
+        assert res.schedule[2].start_time == 2.0
+        assert res.schedule[1].start_time == 100.0
+
+    def test_rejects_backfill_that_would_delay_head(self):
+        jobs = [
+            J(0, 0.0, 5, 100.0, estimate=100.0),   # 5 busy until 100
+            J(1, 1.0, 6, 10.0, estimate=10.0),     # head: needs 6, shadow 100, extra 2
+            J(2, 2.0, 3, 200.0, estimate=200.0),   # fits 3 free now, ends 202 > 100, needs > extra
+        ]
+        res = run(jobs, EasyBackfill())
+        assert res.schedule[1].start_time == 100.0   # head on time
+        assert res.schedule[2].start_time >= 100.0   # backfill refused
+
+    def test_easy_improves_on_plain_fcfs(self):
+        jobs = make_jobs(80, seed=5, max_nodes=64, mean_gap=30.0)
+        plain = simulate(jobs, FCFSScheduler.plain(), 64)
+        easy = simulate(jobs, FCFSScheduler.with_easy(), 64)
+        art = lambda r: sum(i.response_time for i in r.schedule) / len(r.schedule)
+        assert art(easy) <= art(plain)
+
+
+class TestConservativeBackfill:
+    def test_backfill_cannot_delay_any_queued_job(self):
+        jobs = [
+            J(0, 0.0, 6, 100.0, estimate=100.0),
+            J(1, 1.0, 4, 10.0, estimate=10.0),    # reservation at 100
+            J(2, 2.0, 4, 30.0, estimate=30.0),    # fits beside job 1 at 100
+            J(3, 3.0, 2, 300.0, estimate=300.0),  # would overlap [100,110) where 0 free
+        ]
+        res = run(jobs, ConservativeBackfill())
+        # Jobs 1 and 2 run concurrently at 100 (4 + 4 = 8 nodes).  Job 3
+        # fits the 2 free nodes at t=3, but running [3, 303) would claim 2
+        # nodes during [100, 110) where jobs 1+2 hold all 8 — that would
+        # postpone an earlier job, so conservative refuses the backfill and
+        # gives job 3 its earliest non-disturbing start instead.
+        assert res.schedule[1].start_time == 100.0
+        assert res.schedule[2].start_time == 100.0
+        assert res.schedule[3].start_time == 110.0
+
+    def test_backfill_accepted_when_it_disturbs_nobody(self):
+        jobs = [
+            J(0, 0.0, 6, 100.0, estimate=100.0),
+            J(1, 1.0, 4, 10.0, estimate=10.0),   # reservation at 100
+            J(2, 2.0, 2, 50.0, estimate=50.0),   # 2 free nodes, ends at 52 < 100
+        ]
+        res = run(jobs, ConservativeBackfill())
+        assert res.schedule[2].start_time == 2.0
+        assert res.schedule[1].start_time == 100.0
+
+    def test_projections_never_worsen_vs_reservation(self):
+        # With exact estimates, every job must complete no later than its
+        # FCFS-with-reservations projection: compare conservative vs plain
+        # FCFS completion per job.
+        jobs = make_jobs(60, seed=9, max_nodes=32, loose_estimates=False)
+        plain = simulate(jobs, FCFSScheduler.plain(), 64)
+        cons = simulate(jobs, FCFSScheduler.with_conservative(), 64)
+        for job in jobs:
+            assert cons.schedule[job.job_id].end_time <= plain.schedule[job.job_id].end_time + 1e-6
+
+    def test_exact_estimates_conservative_at_least_as_good_as_fcfs(self):
+        jobs = make_jobs(60, seed=10, max_nodes=48, loose_estimates=False)
+        plain = simulate(jobs, FCFSScheduler.plain(), 64)
+        cons = simulate(jobs, FCFSScheduler.with_conservative(), 64)
+        art = lambda r: sum(i.response_time for i in r.schedule) / len(r.schedule)
+        assert art(cons) <= art(plain) + 1e-9
+
+
+class TestConservativeDepth:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError, match="depth"):
+            ConservativeBackfill(depth=0)
+
+    def test_unbounded_depth_matches_default(self):
+        jobs = make_jobs(50, seed=15, max_nodes=48)
+        a = run(jobs, ConservativeBackfill(), nodes=64)
+        b = run(jobs, ConservativeBackfill(depth=None), nodes=64)
+        for job in jobs:
+            assert a.schedule[job.job_id].end_time == b.schedule[job.job_id].end_time
+
+    def test_large_depth_equals_exact(self):
+        jobs = make_jobs(40, seed=16, max_nodes=48)
+        exact = run(jobs, ConservativeBackfill(), nodes=64)
+        deep = run(jobs, ConservativeBackfill(depth=10_000), nodes=64)
+        for job in jobs:
+            assert exact.schedule[job.job_id].end_time == deep.schedule[job.job_id].end_time
+
+    def test_depth_one_starts_at_most_one_job_per_decision_point(self):
+        # Authentic bf_max_job_test semantics: only `depth` queue entries
+        # are examined per scheduling pass, so depth=1 can start at most
+        # one job per decision instant (the next event re-triggers a pass).
+        jobs = make_jobs(40, seed=17, max_nodes=48)
+        d1 = run(jobs, ConservativeBackfill(depth=1), nodes=64)
+        starts_at: dict[float, int] = {}
+        for item in d1.schedule:
+            starts_at[item.start_time] = starts_at.get(item.start_time, 0) + 1
+        assert max(starts_at.values()) == 1
+
+    def test_bounded_depth_still_valid_and_complete(self):
+        jobs = make_jobs(60, seed=18, max_nodes=48, mean_gap=20.0)
+        res = run(jobs, ConservativeBackfill(depth=5), nodes=64)
+        assert len(res.schedule) == len(jobs)
+        res.schedule.validate(64)
+
+
+@given(st.integers(min_value=0, max_value=8))
+@settings(max_examples=9, deadline=None)
+def test_all_disciplines_produce_valid_schedules(seed):
+    jobs = make_jobs(50, seed=seed, max_nodes=64, mean_gap=60.0)
+    for discipline in (
+        HeadBlockingDiscipline(),
+        AnyFitDiscipline(),
+        EasyBackfill(),
+        ConservativeBackfill(),
+    ):
+        res = run(jobs, discipline, nodes=64)
+        assert len(res.schedule) == len(jobs)
+        res.schedule.validate(64)
+
+
+@given(st.integers(min_value=0, max_value=8))
+@settings(max_examples=9, deadline=None)
+def test_backfilling_with_exact_estimates_never_hurts_fcfs_art(seed):
+    """With exact runtimes, EASY and conservative dominate plain FCFS."""
+    jobs = make_jobs(40, seed=seed, max_nodes=48, loose_estimates=False)
+    art = lambda r: sum(i.response_time for i in r.schedule) / len(r.schedule)
+    plain = art(simulate(jobs, FCFSScheduler.plain(), 64))
+    easy = art(simulate(jobs, FCFSScheduler.with_easy(), 64))
+    cons = art(simulate(jobs, FCFSScheduler.with_conservative(), 64))
+    assert easy <= plain + 1e-9
+    assert cons <= plain + 1e-9

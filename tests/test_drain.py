@@ -1,0 +1,142 @@
+"""Tests for drain windows / advance reservations (Example 4)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.machine import Machine
+from repro.core.simulator import Simulator, simulate
+from repro.schedulers.base import SubmitOrderPolicy
+from repro.schedulers.disciplines import AnyFitDiscipline, EasyBackfill, HeadBlockingDiscipline
+from repro.schedulers.drain import (
+    DrainDiscipline,
+    DrainingScheduler,
+    Reservation,
+    example4_reservations,
+)
+from repro.schedulers.regimes import DAY
+from tests.conftest import make_jobs
+
+
+def J(job_id, submit, nodes, runtime, estimate=None):
+    return Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime, estimate=estimate)
+
+
+def drain_fcfs(reservations):
+    return DrainingScheduler(SubmitOrderPolicy(), HeadBlockingDiscipline(), reservations)
+
+
+class TestReservation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reservation(5.0, 5.0)
+
+    def test_contains_and_boundaries(self):
+        r = Reservation(10.0, 20.0)
+        assert not r.contains(9.9)
+        assert r.contains(10.0)
+        assert not r.contains(20.0)
+        assert r.next_start(0.0) == 10.0
+        assert r.next_start(15.0) == 15.0
+        assert r.next_start(25.0) == float("inf")
+        assert r.current_end(15.0) == 20.0
+        with pytest.raises(ValueError):
+            r.current_end(25.0)
+
+
+class TestDrainSemantics:
+    def test_nothing_starts_inside_reservation(self):
+        scheduler = drain_fcfs([Reservation(100.0, 200.0)])
+        jobs = [J(0, 150.0, 4, 10.0, estimate=10.0)]
+        res = simulate(jobs, scheduler, 8)
+        assert res.schedule[0].start_time == 200.0
+
+    def test_job_finishing_before_reservation_starts_now(self):
+        scheduler = drain_fcfs([Reservation(100.0, 200.0)])
+        jobs = [J(0, 0.0, 4, 50.0, estimate=50.0)]
+        res = simulate(jobs, scheduler, 8)
+        assert res.schedule[0].start_time == 0.0
+
+    def test_job_crossing_reservation_is_held(self):
+        scheduler = drain_fcfs([Reservation(100.0, 200.0)])
+        jobs = [J(0, 0.0, 4, 150.0, estimate=150.0)]
+        res = simulate(jobs, scheduler, 8)
+        assert res.schedule[0].start_time == 200.0   # timer wake-up fired
+
+    def test_machine_idle_during_reservation_with_truthful_estimates(self):
+        reservations = [Reservation(500.0, 600.0)]
+        scheduler = drain_fcfs(reservations)
+        jobs = make_jobs(30, seed=5, max_nodes=8, mean_gap=40.0, loose_estimates=False)
+        res = simulate(jobs, scheduler, 8)
+        res.schedule.validate(8)
+        for item in res.schedule:
+            # No execution interval may overlap the reserved window.
+            assert item.end_time <= 500.0 or item.start_time >= 600.0
+
+    def test_overruns_break_the_guarantee(self):
+        # Example 4's point: with wrong estimates the class gets trampled.
+        reservations = [Reservation(100.0, 200.0)]
+        scheduler = drain_fcfs(reservations)
+        jobs = [J(0, 0.0, 4, runtime=150.0, estimate=50.0)]  # claims 50, runs 150
+        res = simulate(jobs, scheduler, 8)
+        item = res.schedule[0]
+        assert item.start_time == 0.0
+        assert item.end_time > 100.0   # collides with the reservation
+
+    def test_smaller_later_job_can_fill_pre_drain_gap(self):
+        # Head job cannot finish before the drain; a short later one can.
+        scheduler = DrainingScheduler(
+            SubmitOrderPolicy(), AnyFitDiscipline(), [Reservation(100.0, 200.0)]
+        )
+        jobs = [
+            J(0, 0.0, 4, 150.0, estimate=150.0),   # must wait until 200
+            J(1, 1.0, 4, 50.0, estimate=50.0),     # fits before the drain
+        ]
+        res = simulate(jobs, scheduler, 8)
+        assert res.schedule[1].start_time == 1.0
+        assert res.schedule[0].start_time == 200.0
+
+    def test_recurring_example4_windows(self):
+        reservations = example4_reservations()
+        scheduler = drain_fcfs(reservations)
+        # Jobs submitted Monday 09:30, each 1h (estimate truthful): they
+        # cannot finish before the 10:00 class, so they start at 11:00.
+        t0 = 9.5 * 3600.0
+        jobs = [J(i, t0 + i, 8, 3600.0, estimate=3600.0) for i in range(3)]
+        res = simulate(jobs, scheduler, 8)
+        assert res.schedule[0].start_time == 11 * 3600.0
+        # Wednesday's window also enforced: job 2 starts after two runs.
+        for item in res.schedule:
+            window_start = 10 * 3600.0
+            window_end = 11 * 3600.0
+            day_offset = item.start_time % DAY
+            assert not (window_start <= day_offset < window_end)
+
+    def test_requires_reservations(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DrainDiscipline(HeadBlockingDiscipline(), [])
+
+
+class TestDrainWithBackfilling:
+    def test_easy_inside_drain_wrapper(self):
+        reservations = [Reservation(1000.0, 1100.0)]
+        scheduler = DrainingScheduler(
+            SubmitOrderPolicy(), EasyBackfill(), reservations
+        )
+        jobs = make_jobs(30, seed=6, max_nodes=8, mean_gap=60.0, loose_estimates=False)
+        res = simulate(jobs, scheduler, 8)
+        res.schedule.validate(8)
+        for item in res.schedule:
+            assert item.end_time <= 1000.0 or item.start_time >= 1100.0
+
+    def test_cost_of_draining_is_visible(self):
+        # The drained schedule can never finish earlier than the free one.
+        jobs = make_jobs(40, seed=7, max_nodes=8, mean_gap=30.0, loose_estimates=False)
+        free = simulate(
+            jobs,
+            DrainingScheduler(
+                SubmitOrderPolicy(), HeadBlockingDiscipline(), [Reservation(1e9, 2e9)]
+            ),
+            8,
+        )
+        drained = simulate(jobs, drain_fcfs([Reservation(200.0, 400.0)]), 8)
+        assert drained.schedule.makespan >= free.schedule.makespan - 1e-6

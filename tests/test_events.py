@@ -1,0 +1,69 @@
+"""Unit tests for the event queue."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SUBMISSION, "b")
+        q.push(1.0, EventKind.SUBMISSION, "a")
+        q.push(9.0, EventKind.SUBMISSION, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_completion_before_submission_at_same_time(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SUBMISSION, "submit")
+        q.push(5.0, EventKind.COMPLETION, "complete")
+        assert q.pop().payload == "complete"
+        assert q.pop().payload == "submit"
+
+    def test_timer_after_submission_at_same_time(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.TIMER, "timer")
+        q.push(5.0, EventKind.SUBMISSION, "submit")
+        assert q.pop().payload == "submit"
+        assert q.pop().payload == "timer"
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SUBMISSION, "first")
+        q.push(5.0, EventKind.SUBMISSION, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.TIMER)
+        assert q.peek().time == 1.0
+        assert len(q) == 1
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.TIMER)
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            st.sampled_from(list(EventKind)),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_pop_sequence_is_sorted(items):
+    q = EventQueue()
+    for time, kind in items:
+        q.push(time, kind)
+    popped: list[Event] = [q.pop() for _ in range(len(items))]
+    keys = [(e.time, e.kind, e.sequence) for e in popped]
+    assert keys == sorted(keys)

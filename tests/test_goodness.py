@@ -1,0 +1,122 @@
+"""Tests for the goodness-of-fit machinery (Section 6.2 verification)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.ctc import ctc_like_workload
+from repro.workloads.goodness import (
+    compare_interarrival_models,
+    kolmogorov_sf,
+    ks_statistic,
+    ks_test,
+    weibull_ks,
+)
+from repro.workloads.probabilistic import fit_weibull
+
+
+def uniform_cdf(x):
+    return np.clip(np.asarray(x), 0.0, 1.0)
+
+
+class TestKolmogorovSF:
+    def test_limits(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+        assert kolmogorov_sf(5.0) < 1e-10
+
+    def test_known_value(self):
+        # Q(1.36) ~ 0.049 (the classic 5% critical value).
+        assert kolmogorov_sf(1.36) == pytest.approx(0.049, abs=0.003)
+
+    def test_monotone_decreasing(self):
+        xs = [0.2, 0.5, 0.8, 1.2, 2.0]
+        values = [kolmogorov_sf(x) for x in xs]
+        assert values == sorted(values, reverse=True)
+
+
+class TestKSStatistic:
+    def test_perfect_fit_small_statistic(self):
+        rng = np.random.default_rng(1)
+        samples = rng.random(20_000)
+        assert ks_statistic(samples, uniform_cdf) < 0.02
+
+    def test_wrong_model_large_statistic(self):
+        rng = np.random.default_rng(2)
+        samples = rng.random(5_000) ** 3  # clearly non-uniform
+        assert ks_statistic(samples, uniform_cdf) > 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], uniform_cdf)
+
+
+class TestKSTest:
+    def test_accepts_true_model(self):
+        rng = np.random.default_rng(3)
+        samples = rng.random(2_000)
+        result = ks_test(samples, uniform_cdf)
+        assert not result.rejects(alpha=0.01)
+
+    def test_rejects_wrong_model(self):
+        rng = np.random.default_rng(4)
+        samples = rng.random(2_000) ** 3
+        result = ks_test(samples, uniform_cdf)
+        assert result.rejects(alpha=0.01)
+        assert result.p_value < 1e-6
+
+    def test_weibull_ks_roundtrip(self):
+        rng = np.random.default_rng(5)
+        samples = 100.0 * rng.weibull(0.8, 5_000)
+        fit = fit_weibull(samples)
+        result = weibull_ks(samples, fit)
+        assert not result.rejects(alpha=0.01)
+
+
+class TestModelComparison:
+    def test_weibull_data_prefers_weibull(self):
+        rng = np.random.default_rng(6)
+        gaps = 300.0 * rng.weibull(0.5, 4_000)
+        submits = np.cumsum(gaps)
+        from repro.core.job import Job
+
+        jobs = [
+            Job(job_id=i, submit_time=float(t), nodes=1, runtime=1.0)
+            for i, t in enumerate(submits)
+        ]
+        cmp = compare_interarrival_models(jobs)
+        assert cmp.weibull_preferred
+        assert cmp.weibull.shape == pytest.approx(0.5, rel=0.1)
+        assert cmp.loglik_advantage > 0
+
+    def test_exponential_data_keeps_shape_near_one(self):
+        rng = np.random.default_rng(7)
+        gaps = 300.0 * rng.exponential(1.0, 4_000)
+        submits = np.cumsum(gaps)
+        from repro.core.job import Job
+
+        jobs = [
+            Job(job_id=i, submit_time=float(t), nodes=1, runtime=1.0)
+            for i, t in enumerate(submits)
+        ]
+        cmp = compare_interarrival_models(jobs)
+        assert cmp.weibull.shape == pytest.approx(1.0, rel=0.08)
+
+    def test_paper_claim_on_ctc_like_trace(self):
+        """Section 6.2: 'a Weibull distribution matches best the submission
+        times' — our CTC-like generator must reproduce that property."""
+        jobs = ctc_like_workload(4_000, seed=61)
+        cmp = compare_interarrival_models(jobs)
+        assert cmp.weibull_preferred
+        # Daily/weekly cycles make arrivals burstier than Poisson: shape < 1.
+        assert cmp.weibull.shape < 1.0
+        # And the Weibull KS distance beats the exponential one.
+        assert cmp.weibull_ks.statistic < cmp.exponential_ks.statistic
+
+    def test_too_few_gaps_rejected(self):
+        from repro.core.job import Job
+
+        jobs = [Job(job_id=i, submit_time=float(i), nodes=1, runtime=1.0) for i in range(4)]
+        with pytest.raises(ValueError, match="at least 8"):
+            compare_interarrival_models(jobs)

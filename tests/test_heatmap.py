@@ -1,0 +1,102 @@
+"""Tests for the wait heatmap and the merge/tag transforms."""
+
+import pytest
+
+from repro.analysis.heatmap import WaitHeatmap, wait_heatmap
+from repro.core.job import Job
+from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.simulator import simulate
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.workloads.transforms import merge_workloads, tag_interactive
+from tests.conftest import make_jobs
+
+
+def item(job_id, nodes, runtime, wait=0.0):
+    job = Job(job_id=job_id, submit_time=0.0, nodes=nodes, runtime=runtime)
+    return ScheduledJob(job=job, start_time=wait, end_time=wait + runtime)
+
+
+class TestWaitHeatmap:
+    def test_binning(self):
+        sched = Schedule([
+            item(0, nodes=1, runtime=30.0, wait=100.0),     # bin (0, 0)
+            item(1, nodes=300, runtime=1e6, wait=50.0),     # overflow bins
+        ])
+        hm = wait_heatmap(sched)
+        assert hm.cells[0][0] == 100.0
+        assert hm.cells[-1][-1] == 50.0
+        assert hm.counts[0][0] == 1
+
+    def test_mean_within_cell(self):
+        sched = Schedule([
+            item(0, nodes=1, runtime=30.0, wait=10.0),
+            item(1, nodes=1, runtime=40.0, wait=30.0),
+        ])
+        hm = wait_heatmap(sched)
+        assert hm.cells[0][0] == 20.0
+
+    def test_empty_cells_none(self):
+        hm = wait_heatmap(Schedule([item(0, nodes=1, runtime=30.0)]))
+        assert hm.cells[3][3] is None
+
+    def test_max_wait(self):
+        sched = Schedule([item(0, nodes=1, runtime=30.0, wait=77.0)])
+        assert wait_heatmap(sched).max_wait == 77.0
+        assert wait_heatmap(Schedule([])).max_wait == 0.0
+
+    def test_render(self):
+        jobs = make_jobs(40, seed=121, max_nodes=64, mean_gap=20.0)
+        res = simulate(jobs, FCFSScheduler.plain(), 64)
+        text = wait_heatmap(res.schedule).render()
+        assert "width" in text
+        assert "peak mean wait" in text
+        assert "·" in text or "@" in text or "." in text
+
+
+class TestMergeWorkloads:
+    def test_merge_renumbers_and_sorts(self):
+        a = [Job(job_id=5, submit_time=10.0, nodes=1, runtime=1.0)]
+        b = [Job(job_id=5, submit_time=5.0, nodes=2, runtime=1.0)]
+        merged = merge_workloads(a, b)
+        assert [j.job_id for j in merged] == [0, 1]
+        assert merged[0].nodes == 2          # earlier submission first
+        assert merged[0].meta["source_stream"] == 1
+        assert merged[0].meta["source_id"] == 5
+
+    def test_merge_preserves_counts(self):
+        a = make_jobs(10, seed=1, max_nodes=8)
+        b = make_jobs(15, seed=2, max_nodes=8)
+        assert len(merge_workloads(a, b)) == 25
+
+    def test_merged_stream_simulates(self):
+        a = make_jobs(10, seed=3, max_nodes=8)
+        b = make_jobs(10, seed=4, max_nodes=8)
+        res = simulate(merge_workloads(a, b), FCFSScheduler.plain(), 64)
+        assert len(res.schedule) == 20
+
+
+class TestTagInteractive:
+    def test_only_narrow_tagged(self):
+        jobs = make_jobs(60, seed=5, max_nodes=64)
+        tagged = tag_interactive(jobs, fraction=1.0, seed=6, max_nodes=4)
+        for job in tagged:
+            if job.meta.get("interactive"):
+                assert job.nodes <= 4
+        assert any(j.meta.get("interactive") for j in tagged)
+
+    def test_fraction_zero_is_identity(self):
+        jobs = make_jobs(20, seed=7, max_nodes=8)
+        tagged = tag_interactive(jobs, fraction=0.0)
+        assert not any(j.meta.get("interactive") for j in tagged)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            tag_interactive([], 2.0)
+
+    def test_deterministic(self):
+        jobs = make_jobs(30, seed=8, max_nodes=8)
+        a = tag_interactive(jobs, 0.5, seed=9)
+        b = tag_interactive(jobs, 0.5, seed=9)
+        assert [j.meta.get("interactive") for j in a] == [
+            j.meta.get("interactive") for j in b
+        ]

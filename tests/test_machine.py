@@ -1,0 +1,78 @@
+"""Unit tests for the Machine model."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.machine import Machine
+
+
+def job(job_id=1, nodes=4):
+    return Job(job_id=job_id, submit_time=0.0, nodes=nodes, runtime=10.0)
+
+
+class TestAllocation:
+    def test_initially_all_free(self):
+        m = Machine(64)
+        assert m.free_nodes == 64
+        assert m.busy_nodes == 0
+
+    def test_allocate_reduces_free(self):
+        m = Machine(64)
+        m.allocate(job(nodes=10))
+        assert m.free_nodes == 54
+        assert m.busy_nodes == 10
+
+    def test_release_restores_free(self):
+        m = Machine(64)
+        m.allocate(job(job_id=1, nodes=10))
+        assert m.release(1) == 10
+        assert m.free_nodes == 64
+
+    def test_allocate_over_capacity_raises(self):
+        m = Machine(8)
+        with pytest.raises(ValueError, match="needs"):
+            m.allocate(job(nodes=9))
+
+    def test_allocate_twice_raises(self):
+        m = Machine(64)
+        m.allocate(job(job_id=1))
+        with pytest.raises(ValueError, match="already running"):
+            m.allocate(job(job_id=1))
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Machine(8).release(42)
+
+    def test_exact_fill(self):
+        m = Machine(16)
+        m.allocate(job(job_id=1, nodes=16))
+        assert m.free_nodes == 0
+        assert not m.fits(job(job_id=2, nodes=1))
+
+    def test_fits_and_can_ever_fit(self):
+        m = Machine(16)
+        m.allocate(job(job_id=1, nodes=10))
+        assert m.fits(job(job_id=2, nodes=6))
+        assert not m.fits(job(job_id=3, nodes=7))
+        assert m.can_ever_fit(job(job_id=3, nodes=16))
+        assert not m.can_ever_fit(job(job_id=4, nodes=17))
+
+    def test_reset(self):
+        m = Machine(16)
+        m.allocate(job(job_id=1, nodes=10))
+        m.reset()
+        assert m.free_nodes == 16
+        assert m.running_jobs == []
+
+    def test_allocation_of(self):
+        m = Machine(16)
+        m.allocate(job(job_id=5, nodes=3))
+        assert m.allocation_of(5) == 3
+        assert m.allocation_of(6) is None
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+    def test_paper_batch_default(self):
+        assert Machine().total_nodes == 256

@@ -1,0 +1,130 @@
+"""Tests for the partitioned machine (Example 5, Rule 1)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.partitions import (
+    Partition,
+    PartitionedSystem,
+    RoutingError,
+    example5_partitioning,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.garey_graham import GareyGrahamScheduler
+from tests.conftest import make_jobs
+
+
+def J(job_id, nodes, runtime=10.0, submit=0.0, interactive=False):
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        nodes=nodes,
+        runtime=runtime,
+        meta={"interactive": interactive} if interactive else {},
+    )
+
+
+def build(batch_nodes=24, inter_nodes=8):
+    return PartitionedSystem(
+        [
+            Partition(
+                "interactive",
+                inter_nodes,
+                FCFSScheduler.plain(),
+                lambda j: bool(j.meta.get("interactive")),
+            ),
+            Partition("batch", batch_nodes, GareyGrahamScheduler(), lambda j: True),
+        ]
+    )
+
+
+class TestRouting:
+    def test_first_match_wins(self):
+        system = build()
+        buckets = system.route([J(0, 4, interactive=True), J(1, 4)])
+        assert [j.job_id for j in buckets["interactive"]] == [0]
+        assert [j.job_id for j in buckets["batch"]] == [1]
+
+    def test_unroutable_job_raises(self):
+        system = PartitionedSystem(
+            [Partition("narrow", 8, FCFSScheduler.plain(), lambda j: j.nodes <= 2)]
+        )
+        with pytest.raises(RoutingError, match="matches no partition"):
+            system.route([J(0, 4)])
+
+    def test_oversized_for_partition_raises(self):
+        system = build(inter_nodes=4)
+        with pytest.raises(RoutingError, match="routed to"):
+            system.route([J(0, 6, interactive=True)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PartitionedSystem(
+                [
+                    Partition("a", 4, FCFSScheduler.plain(), lambda j: True),
+                    Partition("a", 4, FCFSScheduler.plain(), lambda j: True),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PartitionedSystem([])
+
+    def test_invalid_partition_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            Partition("x", 0, FCFSScheduler.plain(), lambda j: True)
+
+
+class TestRun:
+    def test_partitions_isolated(self):
+        # A saturating batch job must not delay interactive work.
+        system = build()
+        jobs = [
+            J(0, 24, runtime=1000.0),                 # fills batch
+            J(1, 4, runtime=5.0, submit=1.0, interactive=True),
+        ]
+        results = system.run(jobs)
+        inter = results["interactive"].result.schedule
+        assert inter[1].start_time == 1.0
+
+    def test_all_jobs_complete_and_valid(self):
+        system = build(batch_nodes=64, inter_nodes=8)
+        jobs = make_jobs(50, seed=21, max_nodes=48)
+        results = system.run(jobs)
+        assert results["batch"].jobs_routed == 50
+        results["batch"].result.schedule.validate(64)
+
+    def test_overall_utilisation_diluted_by_idle_partition(self):
+        system = build(batch_nodes=24, inter_nodes=8)
+        jobs = [J(0, 24, runtime=100.0)]   # batch fully busy, interactive idle
+        results = system.run(jobs)
+        util = system.overall_utilisation(results)
+        assert util == pytest.approx(24 / 32)
+
+    def test_empty_stream(self):
+        system = build()
+        results = system.run([])
+        assert system.overall_utilisation(results) == 0.0
+
+
+class TestExample5:
+    def test_default_shape(self):
+        system = example5_partitioning(
+            GareyGrahamScheduler(), FCFSScheduler.plain()
+        )
+        assert system.total_nodes == 288
+        sizes = {p.name: p.nodes for p in system.partitions}
+        assert sizes == {"interactive": 32, "batch": 256}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            example5_partitioning(
+                GareyGrahamScheduler(), FCFSScheduler.plain(), batch_nodes=288
+            )
+
+    def test_interactive_flag_routing(self):
+        system = example5_partitioning(GareyGrahamScheduler(), FCFSScheduler.plain())
+        jobs = [J(0, 8, interactive=True), J(1, 200)]
+        buckets = system.route(jobs)
+        assert [j.job_id for j in buckets["interactive"]] == [0]
+        assert [j.job_id for j in buckets["batch"]] == [1]

@@ -1,0 +1,217 @@
+"""Unit and property tests for the availability profile."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import AvailabilityProfile
+
+
+class TestBasics:
+    def test_empty_profile_is_all_free(self):
+        p = AvailabilityProfile(64, origin=10.0)
+        assert p.free_at(10.0) == 64
+        assert p.free_at(1e9) == 64
+
+    def test_free_before_origin_raises(self):
+        p = AvailabilityProfile(64, origin=10.0)
+        with pytest.raises(ValueError, match="precedes"):
+            p.free_at(9.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AvailabilityProfile(0)
+
+    def test_reserve_reduces_window_only(self):
+        p = AvailabilityProfile(64)
+        p.reserve(10.0, 5.0, 20)
+        assert p.free_at(0.0) == 64
+        assert p.free_at(10.0) == 44
+        assert p.free_at(14.9) == 44
+        assert p.free_at(15.0) == 64
+
+    def test_zero_duration_reserve_is_noop(self):
+        p = AvailabilityProfile(64)
+        p.reserve(10.0, 0.0, 20)
+        assert p.free_at(10.0) == 64
+
+    def test_reserve_before_origin_raises(self):
+        p = AvailabilityProfile(64, origin=5.0)
+        with pytest.raises(ValueError, match="precedes"):
+            p.reserve(4.0, 2.0, 1)
+
+    def test_over_reserve_raises(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 8)
+        with pytest.raises(ValueError, match="exceeds"):
+            p.reserve(5.0, 1.0, 3)
+
+    def test_overlapping_reservations_stack(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 4)
+        p.reserve(5.0, 10.0, 4)
+        assert p.free_at(0.0) == 6
+        assert p.free_at(5.0) == 2
+        assert p.free_at(10.0) == 6
+        assert p.free_at(15.0) == 10
+
+
+class TestEarliestStart:
+    def test_empty_machine_starts_now(self):
+        p = AvailabilityProfile(64, origin=100.0)
+        assert p.earliest_start(64, 50.0) == 100.0
+
+    def test_respects_after(self):
+        p = AvailabilityProfile(64, origin=0.0)
+        assert p.earliest_start(1, 1.0, after=42.0) == 42.0
+
+    def test_waits_for_release(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 100.0, 8)  # running job until t=100
+        assert p.earliest_start(2, 5.0) == 0.0
+        assert p.earliest_start(3, 5.0) == 100.0
+
+    def test_fits_into_hole(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 8)
+        p.reserve(50.0, 10.0, 8)
+        # A 5s job needing 4 nodes fits the hole [10, 50).
+        assert p.earliest_start(4, 5.0) == 10.0
+        # A 45s job does not fit the hole; next chance after the second block.
+        assert p.earliest_start(4, 45.0) == 60.0
+
+    def test_hole_exactly_fits(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 8)
+        p.reserve(50.0, 10.0, 8)
+        assert p.earliest_start(4, 40.0) == 10.0
+
+    def test_too_wide_raises(self):
+        p = AvailabilityProfile(10)
+        with pytest.raises(ValueError, match="never fit"):
+            p.earliest_start(11, 1.0)
+
+    def test_after_inside_hole(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 8)
+        p.reserve(50.0, 10.0, 8)
+        assert p.earliest_start(4, 5.0, after=20.0) == 20.0
+        assert p.earliest_start(4, 35.0, after=20.0) == 60.0
+
+
+class TestFromRunning:
+    def test_builds_release_staircase(self):
+        p = AvailabilityProfile.from_running(10, 0.0, [(5.0, 3), (8.0, 4)])
+        assert p.free_at(0.0) == 3
+        assert p.free_at(5.0) == 6
+        assert p.free_at(8.0) == 10
+
+    def test_equal_release_times_merge(self):
+        p = AvailabilityProfile.from_running(10, 0.0, [(5.0, 3), (5.0, 4)])
+        assert p.free_at(0.0) == 3
+        assert p.free_at(5.0) == 10
+        assert len(p.steps()) == 2
+
+    def test_overrun_clamped_after_now(self):
+        # Projected end in the past: the job overran its estimate.
+        p = AvailabilityProfile.from_running(10, 100.0, [(50.0, 4)])
+        assert p.free_at(100.0) == 6
+        assert p.free_at(102.0) == 10
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ValueError, match="hold"):
+            AvailabilityProfile.from_running(10, 0.0, [(5.0, 8), (6.0, 8)])
+
+    def test_empty_running(self):
+        p = AvailabilityProfile.from_running(10, 7.0, [])
+        assert p.free_at(7.0) == 10
+
+
+# -- property-based tests ---------------------------------------------------------
+
+reservations = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+        st.integers(min_value=1, max_value=16),
+    ),
+    max_size=12,
+)
+
+
+@st.composite
+def profile_and_query(draw):
+    total = draw(st.integers(min_value=16, max_value=128))
+    profile = AvailabilityProfile(total)
+    for start, duration, nodes in draw(reservations):
+        if profile.earliest_start(nodes, duration, after=start) == start:
+            profile.reserve(start, duration, nodes)
+    nodes = draw(st.integers(min_value=1, max_value=total))
+    duration = draw(st.floats(min_value=0.1, max_value=1e4, allow_nan=False))
+    after = draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    return profile, nodes, duration, after
+
+
+@given(profile_and_query())
+@settings(max_examples=200, deadline=None)
+def test_earliest_start_window_is_actually_free(case):
+    """The returned window must satisfy the capacity everywhere inside."""
+    profile, nodes, duration, after = case
+    start = profile.earliest_start(nodes, duration, after=after)
+    assert start >= after
+    # Check every breakpoint of the window.
+    for time, free in profile.steps():
+        if start <= time < start + duration:
+            assert free >= nodes
+    assert profile.free_at(start) >= nodes
+
+
+@given(profile_and_query())
+@settings(max_examples=200, deadline=None)
+def test_earliest_start_is_reservable(case):
+    """reserve() must accept what earliest_start() returned."""
+    profile, nodes, duration, after = case
+    start = profile.earliest_start(nodes, duration, after=after)
+    profile.reserve(start, duration, nodes)  # must not raise
+
+
+@given(profile_and_query())
+@settings(max_examples=200, deadline=None)
+def test_earliest_start_minimality_at_breakpoints(case):
+    """No profile breakpoint in [after, start) admits the job."""
+    profile, nodes, duration, after = case
+    start = profile.earliest_start(nodes, duration, after=after)
+    for time, _free in profile.steps():
+        t = max(time, after)
+        if t >= start:
+            continue
+        # The window starting at t must violate capacity somewhere.
+        ok = profile.free_at(t) >= nodes and all(
+            free >= nodes
+            for bp, free in profile.steps()
+            if t <= bp < t + duration
+        )
+        assert not ok, f"window at {t} < {start} would also fit"
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            st.integers(min_value=1, max_value=64),
+        ),
+        max_size=10,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_from_running_tail_is_fully_free(nodes, duration, running):
+    """After all running jobs release, the whole machine is available."""
+    total = 64
+    running = [(end, n) for end, n in running if n <= total]
+    while sum(n for _e, n in running) > total:
+        running.pop()
+    profile = AvailabilityProfile.from_running(total, 0.0, running)
+    steps = profile.steps()
+    assert steps[-1][1] == total

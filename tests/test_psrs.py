@@ -1,0 +1,210 @@
+"""Unit tests for PSRS: the preemptive kernel and the conversion."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import Job
+from repro.schedulers.psrs import (
+    PsrsOrderPolicy,
+    _bin_index,
+    preemptive_psrs,
+    psrs_order,
+)
+from repro.schedulers.weights import estimated_area_weight, unit_weight
+
+
+def J(job_id, nodes, runtime, weight=None):
+    return Job(job_id=job_id, submit_time=0.0, nodes=nodes, runtime=runtime, weight=weight)
+
+
+class TestPreemptiveKernel:
+    def test_empty(self):
+        assert preemptive_psrs([], 8) == []
+
+    def test_single_small_job(self):
+        entries = preemptive_psrs([J(0, 2, 10.0)], 8)
+        assert entries[0].completion_time == 10.0
+        assert not entries[0].is_wide
+        assert entries[0].preemptions == 0
+
+    def test_single_wide_job_runs_immediately_on_empty_machine(self):
+        entries = preemptive_psrs([J(0, 8, 10.0)], 8)
+        assert entries[0].completion_time == 10.0
+        assert entries[0].is_wide
+
+    def test_smalls_run_concurrently(self):
+        jobs = [J(0, 4, 10.0), J(1, 4, 10.0)]
+        entries = preemptive_psrs(jobs, 8)
+        assert all(e.completion_time == 10.0 for e in entries)
+
+    def test_wide_preempts_after_patience(self):
+        # Small job keeps the machine half busy; the wide job (runtime 10)
+        # reaches the head and waits patience * 10 = 10s, then preempts.
+        jobs = [J(0, 4, 100.0, weight=1e9), J(1, 5, 10.0, weight=1.0)]
+        # job0 has the higher modified ratio: starts at 0; wide job 1 arms at 0.
+        entries = {e.job.job_id: e for e in preemptive_psrs(jobs, 8, patience=1.0)}
+        assert entries[1].is_wide
+        assert entries[1].completion_time == pytest.approx(20.0)  # waits 10, runs 10
+        # job 0: 10s done before preemption, preempted for 10s, resumes.
+        assert entries[0].completion_time == pytest.approx(110.0)
+        assert entries[0].preemptions == 1
+
+    def test_wide_job_armed_once_started_smalls_fill_machine(self):
+        # All four smalls start at t=0, so the wide job is the head of the
+        # *unstarted* list immediately — it is waiting, arms at 0, and
+        # preempts at patience * 10 = 10.
+        smalls = [J(i, 2, 50.0, weight=100.0) for i in range(4)]
+        wide = J(99, 8, 10.0, weight=0.0001)
+        entries = {
+            e.job.job_id: e
+            for e in preemptive_psrs(
+                smalls + [wide], 8, weight=lambda j: j.effective_weight
+            )
+        }
+        assert entries[99].completion_time == pytest.approx(20.0)
+        assert all(entries[i].completion_time == pytest.approx(60.0) for i in range(4))
+        assert all(entries[i].preemptions == 1 for i in range(4))
+
+    def test_wide_job_not_armed_until_head(self):
+        # Eight high-ratio smalls (only four run at a time): the wide job
+        # does not become the head of the unstarted list until t=50 when
+        # the second wave starts, so its patience clock starts there.
+        smalls = [J(i, 2, 50.0, weight=100.0) for i in range(8)]
+        wide = J(99, 8, 10.0, weight=0.0001)
+        entries = {
+            e.job.job_id: e
+            for e in preemptive_psrs(
+                smalls + [wide], 8, weight=lambda j: j.effective_weight
+            )
+        }
+        # First wave runs undisturbed to 50.
+        assert all(entries[i].completion_time == pytest.approx(50.0) for i in range(4))
+        assert all(entries[i].preemptions == 0 for i in range(4))
+        # Wide arms at 50, preempts at 60, runs 60-70.
+        assert entries[99].completion_time == pytest.approx(70.0)
+        # Second wave: 10s done by 60, preempted, resumes 70, finishes 110.
+        assert all(entries[i].completion_time == pytest.approx(110.0) for i in range(4, 8))
+        assert all(entries[i].preemptions == 1 for i in range(4, 8))
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError, match="patience"):
+            preemptive_psrs([J(0, 1, 1.0)], 8, patience=-1.0)
+
+    def test_zero_runtime_jobs(self):
+        entries = preemptive_psrs([J(0, 2, 0.0), J(1, 8, 0.0)], 8)
+        assert all(e.completion_time == 0.0 for e in entries)
+
+    def test_all_jobs_complete(self):
+        jobs = [J(i, 1 + (i * 5) % 8, float(1 + i % 7)) for i in range(50)]
+        entries = preemptive_psrs(jobs, 8)
+        assert len(entries) == 50
+        assert all(e.completion_time >= 0 for e in entries)
+
+
+class TestBinIndex:
+    def test_bin_zero(self):
+        assert _bin_index(0.0, 1.0) == 0
+        assert _bin_index(1.0, 1.0) == 0
+
+    def test_doubling(self):
+        assert _bin_index(2.0, 1.0) == 1
+        assert _bin_index(3.0, 1.0) == 2
+        assert _bin_index(4.0, 1.0) == 2
+        assert _bin_index(5.0, 1.0) == 3
+
+    def test_offset(self):
+        assert _bin_index(1.5, 1.5) == 0
+        assert _bin_index(3.0, 1.5) == 1
+        assert _bin_index(6.0, 1.5) == 2
+
+
+class TestConversion:
+    def test_empty(self):
+        assert psrs_order([], 8) == []
+
+    def test_permutation(self):
+        jobs = [J(i, 1 + (i * 3) % 8, float(1 + (i * 11) % 40)) for i in range(30)]
+        order = psrs_order(jobs, 8)
+        assert sorted(j.job_id for j in order) == list(range(30))
+
+    def test_small_bin_precedes_wide_bin_of_same_index(self):
+        # One small and one wide job completing in their respective bin 0.
+        small = J(0, 1, 0.5)
+        wide = J(1, 8, 0.5)
+        order = psrs_order([small, wide], 8, small_offset=1.0, wide_offset=1.5)
+        assert [j.job_id for j in order] == [0, 1]
+
+    def test_within_bin_smith_order(self):
+        # Two smalls completing in the same bin; the heavier Smith ratio
+        # (weight/runtime) goes first.
+        a = J(0, 1, 10.0, weight=1.0)    # ratio 0.1
+        b = J(1, 1, 10.0, weight=100.0)  # ratio 10
+        order = psrs_order([a, b], 8, weight=lambda j: j.effective_weight)
+        assert [j.job_id for j in order] == [1, 0]
+
+    def test_deterministic(self):
+        jobs = [J(i, 1 + (i * 3) % 8, float(1 + (i * 11) % 40)) for i in range(30)]
+        assert [j.job_id for j in psrs_order(jobs, 8)] == [
+            j.job_id for j in psrs_order(jobs, 8)
+        ]
+
+
+class TestPsrsOrderPolicy:
+    def test_policy_round_trip(self):
+        policy = PsrsOrderPolicy(8, weight=unit_weight)
+        jobs = [J(i, 2, 10.0 * (i + 1)) for i in range(5)]
+        for job in jobs:
+            policy.enqueue(job, 0.0)
+        ordered = policy.ordered(0.0)
+        assert sorted(j.job_id for j in ordered) == list(range(5))
+        assert policy.recompute_count == 1
+
+    def test_unit_weight_prefers_short_narrow(self):
+        policy = PsrsOrderPolicy(8, weight=unit_weight)
+        tiny = J(0, 1, 1.0)
+        huge = J(1, 4, 10000.0)
+        for job in (huge, tiny):
+            policy.enqueue(job, 0.0)
+        assert policy.ordered(0.0)[0].job_id == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=16),
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.sampled_from([unit_weight, estimated_area_weight]),
+)
+@settings(max_examples=100, deadline=None)
+def test_psrs_order_is_total_permutation(spec, weight):
+    jobs = [J(i, n, rt) for i, (n, rt) in enumerate(spec)]
+    order = psrs_order(jobs, 16, weight=weight)
+    assert sorted(j.job_id for j in order) == list(range(len(jobs)))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=16),
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_preemptive_schedule_completes_everything(spec):
+    jobs = [J(i, n, rt) for i, (n, rt) in enumerate(spec)]
+    entries = preemptive_psrs(jobs, 16)
+    assert len(entries) == len(jobs)
+    by_id = {e.job.job_id: e for e in entries}
+    for job in jobs:
+        # A job can never complete before its own runtime has elapsed.
+        assert by_id[job.job_id].completion_time >= job.estimated_runtime - 1e-9

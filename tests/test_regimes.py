@@ -1,0 +1,152 @@
+"""Tests for time windows and the regime-switching scheduler."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.simulator import simulate
+from repro.metrics.windows import filter_by_window, windowed_art, windowed_awrt
+from repro.schedulers.base import SubmitOrderPolicy
+from repro.schedulers.disciplines import AnyFitDiscipline, HeadBlockingDiscipline
+from repro.schedulers.regimes import (
+    DAY,
+    WEEK,
+    WEEKDAY_DAYTIME,
+    RegimeSwitchingScheduler,
+    TimeWindow,
+    example5_combined_scheduler,
+)
+from tests.conftest import make_jobs
+
+
+def J(job_id, submit, nodes, runtime):
+    return Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime)
+
+
+class TestTimeWindow:
+    def test_weekday_daytime_contains(self):
+        # Monday 10:00.
+        assert WEEKDAY_DAYTIME.contains(10 * 3600.0)
+        # Monday 06:59 / 20:00 excluded.
+        assert not WEEKDAY_DAYTIME.contains(6.99 * 3600.0)
+        assert not WEEKDAY_DAYTIME.contains(20 * 3600.0)
+        # Saturday noon excluded.
+        assert not WEEKDAY_DAYTIME.contains(5 * DAY + 12 * 3600.0)
+
+    def test_weekly_wraparound(self):
+        # Next Monday 10:00 is inside again.
+        assert WEEKDAY_DAYTIME.contains(WEEK + 10 * 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="days"):
+            TimeWindow(days=frozenset({7}), start_hour=0.0, end_hour=1.0)
+        with pytest.raises(ValueError, match="start"):
+            TimeWindow(days=frozenset({0}), start_hour=5.0, end_hour=5.0)
+
+    def test_next_boundary(self):
+        # Monday 06:00 -> next boundary is 07:00.
+        assert WEEKDAY_DAYTIME.next_boundary(6 * 3600.0) == 7 * 3600.0
+        # Monday 10:00 -> 20:00.
+        assert WEEKDAY_DAYTIME.next_boundary(10 * 3600.0) == 20 * 3600.0
+        # Monday 21:00 -> midnight.
+        assert WEEKDAY_DAYTIME.next_boundary(21 * 3600.0) == DAY
+
+
+class TestRegimeSwitching:
+    def build(self):
+        # Window regime: head-blocking FCFS; other: any-fit.  A small job
+        # behind a blocked head starts immediately only in the any-fit
+        # regime, so the regimes are observably different.
+        return RegimeSwitchingScheduler(
+            window=WEEKDAY_DAYTIME,
+            window_pair=(SubmitOrderPolicy(), HeadBlockingDiscipline()),
+            other_pair=(SubmitOrderPolicy(), AnyFitDiscipline()),
+            name="test-switching",
+        )
+
+    def test_daytime_uses_window_pair(self):
+        # Monday 10:00: head-blocking behaviour expected.
+        t0 = 10 * 3600.0
+        jobs = [
+            J(0, t0, 8, 1000.0),       # occupies machine
+            J(1, t0 + 1, 8, 10.0),     # blocked head
+            J(2, t0 + 2, 1, 1.0),      # would fit; must wait in FCFS regime
+        ]
+        res = simulate(jobs, self.build(), 8)
+        assert res.schedule[2].start_time >= res.schedule[1].start_time
+
+    def test_night_anyfit_leapfrog(self):
+        t0 = 22 * 3600.0
+        jobs = [
+            J(0, t0, 6, 1000.0),      # 6 of 8 busy
+            J(1, t0 + 1, 4, 10.0),    # blocked (needs 4, only 2 free)
+            J(2, t0 + 2, 2, 1.0),     # fits the 2 free nodes
+        ]
+        res = simulate(jobs, self.build(), 8)
+        assert res.schedule[2].start_time == t0 + 2   # any-fit leapfrogs
+
+    def test_daytime_blocking_no_leapfrog(self):
+        t0 = 10 * 3600.0
+        jobs = [
+            J(0, t0, 6, 1000.0),
+            J(1, t0 + 1, 4, 10.0),
+            J(2, t0 + 2, 2, 1.0),
+        ]
+        res = simulate(jobs, self.build(), 8)
+        assert res.schedule[2].start_time > t0 + 2    # FCFS blocks it
+
+    def test_no_jobs_lost_across_switches(self):
+        # Jobs spanning a day boundary (submitted 19:00-21:00 Monday).
+        jobs = make_jobs(40, seed=13, max_nodes=8, mean_gap=200.0)
+        shifted = [
+            Job(
+                job_id=j.job_id,
+                submit_time=j.submit_time + 19 * 3600.0,
+                nodes=j.nodes,
+                runtime=j.runtime,
+                estimate=j.estimate,
+            )
+            for j in jobs
+        ]
+        scheduler = self.build()
+        res = simulate(shifted, scheduler, 8)
+        assert len(res.schedule) == len(jobs)
+        res.schedule.validate(8)
+        regimes = [r for _t, r in scheduler.switch_log]
+        assert "window" in regimes and "other" in regimes
+
+    def test_example5_combined_runs(self):
+        jobs = make_jobs(60, seed=17, max_nodes=64, mean_gap=400.0)
+        scheduler = example5_combined_scheduler(64)
+        res = simulate(jobs, scheduler, 64)
+        assert len(res.schedule) == len(jobs)
+        res.schedule.validate(64)
+
+
+class TestWindowedMetrics:
+    def test_filter_by_window(self):
+        day_job = J(0, 10 * 3600.0, 1, 10.0)
+        night_job = J(1, 22 * 3600.0, 1, 10.0)
+        res = simulate([day_job, night_job], example5_combined_scheduler(8), 8)
+        inside = filter_by_window(res.schedule, WEEKDAY_DAYTIME)
+        outside = filter_by_window(res.schedule, WEEKDAY_DAYTIME, inside=False)
+        assert {i.job.job_id for i in inside} == {0}
+        assert {i.job.job_id for i in outside} == {1}
+
+    def test_attribution_by_completion(self):
+        # Submitted 19:59, runs 2 hours: completes at night.
+        job = J(0, (19 * 60 + 59) * 60.0, 8, 7200.0)
+        res = simulate([job], example5_combined_scheduler(8), 8)
+        by_submit = filter_by_window(res.schedule, WEEKDAY_DAYTIME)
+        by_completion = filter_by_window(
+            res.schedule, WEEKDAY_DAYTIME, attribution="completion"
+        )
+        assert len(by_submit) == 1
+        assert len(by_completion) == 0
+
+    def test_windowed_objectives(self):
+        jobs = make_jobs(50, seed=19, max_nodes=32, mean_gap=1500.0)
+        res = simulate(jobs, example5_combined_scheduler(64), 64)
+        art = windowed_art(res.schedule, WEEKDAY_DAYTIME)
+        awrt = windowed_awrt(res.schedule, WEEKDAY_DAYTIME)
+        assert art >= 0.0
+        assert awrt >= 0.0

@@ -1,0 +1,83 @@
+"""Tests for the scheduler registry (the paper's evaluation grid)."""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.schedulers.registry import (
+    COLUMNS,
+    ROWS,
+    SchedulerConfig,
+    build_scheduler,
+    paper_configurations,
+)
+from tests.conftest import make_jobs
+
+
+class TestGrid:
+    def test_thirteen_cells(self):
+        configs = list(paper_configurations())
+        assert len(configs) == 13
+
+    def test_gg_has_only_list_column(self):
+        keys = {c.key for c in paper_configurations()}
+        assert "gg/list" in keys
+        assert "gg/conservative" not in keys
+        assert "gg/easy" not in keys
+
+    def test_all_rows_and_columns_covered(self):
+        configs = list(paper_configurations())
+        assert {c.row for c in configs} == set(ROWS)
+        assert {c.column for c in configs} == set(COLUMNS)
+
+    def test_reference_cell(self):
+        ref = [c for c in paper_configurations() if c.is_reference]
+        assert len(ref) == 1
+        assert ref[0].key == "fcfs/easy"
+
+    def test_labels(self):
+        cfg = SchedulerConfig("smart-ffia", "easy")
+        assert cfg.label == "SMART-FFIA + EASY-Backfilling"
+
+
+class TestBuild:
+    def test_every_cell_builds_and_runs(self):
+        jobs = make_jobs(25, seed=2, max_nodes=48)
+        for config in paper_configurations():
+            for weighted in (False, True):
+                scheduler = build_scheduler(config, 64, weighted=weighted)
+                res = simulate(jobs, scheduler, 64)
+                assert len(res.schedule) == 25
+                res.schedule.validate(64)
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(ValueError, match="row"):
+            build_scheduler(SchedulerConfig("nonsense", "list"), 64)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            build_scheduler(SchedulerConfig("fcfs", "nonsense"), 64)
+
+    def test_fcfs_and_gg_ignore_weights(self):
+        jobs = make_jobs(30, seed=4, max_nodes=32)
+        for row in ("fcfs", "gg"):
+            cfg = SchedulerConfig(row, "list")
+            r1 = simulate(jobs, build_scheduler(cfg, 64, weighted=False), 64)
+            r2 = simulate(jobs, build_scheduler(cfg, 64, weighted=True), 64)
+            for job in jobs:
+                assert r1.schedule[job.job_id].end_time == r2.schedule[job.job_id].end_time
+
+    def test_estimate_flag_propagates(self):
+        assert not build_scheduler(SchedulerConfig("fcfs", "list"), 64).uses_estimates
+        assert not build_scheduler(SchedulerConfig("gg", "list"), 64).uses_estimates
+        assert build_scheduler(SchedulerConfig("fcfs", "easy"), 64).uses_estimates
+        assert build_scheduler(SchedulerConfig("psrs", "list"), 64).uses_estimates
+
+    def test_weight_regime_changes_smart_behaviour(self):
+        # A workload where ordering weights matter: wide-long vs narrow-short.
+        jobs = make_jobs(40, seed=6, max_nodes=60, mean_gap=10.0)
+        cfg = SchedulerConfig("smart-ffia", "list")
+        r_unw = simulate(jobs, build_scheduler(cfg, 64, weighted=False), 64)
+        r_w = simulate(jobs, build_scheduler(cfg, 64, weighted=True), 64)
+        starts_unw = [r_unw.schedule[j.job_id].start_time for j in jobs]
+        starts_w = [r_w.schedule[j.job_id].start_time for j in jobs]
+        assert starts_unw != starts_w

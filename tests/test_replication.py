@@ -1,0 +1,70 @@
+"""Tests for the seed-replication machinery."""
+
+import pytest
+
+from repro.experiments.replication import (
+    CellStats,
+    SECTION7_UNWEIGHTED_CLAIMS,
+    SECTION7_WEIGHTED_CLAIMS,
+    replicate_experiment,
+)
+
+
+class TestCellStats:
+    def test_sign_stable(self):
+        assert CellStats("k", -5.0, 1.0, -8.0, -2.0, 3).sign_stable
+        assert CellStats("k", 5.0, 1.0, 2.0, 8.0, 3).sign_stable
+        assert not CellStats("k", 0.0, 5.0, -4.0, 4.0, 3).sign_stable
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return replicate_experiment(
+            "table3",
+            seeds=(1, 2, 3),
+            scale=150,
+            regime="unweighted",
+            claims=[("fcfs/easy", "fcfs/list")],
+        )
+
+    def test_all_cells_covered(self, result):
+        assert len(result.cells) == 13
+        assert all(stats.n_seeds == 3 for stats in result.cells.values())
+
+    def test_reference_cell_is_zero(self, result):
+        ref = result.cells["fcfs/easy"]
+        assert ref.mean_pct == 0.0
+        assert ref.std_pct == 0.0
+
+    def test_range_brackets_mean(self, result):
+        for stats in result.cells.values():
+            assert stats.min_pct <= stats.mean_pct <= stats.max_pct
+
+    def test_claim_stability_reported(self, result):
+        frac = result.claim_stability[("fcfs/easy", "fcfs/list")]
+        assert 0.0 <= frac <= 1.0
+        # Backfilling rescues FCFS at every seed, even tiny ones.
+        assert frac == 1.0
+
+    def test_format(self, result):
+        text = result.format()
+        assert "replication: table3" in text
+        assert "claim stability" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="seed"):
+            replicate_experiment("table3", seeds=())
+        with pytest.raises(KeyError):
+            replicate_experiment("tableX", seeds=(1,))
+
+    def test_claim_lists_reference_valid_cells(self):
+        keys = {
+            "fcfs/list", "fcfs/conservative", "fcfs/easy",
+            "psrs/list", "psrs/conservative", "psrs/easy",
+            "smart-ffia/list", "smart-ffia/conservative", "smart-ffia/easy",
+            "smart-nfiw/list", "smart-nfiw/conservative", "smart-nfiw/easy",
+            "gg/list",
+        }
+        for better, worse in SECTION7_UNWEIGHTED_CLAIMS + SECTION7_WEIGHTED_CLAIMS:
+            assert better in keys and worse in keys

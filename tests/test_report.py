@@ -1,0 +1,75 @@
+"""Tests for the site report and scheduler comparison helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    ComparisonRow,
+    compare_schedulers,
+    format_comparison_rows,
+    site_report,
+)
+from repro.core.simulator import simulate
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.garey_graham import GareyGrahamScheduler
+from tests.conftest import make_jobs
+
+
+@pytest.fixture(scope="module")
+def run():
+    jobs = make_jobs(40, seed=61, max_nodes=48, mean_gap=60.0)
+    return jobs, simulate(jobs, FCFSScheduler.with_easy(), 64)
+
+
+class TestSiteReport:
+    def test_contains_all_sections(self, run):
+        jobs, result = run
+        text = site_report(result, jobs, 64, title="test run")
+        assert "test run" in text
+        assert "improvement potential" in text
+        assert "fairness" in text
+        assert "utilisation over time" in text
+        assert "headroom" in text
+        assert "peak wait queue" in text
+
+    def test_headroom_percentages_well_formed(self, run):
+        jobs, result = run
+        text = site_report(result, jobs, 64)
+        # Both regimes have a finite non-negative headroom figure.
+        assert text.count("headroom") == 2
+
+    def test_gantt_buckets_respected(self, run):
+        jobs, result = run
+        text = site_report(result, jobs, 64, gantt_buckets=7)
+        gantt_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(gantt_lines) == 7
+
+
+class TestCompareSchedulers:
+    def test_rows_sorted_by_art(self):
+        jobs = make_jobs(50, seed=62, max_nodes=48, mean_gap=30.0)
+        rows = compare_schedulers(
+            jobs,
+            [
+                ("fcfs", FCFSScheduler.plain),
+                ("fcfs+easy", FCFSScheduler.with_easy),
+                ("gg", GareyGrahamScheduler),
+            ],
+            64,
+        )
+        assert len(rows) == 3
+        arts = [r.art for r in rows]
+        assert arts == sorted(arts)
+        assert {r.name for r in rows} == {"fcfs", "fcfs+easy", "gg"}
+
+    def test_fresh_scheduler_per_run(self):
+        # Running the same factory twice gives identical results — state
+        # cannot leak because each call constructs a new scheduler.
+        jobs = make_jobs(30, seed=63, max_nodes=32)
+        rows1 = compare_schedulers(jobs, [("a", FCFSScheduler.with_easy)], 64)
+        rows2 = compare_schedulers(jobs, [("a", FCFSScheduler.with_easy)], 64)
+        assert rows1[0].art == rows2[0].art
+
+    def test_format(self):
+        rows = [ComparisonRow("x", 10.0, 100.0, 50.0, 3)]
+        text = format_comparison_rows(rows)
+        assert "scheduler" in text and "x" in text and "1.000E+02" in text

@@ -1,0 +1,162 @@
+"""Scenario tests: the paper's worked examples, end to end.
+
+Each test walks one of the paper's narrative examples through the public
+API the way the examples/ scripts do, asserting the punchline — these are
+the highest-level integration tests in the suite.
+"""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.simulator import simulate
+from repro.experiments.paper import ctc_workload
+
+
+class TestExample1Chemistry:
+    """Example 1: priorities buy the drug-design lab fast turnaround."""
+
+    def build_jobs(self):
+        classes = ("drug-design", "chemistry", "university", "industry")
+        jobs = ctc_workload(400, seed=201)
+        return [
+            Job(
+                job_id=j.job_id, submit_time=j.submit_time, nodes=j.nodes,
+                runtime=j.runtime, estimate=j.estimate, user=j.user,
+                meta={"class": classes[j.user % 4]},
+            )
+            for j in jobs
+        ]
+
+    def test_priority_tradeoff(self):
+        from repro.metrics.classes import class_response_time
+        from repro.schedulers import FCFSScheduler, OrderedQueueScheduler, SubmitOrderPolicy
+        from repro.schedulers.admission import EXAMPLE1_RANKS, ClassPriorityOrderPolicy
+        from repro.schedulers.disciplines import EasyBackfill
+
+        jobs = self.build_jobs()
+        blind = simulate(jobs, FCFSScheduler.with_easy(), 256)
+        prioritized = simulate(
+            jobs,
+            OrderedQueueScheduler(
+                ClassPriorityOrderPolicy(SubmitOrderPolicy(), EXAMPLE1_RANKS),
+                EasyBackfill(),
+                name="ex1",
+            ),
+            256,
+        )
+        # Rule 1: drug design "as soon as possible".
+        assert class_response_time(
+            prioritized.schedule, "drug-design"
+        ) < class_response_time(blind.schedule, "drug-design")
+        # Someone pays: the lowest class is served no better than before.
+        assert class_response_time(
+            prioritized.schedule, "industry"
+        ) >= class_response_time(blind.schedule, "industry") * 0.99
+
+
+class TestExample4Class:
+    """Example 4: the 10am class is safe iff estimates are truthful."""
+
+    def test_truthful_vs_lying(self):
+        from repro.schedulers import DrainingScheduler, SubmitOrderPolicy
+        from repro.schedulers.disciplines import EasyBackfill
+        from repro.schedulers.drain import example4_reservations
+        from repro.workloads.transforms import with_exact_estimates, with_scaled_estimates
+
+        base = ctc_workload(250, seed=202)
+        reservations = example4_reservations()
+
+        def violations(jobs):
+            scheduler = DrainingScheduler(
+                SubmitOrderPolicy(), EasyBackfill(), reservations
+            )
+            res = simulate(jobs, scheduler, 256)
+            count = 0
+            for item in res.schedule:
+                t = item.start_time
+                while t < item.end_time:
+                    day_anchor = t - (t % 86_400.0)
+                    day = int(day_anchor % (7 * 86_400.0) // 86_400.0)
+                    lo = day_anchor + 10 * 3_600.0
+                    hi = day_anchor + 11 * 3_600.0
+                    if day < 5 and item.start_time < hi and item.end_time > lo:
+                        count += 1
+                        break
+                    t = day_anchor + 86_400.0
+            return count
+
+        assert violations(with_exact_estimates(base)) == 0
+        assert violations(with_scaled_estimates(base, 0.3)) > 0
+
+
+class TestExample5Lifecycle:
+    """Example 5 start to finish: policy -> objectives -> selection -> combo."""
+
+    def test_full_design_loop(self):
+        from repro.metrics import average_response_time, average_weighted_response_time
+        from repro.policy.rules import example5_policy
+        from repro.schedulers import build_scheduler, paper_configurations
+
+        policy = example5_policy()
+        assert len(policy.criteria) == 2        # the two derived objectives
+        assert policy.conflicting_pairs() == []  # disjoint time windows
+
+        jobs = ctc_workload(400, seed=203)
+        best = {}
+        for weighted, metric in (
+            (False, average_response_time),
+            (True, average_weighted_response_time),
+        ):
+            scores = {}
+            for config in paper_configurations():
+                res = simulate(jobs, build_scheduler(config, 256, weighted=weighted), 256)
+                scores[config.key] = metric(res.schedule)
+            best[weighted] = min(scores, key=scores.get)
+        # Section 7's headline: the two regimes pick different algorithms,
+        # with G&G taking (or tying) the weighted crown.
+        assert best[True] != best[False] or best[True] == "gg/list"
+        assert best[True] == "gg/list"
+
+    def test_combined_deployment_validates(self):
+        from repro.schedulers.regimes import example5_combined_scheduler
+
+        jobs = ctc_workload(300, seed=204)
+        res = simulate(jobs, example5_combined_scheduler(256), 256)
+        res.schedule.validate(256)
+        assert len(res.schedule) == len(jobs)
+
+
+class TestSection22Workflow:
+    """The 4-step objective-derivation recipe produces a usable objective."""
+
+    def test_pareto_to_objective(self):
+        from repro.metrics import average_response_time, average_weighted_response_time
+        from repro.policy import ParetoPoint, fit_linear_objective, pareto_front
+        from repro.policy.rules import Criterion
+        from repro.schedulers import build_scheduler, paper_configurations
+
+        jobs = ctc_workload(250, seed=205)
+        criteria = [
+            Criterion("art", average_response_time),
+            Criterion("awrt", average_weighted_response_time),
+        ]
+        points = []
+        for config in paper_configurations():
+            res = simulate(jobs, build_scheduler(config, 256), 256)
+            points.append(
+                ParetoPoint(
+                    config.key,
+                    tuple(c.evaluate(res.schedule) for c in criteria),
+                )
+            )
+        front = pareto_front(points, criteria)
+        assert 1 <= len(front) <= len(points)
+        ranked = sorted(points, key=lambda p: p.values[0])
+        ranked_points = [
+            ParetoPoint(p.label, p.values, rank=len(ranked) - 1 - i)
+            for i, p in enumerate(ranked)
+        ]
+        objective = fit_linear_objective(ranked_points, criteria)
+        # The synthesised scalar cost respects the intended best choice.
+        best = min(ranked_points, key=lambda p: objective.cost(p.values))
+        assert best.label == ranked_points[0].label

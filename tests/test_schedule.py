@@ -1,0 +1,117 @@
+"""Unit tests for schedule records and validity checking."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.schedule import Schedule, ScheduledJob, ValidityError
+
+
+def item(job_id=1, submit=0.0, nodes=4, runtime=10.0, start=0.0, cancelled=False, estimate=None):
+    job = Job(job_id=job_id, submit_time=submit, nodes=nodes, runtime=runtime, estimate=estimate)
+    duration = job.estimated_runtime if cancelled else runtime
+    return ScheduledJob(job=job, start_time=start, end_time=start + duration, cancelled=cancelled)
+
+
+class TestScheduledJob:
+    def test_response_time(self):
+        s = item(submit=5.0, start=20.0, runtime=10.0)
+        assert s.response_time == 25.0
+
+    def test_wait_time(self):
+        s = item(submit=5.0, start=20.0)
+        assert s.wait_time == 15.0
+
+    def test_weighted_response_time_uses_area(self):
+        s = item(submit=0.0, start=0.0, nodes=4, runtime=10.0)
+        assert s.weighted_response_time == 10.0 * 40.0
+
+
+class TestScheduleContainer:
+    def test_lookup_and_iteration(self):
+        sched = Schedule([item(job_id=1), item(job_id=2, start=50.0)])
+        assert len(sched) == 2
+        assert sched[2].start_time == 50.0
+        assert 1 in sched and 3 not in sched
+        assert {s.job.job_id for s in sched} == {1, 2}
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValidityError, match="twice"):
+            Schedule([item(job_id=1), item(job_id=1)])
+
+    def test_makespan(self):
+        sched = Schedule([item(job_id=1, start=0.0, runtime=10.0),
+                          item(job_id=2, start=5.0, runtime=100.0)])
+        assert sched.makespan == 105.0
+
+    def test_empty(self):
+        sched = Schedule([])
+        assert len(sched) == 0
+        assert sched.makespan == 0.0
+
+
+class TestValidity:
+    def test_valid_schedule_passes(self):
+        sched = Schedule([
+            item(job_id=1, nodes=4, start=0.0, runtime=10.0),
+            item(job_id=2, nodes=4, start=0.0, runtime=10.0),
+            item(job_id=3, nodes=8, start=10.0, runtime=5.0),
+        ])
+        sched.validate(8)
+
+    def test_capacity_violation_detected(self):
+        sched = Schedule([
+            item(job_id=1, nodes=5, start=0.0, runtime=10.0),
+            item(job_id=2, nodes=5, start=5.0, runtime=10.0),
+        ])
+        with pytest.raises(ValidityError, match="capacity"):
+            sched.validate(8)
+
+    def test_back_to_back_on_same_nodes_is_legal(self):
+        sched = Schedule([
+            item(job_id=1, nodes=8, start=0.0, runtime=10.0),
+            item(job_id=2, nodes=8, start=10.0, runtime=10.0),
+        ])
+        sched.validate(8)
+
+    def test_start_before_submission_detected(self):
+        sched = Schedule([item(job_id=1, submit=10.0, start=5.0)])
+        with pytest.raises(ValidityError, match="before its"):
+            sched.validate(8)
+
+    def test_too_wide_job_detected(self):
+        sched = Schedule([item(job_id=1, nodes=9)])
+        with pytest.raises(ValidityError, match="requests"):
+            sched.validate(8)
+
+    def test_wrong_duration_detected(self):
+        job = Job(job_id=1, submit_time=0.0, nodes=1, runtime=10.0)
+        bad = ScheduledJob(job=job, start_time=0.0, end_time=7.0)
+        with pytest.raises(ValidityError, match="occupies"):
+            Schedule([bad]).validate(8)
+
+    def test_cancelled_job_occupies_estimate(self):
+        # Runtime 100 exceeds the 10s estimate; the cancelled record holds
+        # the machine for the estimate.
+        s = item(job_id=1, runtime=100.0, estimate=10.0, cancelled=True)
+        assert s.end_time == 10.0
+        Schedule([s]).validate(8)
+
+    def test_zero_runtime_jobs_do_not_consume_capacity(self):
+        sched = Schedule([
+            item(job_id=1, nodes=8, start=0.0, runtime=0.0),
+            item(job_id=2, nodes=8, start=0.0, runtime=0.0),
+        ])
+        sched.validate(8)
+
+
+class TestUtilisationProfile:
+    def test_staircase(self):
+        sched = Schedule([
+            item(job_id=1, nodes=4, start=0.0, runtime=10.0),
+            item(job_id=2, nodes=2, start=5.0, runtime=10.0),
+        ])
+        assert sched.utilisation_profile() == [(0.0, 4), (5.0, 6), (10.0, 2), (15.0, 0)]
+
+    def test_ends_at_zero(self):
+        sched = Schedule([item(job_id=i, nodes=i + 1, start=float(i), runtime=3.0) for i in range(5)])
+        assert sched.utilisation_profile()[-1][1] == 0
