@@ -10,6 +10,16 @@ Scale control::
     REPRO_BENCH_SCALE=5000 pytest benchmarks/ --benchmark-only
     REPRO_BENCH_SCALE=full pytest benchmarks/ --benchmark-only   # paper counts (slow!)
 
+Execution control (the experiment engine)::
+
+    REPRO_BENCH_WORKERS=8 pytest benchmarks/ --benchmark-only    # parallel cells
+    REPRO_BENCH_CACHE=.repro-cache pytest benchmarks/ ...        # reuse results
+
+``REPRO_BENCH_WORKERS`` fans grid cells out over that many processes;
+``REPRO_BENCH_CACHE`` points the content-addressed result cache at a
+directory, so repeated benchmark sessions at the same scale skip finished
+simulations.  Both default to the old serial, uncached behaviour.
+
 Absolute times come from ``pytest-benchmark``; the printed tables carry the
 objective values.
 """
@@ -36,6 +46,16 @@ def bench_scale(spec_id: str) -> int:
     return DEFAULT_SCALE
 
 
+def bench_workers() -> int:
+    """Engine worker processes (``REPRO_BENCH_WORKERS``, default serial)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def bench_result_cache() -> str | None:
+    """On-disk result cache directory (``REPRO_BENCH_CACHE``, default off)."""
+    return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
 @pytest.fixture(scope="session")
 def experiment_cache():
     """Memoise experiment runs: figures reuse their table's grids."""
@@ -48,6 +68,8 @@ def experiment_cache():
                 experiment_id,
                 scale=bench_scale(experiment_id),
                 regimes=list(regimes) if regimes else None,
+                workers=bench_workers(),
+                cache=bench_result_cache(),
             )
         return cache[key]
 

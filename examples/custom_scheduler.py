@@ -1,28 +1,31 @@
-"""Extending the zoo: write your own scheduler and benchmark it.
+"""Extending the zoo: register your own scheduler and benchmark it.
 
 Run::
 
     python examples/custom_scheduler.py
 
 The paper expects administrators to "take scheduling algorithms from the
-literature and modify them to her needs".  This example builds two custom
-schedulers from the library's composition blocks —
+literature and modify them to her needs".  This example registers two
+custom rows in the open scheduler registry —
 
-* **SJF**: shortest-(estimated)-job-first ordering + EASY backfilling,
-* **WFP**: widest-first (favouring big parallel jobs) + conservative
-  backfilling —
+* **SJF**: shortest-(estimated)-job-first ordering, and
+* **WF**: widest-first (favouring big parallel jobs), restricted to
+  conservative backfilling —
 
-and evaluates them against the paper's grid on both objectives, exactly the
-comparison loop an administrator would run before deployment.
+then runs them through the parallel experiment engine next to the paper's
+13 grid cells and renders one table over all of them: exactly the
+comparison loop an administrator would run before deployment.  Registered
+rows need no special handling anywhere — the engine fans them out, caches
+them, and the table renderer places them under the right columns.
 """
 
 from typing import Sequence
 
-from repro import build_scheduler, paper_configurations, simulate
+from repro import paper_configurations, register_row, registered_configurations
 from repro.core.job import Job
-from repro.metrics import average_response_time, average_weighted_response_time
-from repro.schedulers.base import OrderedQueueScheduler, OrderPolicy
-from repro.schedulers.disciplines import ConservativeBackfill, EasyBackfill
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.tables import format_grid
+from repro.schedulers.base import OrderPolicy
 from repro.workloads import ctc_like_workload
 from repro.workloads.transforms import cap_nodes, renumber
 
@@ -56,52 +59,44 @@ class KeyedOrderPolicy(OrderPolicy):
         return len(self._queue)
 
 
-def sjf_easy() -> OrderedQueueScheduler:
-    """Shortest estimated runtime first, EASY backfilled."""
-    policy = KeyedOrderPolicy(lambda j: (j.estimated_runtime, j.job_id), "sjf")
-    return OrderedQueueScheduler(policy, EasyBackfill(), name="SJF+EASY")
+def sjf_order(total_nodes: int, weight, threshold) -> KeyedOrderPolicy:
+    """Shortest estimated runtime first (ignores the regime weight)."""
+    return KeyedOrderPolicy(lambda j: (j.estimated_runtime, j.job_id), "sjf")
 
 
-def widest_first_conservative() -> OrderedQueueScheduler:
-    """Widest job first (big parallel jobs favoured), conservative backfill."""
-    policy = KeyedOrderPolicy(lambda j: (-j.nodes, j.job_id), "widest-first")
-    return OrderedQueueScheduler(policy, ConservativeBackfill(), name="WF+CONS")
+def widest_first_order(total_nodes: int, weight, threshold) -> KeyedOrderPolicy:
+    """Widest job first: big parallel jobs favoured."""
+    return KeyedOrderPolicy(lambda j: (-j.nodes, j.job_id), "widest-first")
 
 
 def main() -> None:
+    register_row("sjf", sjf_order, label="SJF")
+    register_row("wf", widest_first_order, label="WF", columns=("conservative",))
+
     jobs = renumber(cap_nodes(ctc_like_workload(1200, seed=21), TOTAL_NODES))
+    configs = list(paper_configurations()) + list(
+        registered_configurations(rows=("sjf", "wf"))
+    )
 
-    contenders = [
-        ("SJF+EASY", sjf_easy),
-        ("WF+CONS", widest_first_conservative),
-    ]
+    engine = ExperimentEngine(
+        workers=4,
+        cache=".repro-cache",
+        on_event=lambda e: e.kind == "cell-finished"
+        and print(f"  {e.key}: {e.objective:.4G} in {e.wall_time:.2f}s"),
+    )
+    grid = engine.run(
+        jobs, workload_name="CTC-like", total_nodes=TOTAL_NODES, configs=configs
+    )
+    print()
+    print(format_grid(grid))
+    stats = engine.stats
+    print(
+        f"\n{stats.simulated} simulated, {stats.cache_hits} from cache, "
+        f"{stats.wall_time:.1f}s wall"
+    )
 
-    print(f"{'scheduler':<28}{'ART (s)':>14}{'AWRT':>16}")
-    rows = []
-    for config in paper_configurations():
-        result = simulate(jobs, build_scheduler(config, TOTAL_NODES), TOTAL_NODES)
-        rows.append(
-            (
-                config.label,
-                average_response_time(result.schedule),
-                average_weighted_response_time(result.schedule),
-            )
-        )
-    for name, factory in contenders:
-        result = simulate(jobs, factory(), TOTAL_NODES)
-        result.schedule.validate(TOTAL_NODES)
-        rows.append(
-            (
-                f"{name} (custom)",
-                average_response_time(result.schedule),
-                average_weighted_response_time(result.schedule),
-            )
-        )
-    for label, art, awrt in sorted(rows, key=lambda r: r[1]):
-        print(f"{label:<28}{art:>14.0f}{awrt:>16.3E}")
-
-    best = min(rows, key=lambda r: r[1])
-    print(f"\nbest ART: {best[0]}")
+    best = min(grid.cells.values(), key=lambda cell: cell.objective)
+    print(f"best ART: {best.config.label}")
 
 
 if __name__ == "__main__":

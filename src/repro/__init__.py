@@ -45,6 +45,9 @@ from repro.schedulers import (
     SchedulerConfig,
     build_scheduler,
     paper_configurations,
+    register_discipline,
+    register_row,
+    registered_configurations,
 )
 
 __version__ = "1.0.0"
@@ -65,5 +68,8 @@ __all__ = [
     "__version__",
     "build_scheduler",
     "paper_configurations",
+    "register_discipline",
+    "register_row",
+    "registered_configurations",
     "simulate",
 ]

@@ -1,21 +1,34 @@
-"""Schedule persistence: CSV export/import for external analysis.
+"""Result persistence: schedules as CSV, grids as JSON, events as JSONL.
 
 Simulation campaigns outlive Python sessions; this module round-trips
-finished schedules through a plain CSV (one row per job with submission,
-width, runtime, estimate, start, end, cancellation flag) so results can be
-archived, diffed between library versions, or loaded into any analysis
-stack.  The format is self-describing via its header row and validated on
-read.
+finished artifacts so results can be archived, diffed between library
+versions, or loaded into any analysis stack:
+
+* **schedules** — plain CSV, one row per job with submission, width,
+  runtime, estimate, start, end and cancellation flag; self-describing
+  via its header row and validated on read;
+* **grid results** — :func:`write_grid` / :func:`read_grid` serialize a
+  whole :class:`~repro.experiments.runner.GridResult` (and the per-cell
+  :func:`cell_to_dict` / :func:`cell_from_dict` pair backs the
+  experiment engine's content-addressed cache);
+* **engine events** — :func:`append_events` archives the engine's
+  structured progress stream as JSON lines for later timing analysis.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
+import json
 from pathlib import Path
-from typing import TextIO
+from typing import TYPE_CHECKING, Iterable, TextIO
 
 from repro.core.job import Job
 from repro.core.schedule import Schedule, ScheduledJob
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis <- experiments)
+    from repro.experiments.engine import ProgressEvent
+    from repro.experiments.runner import CellResult, GridResult
 
 #: CSV columns, in order.
 COLUMNS = (
@@ -110,3 +123,98 @@ def read_schedule(source: str | Path | TextIO) -> Schedule:
     finally:
         if own:
             handle.close()
+
+
+# -- grid results (JSON) -------------------------------------------------------
+#
+# The experiment imports live inside the functions: ``repro.experiments``
+# imports this package at module load, so importing it back at the top
+# level would be circular.
+
+
+def cell_to_dict(cell: "CellResult") -> dict:
+    """JSON-safe payload for one grid cell (engine cache format)."""
+    return {
+        "row": cell.config.row,
+        "column": cell.config.column,
+        "objective": cell.objective,
+        "compute_time": cell.compute_time,
+        "max_queue_length": cell.max_queue_length,
+        "makespan": cell.makespan,
+    }
+
+
+def cell_from_dict(payload: dict) -> "CellResult":
+    """Inverse of :func:`cell_to_dict`."""
+    from repro.experiments.runner import CellResult
+    from repro.schedulers.registry import SchedulerConfig
+
+    return CellResult(
+        config=SchedulerConfig(row=payload["row"], column=payload["column"]),
+        objective=float(payload["objective"]),
+        compute_time=float(payload["compute_time"]),
+        max_queue_length=int(payload["max_queue_length"]),
+        makespan=float(payload["makespan"]),
+    )
+
+
+def grid_to_dict(grid: "GridResult") -> dict:
+    """JSON-safe payload for a whole grid, cell order preserved."""
+    return {
+        "workload_name": grid.workload_name,
+        "weighted": grid.weighted,
+        "total_nodes": grid.total_nodes,
+        "n_jobs": grid.n_jobs,
+        "reference_key": grid.reference_key,
+        "cells": [cell_to_dict(cell) for cell in grid.cells.values()],
+    }
+
+
+def grid_from_dict(payload: dict) -> "GridResult":
+    """Inverse of :func:`grid_to_dict`."""
+    from repro.experiments.runner import GridResult
+
+    grid = GridResult(
+        workload_name=payload["workload_name"],
+        weighted=bool(payload["weighted"]),
+        total_nodes=int(payload["total_nodes"]),
+        n_jobs=int(payload["n_jobs"]),
+        reference_key=payload.get("reference_key"),
+    )
+    for raw in payload["cells"]:
+        cell = cell_from_dict(raw)
+        grid.cells[cell.config.key] = cell
+    return grid
+
+
+def write_grid(grid: "GridResult", target: str | Path) -> None:
+    """Write one grid result as a JSON document (overwrites)."""
+    Path(target).write_text(
+        json.dumps(grid_to_dict(grid), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def read_grid(source: str | Path) -> "GridResult":
+    """Read a grid written by :func:`write_grid`."""
+    try:
+        payload = json.loads(Path(source).read_text(encoding="utf-8"))
+        return grid_from_dict(payload)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ScheduleFormatError(f"malformed grid file {source}: {exc}") from exc
+
+
+# -- engine progress events (JSON lines) ---------------------------------------
+
+
+def append_events(events: "Iterable[ProgressEvent]", target: str | Path) -> int:
+    """Append engine progress events to a JSONL file; returns the count.
+
+    Append semantics match the engine's resumability: successive (partial)
+    runs accumulate into one log.
+    """
+    count = 0
+    with open(target, "a", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(dataclasses.asdict(event)) + "\n")
+            count += 1
+    return count

@@ -1,7 +1,10 @@
 """Experiment harness regenerating the paper's Tables 3–8 and Figures 3–6.
 
-* :mod:`repro.experiments.runner` — run the scheduler grid over a workload,
-  collecting objective values and algorithm computation times;
+* :mod:`repro.experiments.runner` — the grid result records and the serial
+  ``run_grid`` convenience wrapper;
+* :mod:`repro.experiments.engine` — the parallel experiment engine:
+  process-pool cell fan-out, content-addressed result caching, structured
+  progress events;
 * :mod:`repro.experiments.tables` — render results in the paper's table
   layout (Listscheduler / Backfilling / EASY-Backfilling columns, absolute
   values plus percentages against the FCFS+EASY reference);
@@ -12,6 +15,12 @@
 """
 
 from repro.experiments.runner import CellResult, GridResult, run_grid
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ProgressEvent,
+    ResultCache,
+    RunStats,
+)
 from repro.experiments.paper import (
     EXPERIMENTS,
     ExperimentSpec,
@@ -22,8 +31,12 @@ from repro.experiments.tables import format_grid, format_comparison
 __all__ = [
     "CellResult",
     "EXPERIMENTS",
+    "ExperimentEngine",
     "ExperimentSpec",
     "GridResult",
+    "ProgressEvent",
+    "ResultCache",
+    "RunStats",
     "format_comparison",
     "format_grid",
     "run_experiment",

@@ -6,9 +6,17 @@ Regenerates paper artifacts from the shell::
     repro-experiments fig3 fig4 --scale 2000
     repro-experiments all --scale 1000       # everything, small
     repro-experiments table3 --full          # paper-scale job count (slow!)
+    repro-experiments all --workers 8        # parallel cell fan-out
 
 Reports print to stdout; ``--out DIR`` additionally writes one text file
 per experiment and regime.
+
+Grid cells run through the parallel experiment engine: ``--workers N``
+fans independent cells out over N processes, and results are cached
+content-addressed under ``--cache-dir`` (default ``.repro-cache``), so
+re-runs and interrupted runs only simulate what is missing.  ``--no-cache``
+forces fresh simulations; ``--events FILE`` appends the engine's
+structured progress events as JSON lines.
 """
 
 from __future__ import annotations
@@ -52,6 +60,29 @@ def main(argv: list[str] | None = None) -> int:
         "CTC stand-in — e.g. the genuine CTC SP2 trace from the Parallel "
         "Workloads Archive",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for parallel grid-cell fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".repro-cache"),
+        help="content-addressed result cache directory (default .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache: simulate every cell fresh",
+    )
+    parser.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        help="append engine progress events to this file as JSON lines",
+    )
     args = parser.parse_args(argv)
 
     source_trace = None
@@ -87,6 +118,21 @@ def main(argv: list[str] | None = None) -> int:
                 banner + "\n" + result.report + f"\nclaim holds: {result.claim_holds}\n"
             )
 
+    cache = None if args.no_cache else args.cache_dir
+
+    def on_event(event) -> None:
+        from repro.analysis.persistence import append_events
+
+        if event.kind in ("cell-finished", "cache-hit"):
+            wall = f" in {event.wall_time:.2f}s" if event.wall_time is not None else ""
+            hit = " (cache hit)" if event.cached else ""
+            print(
+                f"  {event.key}: objective {event.objective:.4G}{wall}{hit}",
+                file=sys.stderr,
+            )
+        if args.events is not None:
+            append_events([event], args.events)
+
     for experiment_id in (i for i in ids if i in EXPERIMENTS):
         spec = EXPERIMENTS[experiment_id]
         scale = spec.paper_scale if args.full else args.scale
@@ -97,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
             total_nodes=args.nodes,
             progress=lambda msg: print(f"[{experiment_id}] {msg}", file=sys.stderr),
             source_trace=source_trace,
+            workers=args.workers,
+            cache=cache,
+            on_event=on_event,
         )
         for regime, report in result.reports.items():
             banner = f"=== {experiment_id} ({regime}) — {spec.description} ==="

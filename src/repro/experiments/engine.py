@@ -1,0 +1,428 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+The paper's workflow is "run every candidate algorithm over every workload,
+compare the tables".  :class:`ExperimentEngine` executes that grid:
+
+* **parallel fan-out** — independent grid cells (config × workload ×
+  regime) run concurrently on a ``ProcessPoolExecutor``; each worker
+  rebuilds its scheduler from the registry, so nothing unpicklable ever
+  crosses the process boundary and user-registered rows work unchanged;
+* **content-addressed caching** — every cell result is stored on disk
+  under a deterministic fingerprint of the job stream, machine size,
+  configuration, regime and cache format version.  A cache hit skips the
+  simulation entirely, so re-running a grid after adding one algorithm
+  only simulates the new cells, and an interrupted run resumes from the
+  cells that already finished;
+* **structured progress events** — ``grid-started``, ``cell-started``,
+  ``cache-hit``, ``cell-finished`` and ``grid-finished`` events carry the
+  cell key, wall-clock and objective; the CLI renders them and
+  :func:`repro.analysis.persistence.append_events` archives them as JSON
+  lines.
+
+Determinism: the simulation is a pure function of (jobs, config,
+machine), so parallel and serial runs produce bit-identical objectives;
+only ``compute_time`` (measured wall-clock inside scheduler callbacks) is
+machine- and run-dependent, and a cached cell replays the ``compute_time``
+of the run that produced it.
+
+``run_grid`` in :mod:`repro.experiments.runner` is a thin serial wrapper
+over this engine, so all existing callers share the same execution path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.job import Job
+from repro.experiments.runner import (
+    CellResult,
+    GridResult,
+    ProgressFn,
+    simulate_cell,
+)
+from repro.schedulers.registry import SchedulerConfig, paper_configurations
+
+#: Bump when the cached payload or the simulation semantics change; old
+#: entries then miss instead of replaying stale results.
+CACHE_VERSION = 1
+
+
+# -- fingerprints --------------------------------------------------------------
+
+
+def fingerprint_jobs(jobs: Sequence[Job]) -> str:
+    """Deterministic content digest of a job stream.
+
+    Covers every field the simulator reads (``repr`` of floats keeps full
+    precision, so streams differing in the last bit get distinct digests).
+    ``meta`` is excluded: no scheduler may read it.
+    """
+    hasher = hashlib.sha256()
+    for job in jobs:
+        record = (
+            f"{job.job_id},{job.submit_time!r},{job.nodes},{job.runtime!r},"
+            f"{job.estimate!r},{job.user},{job.weight!r}\n"
+        )
+        hasher.update(record.encode("ascii"))
+    return hasher.hexdigest()
+
+
+def cell_fingerprint(
+    jobs_digest: str,
+    config: SchedulerConfig,
+    *,
+    total_nodes: int,
+    weighted: bool,
+    recompute_threshold: float = 2.0 / 3.0,
+) -> str:
+    """Content address of one grid cell result."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "jobs": jobs_digest,
+            "row": config.row,
+            "column": config.column,
+            "total_nodes": total_nodes,
+            "weighted": weighted,
+            "recompute_threshold": repr(recompute_threshold),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+# -- the on-disk cache ---------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed cell store: one JSON file per fingerprint.
+
+    Keys are the hex digests from :func:`cell_fingerprint`; values are
+    :class:`CellResult` payloads.  Writes are atomic (tmp file + rename),
+    so a killed run never leaves a truncated entry; unreadable or
+    version-skewed entries read as misses.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> CellResult | None:
+        from repro.analysis.persistence import cell_from_dict
+
+        path = self.path(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        try:
+            return cell_from_dict(payload["cell"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, fingerprint: str, cell: CellResult) -> None:
+        from repro.analysis.persistence import cell_to_dict
+
+        path = self.path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "cell": cell_to_dict(cell)}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(path)
+
+
+# -- progress events -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """One structured engine event.
+
+    ``kind`` is ``grid-started``, ``cell-started``, ``cache-hit``,
+    ``cell-finished`` or ``grid-finished``; ``key`` is the cell key for
+    cell-level events and ``None`` for grid-level ones.  ``wall_time`` is
+    the wall-clock of the finished unit (whole grid for grid-finished);
+    cache hits report the objective but no wall time.
+    """
+
+    kind: str
+    workload_name: str
+    weighted: bool
+    key: str | None = None
+    wall_time: float | None = None
+    objective: float | None = None
+    cached: bool = False
+
+
+EventFn = Callable[[ProgressEvent], None]
+
+
+@dataclass(slots=True)
+class RunStats:
+    """Execution accounting for one engine run."""
+
+    total_cells: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    wall_time: float = 0.0
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+def _run_cell_task(
+    args: tuple[str, str, tuple[Job, ...], int, bool, float],
+) -> tuple[str, CellResult, float]:
+    """Pool worker: simulate one cell, returning (key, result, wall-clock).
+
+    Takes primitive row/column keys and rebuilds the scheduler from the
+    registry inside the worker — with the fork start method the child
+    inherits user registrations made before the run.
+    """
+    row, column, jobs, total_nodes, weighted, recompute_threshold = args
+    config = SchedulerConfig(row=row, column=column)
+    t0 = time.perf_counter()
+    cell = simulate_cell(
+        config,
+        jobs,
+        total_nodes=total_nodes,
+        weighted=weighted,
+        recompute_threshold=recompute_threshold,
+    )
+    return config.key, cell, time.perf_counter() - t0
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork so in-process registry registrations reach the workers."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ExperimentEngine:
+    """Runs scheduler grids in parallel with content-addressed caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for cell fan-out.  ``1`` (the default) runs
+        serially in-process — exactly the old ``run_grid`` behaviour.
+    cache:
+        A :class:`ResultCache`, a directory path to create one in, or
+        ``None`` to disable caching.
+    on_event:
+        Callback receiving every :class:`ProgressEvent`.
+
+    ``stats`` holds the :class:`RunStats` of the most recent :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        cache: ResultCache | str | Path | None = None,
+        on_event: EventFn | None = None,
+    ) -> None:
+        self.workers = max(1, workers if workers is not None else 1)
+        self.cache = ResultCache(cache) if isinstance(cache, (str, Path)) else cache
+        self.on_event = on_event
+        self.stats = RunStats()
+
+    def _emit(self, event: ProgressEvent) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        workload_name: str = "workload",
+        total_nodes: int = 256,
+        weighted: bool = False,
+        configs: Sequence[SchedulerConfig] | None = None,
+        recompute_threshold: float = 2.0 / 3.0,
+        progress: ProgressFn | None = None,
+        reference_key: str | None = None,
+    ) -> GridResult:
+        """Run one grid; the parallel, cached equivalent of ``run_grid``.
+
+        Cells are fingerprinted first; hits come from the cache, misses
+        are simulated (fanned out when ``workers > 1``) and written back
+        as they finish — so an interrupted run resumes where it stopped.
+        ``grid.cells`` is always in config order regardless of completion
+        order, and the ``progress`` callback (``run_grid`` compatible)
+        fires in that same order after all cells exist.
+        """
+        jobs = list(jobs)
+        chosen = list(configs) if configs is not None else list(paper_configurations())
+        grid = GridResult(
+            workload_name=workload_name,
+            weighted=weighted,
+            total_nodes=total_nodes,
+            n_jobs=len(jobs),
+            reference_key=reference_key,
+        )
+        stats = RunStats(total_cells=len(chosen))
+        self.stats = stats
+        t_start = time.perf_counter()
+        self._emit(
+            ProgressEvent(
+                kind="grid-started", workload_name=workload_name, weighted=weighted
+            )
+        )
+
+        digest = fingerprint_jobs(jobs)
+        results: dict[str, CellResult] = {}
+        pending: list[tuple[SchedulerConfig, str]] = []
+        for config in chosen:
+            fp = cell_fingerprint(
+                digest,
+                config,
+                total_nodes=total_nodes,
+                weighted=weighted,
+                recompute_threshold=recompute_threshold,
+            )
+            cell = self.cache.get(fp) if self.cache is not None else None
+            if cell is not None:
+                results[config.key] = cell
+                stats.cache_hits += 1
+                self._emit(
+                    ProgressEvent(
+                        kind="cache-hit",
+                        workload_name=workload_name,
+                        weighted=weighted,
+                        key=config.key,
+                        objective=cell.objective,
+                        cached=True,
+                    )
+                )
+            else:
+                pending.append((config, fp))
+
+        if self.workers > 1 and len(pending) > 1:
+            self._run_parallel(
+                pending, jobs, grid, stats, recompute_threshold, results
+            )
+        else:
+            self._run_serial(pending, jobs, grid, stats, recompute_threshold, results)
+
+        for config in chosen:
+            grid.cells[config.key] = results[config.key]
+            if progress is not None:
+                progress(config, results[config.key])
+        stats.wall_time = time.perf_counter() - t_start
+        self._emit(
+            ProgressEvent(
+                kind="grid-finished",
+                workload_name=workload_name,
+                weighted=weighted,
+                wall_time=stats.wall_time,
+            )
+        )
+        return grid
+
+    def _run_serial(
+        self,
+        pending: list[tuple[SchedulerConfig, str]],
+        jobs: list[Job],
+        grid: GridResult,
+        stats: RunStats,
+        recompute_threshold: float,
+        results: dict[str, CellResult],
+    ) -> None:
+        for config, fp in pending:
+            self._emit(
+                ProgressEvent(
+                    kind="cell-started",
+                    workload_name=grid.workload_name,
+                    weighted=grid.weighted,
+                    key=config.key,
+                )
+            )
+            t0 = time.perf_counter()
+            cell = simulate_cell(
+                config,
+                jobs,
+                total_nodes=grid.total_nodes,
+                weighted=grid.weighted,
+                recompute_threshold=recompute_threshold,
+            )
+            wall = time.perf_counter() - t0
+            self._record(config.key, fp, cell, wall, grid, stats, results)
+
+    def _run_parallel(
+        self,
+        pending: list[tuple[SchedulerConfig, str]],
+        jobs: list[Job],
+        grid: GridResult,
+        stats: RunStats,
+        recompute_threshold: float,
+        results: dict[str, CellResult],
+    ) -> None:
+        job_tuple = tuple(jobs)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)), mp_context=_pool_context()
+        ) as pool:
+            futures = {}
+            for config, fp in pending:
+                self._emit(
+                    ProgressEvent(
+                        kind="cell-started",
+                        workload_name=grid.workload_name,
+                        weighted=grid.weighted,
+                        key=config.key,
+                    )
+                )
+                future = pool.submit(
+                    _run_cell_task,
+                    (
+                        config.row,
+                        config.column,
+                        job_tuple,
+                        grid.total_nodes,
+                        grid.weighted,
+                        recompute_threshold,
+                    ),
+                )
+                futures[future] = fp
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, cell, wall = future.result()
+                    self._record(key, futures[future], cell, wall, grid, stats, results)
+
+    def _record(
+        self,
+        key: str,
+        fingerprint: str,
+        cell: CellResult,
+        wall: float,
+        grid: GridResult,
+        stats: RunStats,
+        results: dict[str, CellResult],
+    ) -> None:
+        results[key] = cell
+        stats.simulated += 1
+        if self.cache is not None:
+            self.cache.put(fingerprint, cell)
+        self._emit(
+            ProgressEvent(
+                kind="cell-finished",
+                workload_name=grid.workload_name,
+                weighted=grid.weighted,
+                key=key,
+                wall_time=wall,
+                objective=cell.objective,
+            )
+        )

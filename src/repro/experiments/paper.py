@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from pathlib import Path
+
 from repro.core.job import Job
-from repro.experiments.runner import GridResult, run_grid
+from repro.experiments.engine import EventFn, ExperimentEngine, ResultCache
+from repro.experiments.runner import GridResult
 from repro.experiments.tables import (
     agreement_score,
     format_bars,
@@ -285,6 +288,9 @@ def run_experiment(
     regimes: Sequence[str] | None = None,
     progress: Callable[[str], None] | None = None,
     source_trace: Sequence[Job] | None = None,
+    workers: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+    on_event: EventFn | None = None,
 ) -> ExperimentResult:
     """Regenerate one paper artifact at the given scale.
 
@@ -298,11 +304,17 @@ def run_experiment(
     ``scale``-job prefix of it directly; the probabilistic experiments fit
     their model on it; the randomized experiment ignores it (Table 2 is
     trace-free by construction).
+
+    ``workers``, ``cache`` and ``on_event`` configure the underlying
+    :class:`~repro.experiments.engine.ExperimentEngine`: worker processes
+    for parallel cell fan-out, a content-addressed result cache (a
+    directory path suffices), and a structured progress-event callback.
     """
     spec = EXPERIMENTS[experiment_id]
     n = spec.default_scale if scale is None else scale
     jobs = _experiment_jobs(spec, n, seed, source_trace)
     wanted = list(regimes) if regimes is not None else list(spec.paper.keys())
+    engine = ExperimentEngine(workers=workers, cache=cache, on_event=on_event)
 
     grids: dict[str, GridResult] = {}
     reports: dict[str, str] = {}
@@ -310,7 +322,7 @@ def run_experiment(
     for regime in wanted:
         if progress is not None:
             progress(f"{experiment_id}: running {regime} grid over {len(jobs)} jobs")
-        grid = run_grid(
+        grid = engine.run(
             jobs,
             workload_name=spec.description,
             total_nodes=total_nodes,

@@ -25,11 +25,7 @@ from repro.metrics.objectives import (
     average_response_time,
     average_weighted_response_time,
 )
-from repro.schedulers.registry import (
-    SchedulerConfig,
-    build_scheduler,
-    paper_configurations,
-)
+from repro.schedulers.registry import SchedulerConfig, build_scheduler
 
 
 class TimingScheduler(Scheduler):
@@ -61,7 +57,10 @@ class TimingScheduler(Scheduler):
         self.elapsed += time.perf_counter() - t0
 
     def next_wakeup(self, ctx: SchedulerContext) -> float | None:
-        return self.inner.next_wakeup(ctx)
+        t0 = time.perf_counter()
+        out = self.inner.next_wakeup(ctx)
+        self.elapsed += time.perf_counter() - t0
+        return out
 
     def select_jobs(self, ctx: SchedulerContext) -> list[Job]:
         t0 = time.perf_counter()
@@ -100,24 +99,88 @@ class GridResult:
     total_nodes: int
     n_jobs: int
     cells: dict[str, CellResult] = field(default_factory=dict)
+    #: Cell key the percentages are computed against; ``None`` selects
+    #: ``fcfs/easy`` when present, else the first cell in grid order.
+    reference_key: str | None = None
 
     @property
     def reference(self) -> CellResult:
-        """The FCFS + EASY cell (the paper's 0 % baseline)."""
-        return self.cells["fcfs/easy"]
+        """The 0 % baseline cell.
+
+        ``reference_key`` when set; otherwise FCFS + EASY (the paper's
+        reference), falling back to the grid's first cell for custom
+        config lists that omit it.
+        """
+        if not self.cells:
+            raise KeyError("grid has no cells yet; run it before asking for a reference")
+        if self.reference_key is not None:
+            if self.reference_key not in self.cells:
+                raise KeyError(
+                    f"reference cell {self.reference_key!r} is not in the grid; "
+                    f"available cells: {', '.join(self.cells)}"
+                )
+            return self.cells[self.reference_key]
+        if "fcfs/easy" in self.cells:
+            return self.cells["fcfs/easy"]
+        return next(iter(self.cells.values()))
+
+    def _cell(self, key: str) -> CellResult:
+        try:
+            return self.cells[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown grid cell {key!r}; available cells: "
+                f"{', '.join(self.cells) or '(none)'}"
+            ) from None
 
     def pct(self, key: str) -> float:
-        return self.cells[key].pct_vs(self.reference.objective)
+        return self._cell(key).pct_vs(self.reference.objective)
 
     def compute_pct(self, key: str) -> float:
         """Computation time vs the reference cell (Tables 7–8 layout)."""
         ref = self.reference.compute_time
         if ref == 0:
             return 0.0
-        return (self.cells[key].compute_time - ref) / ref * 100.0
+        return (self._cell(key).compute_time - ref) / ref * 100.0
 
 
 ProgressFn = Callable[[SchedulerConfig, CellResult], None]
+
+
+def simulate_cell(
+    config: SchedulerConfig,
+    jobs: Sequence[Job],
+    *,
+    total_nodes: int = 256,
+    weighted: bool = False,
+    recompute_threshold: float = 2.0 / 3.0,
+) -> CellResult:
+    """Simulate one grid cell and measure the paper's metrics.
+
+    The single place a cell is actually computed — the serial
+    :func:`run_grid`, the parallel engine's workers, and its cache misses
+    all funnel through here, which is what makes parallel and serial runs
+    bit-identical.
+    """
+    scheduler = TimingScheduler(
+        build_scheduler(
+            config, total_nodes, weighted=weighted,
+            recompute_threshold=recompute_threshold,
+        )
+    )
+    result = Simulator(Machine(total_nodes), scheduler).run(jobs)
+    objective = (
+        average_weighted_response_time(result.schedule)
+        if weighted
+        else average_response_time(result.schedule)
+    )
+    return CellResult(
+        config=config,
+        objective=objective,
+        compute_time=scheduler.elapsed,
+        max_queue_length=result.max_queue_length,
+        makespan=result.schedule.makespan,
+    )
 
 
 def run_grid(
@@ -128,38 +191,27 @@ def run_grid(
     weighted: bool = False,
     configs: Sequence[SchedulerConfig] | None = None,
     progress: ProgressFn | None = None,
+    reference_key: str | None = None,
 ) -> GridResult:
     """Run every configuration over ``jobs`` and collect the paper's metrics.
 
     ``weighted`` selects both the objective (ART vs AWRT) and the ordering
     weight SMART/PSRS use internally — matching the paper, which tunes and
     evaluates each regime separately.
+
+    This is a thin serial wrapper over
+    :class:`repro.experiments.engine.ExperimentEngine` (one worker, no
+    cache); use the engine directly for parallel fan-out, the on-disk
+    result cache, and structured progress events.
     """
-    chosen = list(configs) if configs is not None else list(paper_configurations())
-    grid = GridResult(
+    from repro.experiments.engine import ExperimentEngine
+
+    return ExperimentEngine(workers=1).run(
+        jobs,
         workload_name=workload_name,
-        weighted=weighted,
         total_nodes=total_nodes,
-        n_jobs=len(jobs),
+        weighted=weighted,
+        configs=configs,
+        progress=progress,
+        reference_key=reference_key,
     )
-    for config in chosen:
-        scheduler = TimingScheduler(
-            build_scheduler(config, total_nodes, weighted=weighted)
-        )
-        result = Simulator(Machine(total_nodes), scheduler).run(jobs)
-        objective = (
-            average_weighted_response_time(result.schedule)
-            if weighted
-            else average_response_time(result.schedule)
-        )
-        cell = CellResult(
-            config=config,
-            objective=objective,
-            compute_time=scheduler.elapsed,
-            max_queue_length=result.max_queue_length,
-            makespan=result.schedule.makespan,
-        )
-        grid.cells[config.key] = cell
-        if progress is not None:
-            progress(config, cell)
-    return grid

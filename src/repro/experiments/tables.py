@@ -7,14 +7,22 @@ FCFS + EASY reference.  Tables 7–8 print computation-time percentages.
 Figures 3–6 are horizontal ASCII bar charts of the same data — the paper's
 figures carry no information beyond their tables, so a textual rendering
 reproduces them faithfully.
+
+Rows and columns are derived from the grid being rendered, ordered by the
+scheduler registry: a user-registered algorithm that ran through the
+engine lands in the same tables as the paper's five, and grids over a
+config subset only print the columns they contain.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.experiments.runner import GridResult
-from repro.schedulers.registry import COLUMN_LABELS, COLUMNS, ROW_LABELS, ROWS
+from repro.schedulers.registry import (
+    column_label,
+    registered_columns,
+    registered_rows,
+    row_label,
+)
 
 
 def _sci(value: float) -> str:
@@ -26,6 +34,32 @@ def _pct(value: float) -> str:
     return f"{value:+.1f}%"
 
 
+def _ordered(present: list[str], registry_order: tuple[str, ...]) -> list[str]:
+    """Registry order first, then unknown keys in grid insertion order."""
+    known = [key for key in registry_order if key in present]
+    return known + [key for key in present if key not in known]
+
+
+def grid_rows(grid: GridResult) -> list[str]:
+    """Row keys present in a grid, in registry-then-insertion order."""
+    present: list[str] = []
+    for key in grid.cells:
+        row = key.split("/", 1)[0]
+        if row not in present:
+            present.append(row)
+    return _ordered(present, registered_rows())
+
+
+def grid_columns(grid: GridResult) -> list[str]:
+    """Column keys present in a grid, in registry-then-insertion order."""
+    present: list[str] = []
+    for key in grid.cells:
+        column = key.split("/", 1)[1]
+        if column not in present:
+            present.append(column)
+    return _ordered(present, registered_columns())
+
+
 def format_grid(grid: GridResult, *, title: str | None = None) -> str:
     """Tables 3–6 layout: objective value and pct per cell."""
     regime = "Weighted" if grid.weighted else "Unweighted"
@@ -34,21 +68,23 @@ def format_grid(grid: GridResult, *, title: str | None = None) -> str:
         f"{grid.workload_name} ({grid.n_jobs} jobs, {grid.total_nodes} nodes)"
     )
     lines = [head, ""]
+    rows, columns = grid_rows(grid), grid_columns(grid)
     col_w = 22
-    header = f"{regime:<14}" + "".join(
-        f"{COLUMN_LABELS[c]:>{col_w}}" for c in COLUMNS
+    label_w = max([14] + [len(row_label(r)) + 1 for r in rows])
+    header = f"{regime:<{label_w}}" + "".join(
+        f"{column_label(c):>{col_w}}" for c in columns
     )
     lines.append(header)
-    for row in ROWS:
+    for row in rows:
         cells = []
-        for column in COLUMNS:
+        for column in columns:
             key = f"{row}/{column}"
             if key not in grid.cells:
                 cells.append(f"{'—':>{col_w}}")
                 continue
             cell = grid.cells[key]
             cells.append(f"{_sci(cell.objective)} {_pct(grid.pct(key)):>9}".rjust(col_w))
-        lines.append(f"{ROW_LABELS[row]:<14}" + "".join(cells))
+        lines.append(f"{row_label(row):<{label_w}}" + "".join(cells))
     return "\n".join(lines)
 
 
@@ -63,13 +99,15 @@ def format_compute_times(grid: GridResult, *, title: str | None = None) -> str:
         f"({'weighted' if grid.weighted else 'unweighted'})"
     )
     lines = [head, ""]
+    rows, columns = grid_rows(grid), grid_columns(grid)
     col_w = 26
+    label_w = max([14] + [len(row_label(r)) + 1 for r in rows])
     lines.append(
-        f"{'':<14}" + "".join(f"{COLUMN_LABELS[c]:>{col_w}}" for c in COLUMNS)
+        f"{'':<{label_w}}" + "".join(f"{column_label(c):>{col_w}}" for c in columns)
     )
-    for row in ROWS:
+    for row in rows:
         cells = []
-        for column in COLUMNS:
+        for column in columns:
             key = f"{row}/{column}"
             if key not in grid.cells:
                 cells.append(f"{'—':>{col_w}}")
@@ -78,7 +116,7 @@ def format_compute_times(grid: GridResult, *, title: str | None = None) -> str:
             cells.append(
                 f"{cell.compute_time:8.3f}s {_pct(grid.compute_pct(key)):>9}".rjust(col_w)
             )
-        lines.append(f"{ROW_LABELS[row]:<14}" + "".join(cells))
+        lines.append(f"{row_label(row):<{label_w}}" + "".join(cells))
     return "\n".join(lines)
 
 
@@ -91,11 +129,11 @@ def format_bars(
     """Figures 3–6 as horizontal ASCII bars, longest bar = worst objective."""
     head = title or f"{grid.workload_name} ({'AWRT' if grid.weighted else 'ART'})"
     entries = []
-    for row in ROWS:
-        for column in COLUMNS:
+    for row in grid_rows(grid):
+        for column in grid_columns(grid):
             key = f"{row}/{column}"
             if key in grid.cells:
-                label = f"{ROW_LABELS[row]} + {COLUMN_LABELS[column]}"
+                label = f"{row_label(row)} + {column_label(column)}"
                 entries.append((label, grid.cells[key].objective))
     worst = max(v for _l, v in entries)
     lines = [head, ""]
@@ -118,13 +156,16 @@ def format_comparison(
     paper's absolute values belong to a trace we cannot replay.
     """
     head = title or f"paper vs measured — {measured.workload_name}"
-    ref_paper = paper_values["fcfs/easy"]
+    if "fcfs/easy" in paper_values:
+        ref_paper = paper_values["fcfs/easy"]
+    else:
+        ref_paper = next(iter(paper_values.values()))
     lines = [head, ""]
     lines.append(
         f"{'cell':<24}{'paper':>12}{'paper pct':>12}{'measured':>12}{'meas pct':>12}"
     )
-    for row in ROWS:
-        for column in COLUMNS:
+    for row in grid_rows(measured):
+        for column in grid_columns(measured):
             key = f"{row}/{column}"
             if key not in paper_values or key not in measured.cells:
                 continue

@@ -39,6 +39,13 @@ from repro.schedulers.registry import (
     SchedulerConfig,
     build_scheduler,
     paper_configurations,
+    register_discipline,
+    register_row,
+    registered_columns,
+    registered_configurations,
+    registered_rows,
+    unregister_discipline,
+    unregister_row,
 )
 from repro.schedulers.baselines import (
     KeyOrderPolicy,
@@ -99,6 +106,13 @@ __all__ = [
     "paper_configurations",
     "preemptive_psrs",
     "psrs_order",
+    "register_discipline",
+    "register_row",
+    "registered_columns",
+    "registered_configurations",
+    "registered_rows",
     "smart_order",
     "unit_weight",
+    "unregister_discipline",
+    "unregister_row",
 ]

@@ -1,0 +1,346 @@
+"""Tests for the parallel experiment engine, its cache, and the open registry."""
+
+import time
+
+import pytest
+
+from repro.analysis.persistence import append_events, read_grid, write_grid
+from repro.core.scheduler import Scheduler
+from repro.experiments.engine import (
+    CACHE_VERSION,
+    ExperimentEngine,
+    ResultCache,
+    cell_fingerprint,
+    fingerprint_jobs,
+)
+from repro.experiments.paper import probabilistic_workload
+from repro.experiments.runner import GridResult, TimingScheduler, run_grid
+from repro.experiments.tables import format_grid
+from repro.schedulers.baselines import KeyOrderPolicy
+from repro.schedulers.registry import (
+    SchedulerConfig,
+    paper_configurations,
+    register_discipline,
+    register_row,
+    registered_columns,
+    registered_configurations,
+    registered_rows,
+    unregister_row,
+)
+from tests.conftest import make_jobs
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The probabilistic workload of the parallel-equivalence requirement."""
+    return probabilistic_workload(110, seed=7)
+
+
+# -- fingerprints --------------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_stable_across_calls(self, workload):
+        assert fingerprint_jobs(workload) == fingerprint_jobs(list(workload))
+
+    def test_sensitive_to_any_job_field(self, workload):
+        base = fingerprint_jobs(workload)
+        perturbed = list(workload)
+        job = perturbed[5]
+        perturbed[5] = type(job)(
+            job_id=job.job_id,
+            submit_time=job.submit_time,
+            nodes=job.nodes,
+            runtime=job.runtime + 1e-9,
+            estimate=job.estimate,
+            user=job.user,
+            weight=job.weight,
+        )
+        assert fingerprint_jobs(perturbed) != base
+
+    def test_cell_fingerprint_axes(self, workload):
+        digest = fingerprint_jobs(workload)
+        cfg = SchedulerConfig("fcfs", "easy")
+        base = cell_fingerprint(digest, cfg, total_nodes=256, weighted=False)
+        assert base == cell_fingerprint(digest, cfg, total_nodes=256, weighted=False)
+        assert base != cell_fingerprint(digest, cfg, total_nodes=128, weighted=False)
+        assert base != cell_fingerprint(digest, cfg, total_nodes=256, weighted=True)
+        assert base != cell_fingerprint(
+            digest, SchedulerConfig("psrs", "easy"), total_nodes=256, weighted=False
+        )
+        assert base != cell_fingerprint(
+            digest, cfg, total_nodes=256, weighted=False, recompute_threshold=0.5
+        )
+
+
+# -- the on-disk cache ---------------------------------------------------------
+
+
+class TestResultCache:
+    def test_miss_then_roundtrip(self, tmp_path, workload):
+        cache = ResultCache(tmp_path)
+        grid = run_grid(workload[:30], total_nodes=256,
+                        configs=[SchedulerConfig("fcfs", "easy")])
+        cell = grid.cells["fcfs/easy"]
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, cell)
+        loaded = cache.get("ab" * 32)
+        assert loaded is not None
+        assert loaded.objective == cell.objective
+        assert loaded.config == cell.config
+        assert loaded.makespan == cell.makespan
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path("cd" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get("cd" * 32) is None
+
+    def test_version_skew_reads_as_miss(self, tmp_path, workload):
+        cache = ResultCache(tmp_path)
+        grid = run_grid(workload[:20], total_nodes=256,
+                        configs=[SchedulerConfig("fcfs", "list")])
+        cache.put("ef" * 32, grid.cells["fcfs/list"])
+        path = cache.path("ef" * 32)
+        payload = path.read_text(encoding="utf-8").replace(
+            f'"version": {CACHE_VERSION}', f'"version": {CACHE_VERSION + 1}'
+        )
+        path.write_text(payload, encoding="utf-8")
+        assert cache.get("ef" * 32) is None
+
+
+# -- parallel equivalence and cache-served re-runs -----------------------------
+
+
+class TestParallelEquivalence:
+    def test_workers4_matches_serial_and_warm_cache_skips_all(
+        self, tmp_path, workload
+    ):
+        serial = run_grid(workload, total_nodes=256)
+
+        engine = ExperimentEngine(workers=4, cache=tmp_path / "cache")
+        parallel = engine.run(workload, total_nodes=256)
+        assert engine.stats.simulated == 13
+        assert engine.stats.cache_hits == 0
+        assert list(parallel.cells) == list(serial.cells)
+        for key in serial.cells:
+            # bit-identical objectives, not approx: same pure computation.
+            assert parallel.cells[key].objective == serial.cells[key].objective
+            assert parallel.cells[key].makespan == serial.cells[key].makespan
+
+        warm = ExperimentEngine(workers=4, cache=tmp_path / "cache")
+        again = warm.run(workload, total_nodes=256)
+        assert warm.stats.simulated == 0
+        assert warm.stats.cache_hits == 13
+        for key in serial.cells:
+            assert again.cells[key].objective == serial.cells[key].objective
+
+    def test_partial_cache_simulates_only_missing_cells(self, tmp_path, workload):
+        subset = list(paper_configurations())[:3]
+        first = ExperimentEngine(workers=1, cache=tmp_path)
+        first.run(workload, total_nodes=256, configs=subset)
+        full = ExperimentEngine(workers=2, cache=tmp_path)
+        full.run(workload, total_nodes=256)
+        assert full.stats.cache_hits == 3
+        assert full.stats.simulated == 10
+
+    def test_progress_callback_in_config_order(self, workload):
+        configs = list(paper_configurations())
+        seen = []
+        ExperimentEngine(workers=4).run(
+            workload[:40],
+            total_nodes=256,
+            configs=configs,
+            progress=lambda cfg, cell: seen.append(cfg.key),
+        )
+        assert seen == [c.key for c in configs]
+
+
+class TestProgressEvents:
+    def test_event_stream_shape(self, tmp_path, workload):
+        events = []
+        engine = ExperimentEngine(cache=tmp_path, on_event=events.append)
+        configs = [SchedulerConfig("fcfs", "easy"), SchedulerConfig("fcfs", "list")]
+        engine.run(workload[:30], total_nodes=256, configs=configs)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "grid-started"
+        assert kinds[-1] == "grid-finished"
+        assert kinds.count("cell-started") == 2
+        assert kinds.count("cell-finished") == 2
+        finished = [e for e in events if e.kind == "cell-finished"]
+        assert all(e.wall_time > 0 and e.objective > 0 for e in finished)
+
+        events.clear()
+        engine2 = ExperimentEngine(cache=tmp_path, on_event=events.append)
+        engine2.run(workload[:30], total_nodes=256, configs=configs)
+        assert [e.kind for e in events if e.key] == ["cache-hit", "cache-hit"]
+        assert all(e.cached for e in events if e.key)
+
+    def test_events_archive_as_jsonl(self, tmp_path, workload):
+        import json
+
+        events = []
+        ExperimentEngine(on_event=events.append).run(
+            workload[:20], total_nodes=256, configs=[SchedulerConfig("gg", "list")]
+        )
+        target = tmp_path / "events.jsonl"
+        assert append_events(events, target) == len(events)
+        lines = [json.loads(line) for line in target.read_text().splitlines()]
+        assert len(lines) == len(events)
+        assert lines[0]["kind"] == "grid-started"
+        # appending accumulates across runs (resumable logs)
+        append_events(events, target)
+        assert len(target.read_text().splitlines()) == 2 * len(events)
+
+
+# -- grid persistence ----------------------------------------------------------
+
+
+class TestGridPersistence:
+    def test_grid_json_roundtrip(self, tmp_path, workload):
+        grid = run_grid(
+            workload[:30],
+            workload_name="roundtrip",
+            total_nodes=256,
+            configs=[SchedulerConfig("fcfs", "easy"), SchedulerConfig("psrs", "easy")],
+        )
+        path = tmp_path / "grid.json"
+        write_grid(grid, path)
+        loaded = read_grid(path)
+        assert loaded.workload_name == "roundtrip"
+        assert list(loaded.cells) == list(grid.cells)
+        for key in grid.cells:
+            assert loaded.cells[key].objective == grid.cells[key].objective
+        assert loaded.pct("psrs/easy") == grid.pct("psrs/easy")
+
+
+# -- the open registry ---------------------------------------------------------
+
+
+def _sjf_order(total_nodes, weight, threshold):
+    return KeyOrderPolicy(lambda j: j.estimated_runtime, "sjf")
+
+
+class TestOpenRegistry:
+    def test_register_and_unregister_row(self):
+        register_row("sjf-test", _sjf_order, label="SJF (test)", columns=("easy",))
+        try:
+            assert "sjf-test" in registered_rows()
+            keys = [c.key for c in registered_configurations(rows=("sjf-test",))]
+            assert keys == ["sjf-test/easy"]
+        finally:
+            unregister_row("sjf-test")
+        assert "sjf-test" not in registered_rows()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_row("fcfs", _sjf_order)
+        with pytest.raises(ValueError, match="already registered"):
+            register_discipline("easy", lambda: None)
+
+    def test_registered_configurations_cover_paper_grid(self):
+        paper = {c.key for c in paper_configurations()}
+        everything = {c.key for c in registered_configurations()}
+        assert paper <= everything
+
+    def test_registered_columns_in_paper_order(self):
+        assert registered_columns()[:3] == ("list", "conservative", "easy")
+
+    def test_custom_row_runs_through_engine_and_tables(self, tmp_path, workload):
+        register_row("sjf-test", _sjf_order, label="SJF (test)", columns=("easy",))
+        try:
+            configs = list(paper_configurations()) + list(
+                registered_configurations(rows=("sjf-test",))
+            )
+            engine = ExperimentEngine(workers=4, cache=tmp_path)
+            grid = engine.run(workload[:60], total_nodes=256, configs=configs)
+            assert "sjf-test/easy" in grid.cells
+            assert engine.stats.simulated == 14
+            rendered = format_grid(grid)
+            assert "SJF (test)" in rendered
+            # percentages work for the custom cell too
+            assert grid.pct("sjf-test/easy") == pytest.approx(
+                grid.cells["sjf-test/easy"].pct_vs(grid.reference.objective)
+            )
+            # and the custom cell is cached like any paper cell
+            warm = ExperimentEngine(workers=1, cache=tmp_path)
+            warm.run(workload[:60], total_nodes=256, configs=configs)
+            assert warm.stats.simulated == 0
+            assert warm.stats.cache_hits == 14
+        finally:
+            unregister_row("sjf-test")
+
+
+# -- reference fallback (GridResult API fix) -----------------------------------
+
+
+class TestReferenceFallback:
+    def test_missing_fcfs_easy_falls_back_to_first_cell(self, workload):
+        grid = run_grid(
+            workload[:30],
+            total_nodes=256,
+            configs=[SchedulerConfig("psrs", "easy"), SchedulerConfig("gg", "list")],
+        )
+        assert grid.reference.config.key == "psrs/easy"
+        assert grid.pct("psrs/easy") == 0.0
+
+    def test_explicit_reference_key(self, workload):
+        grid = run_grid(
+            workload[:30],
+            total_nodes=256,
+            configs=[SchedulerConfig("psrs", "easy"), SchedulerConfig("gg", "list")],
+            reference_key="gg/list",
+        )
+        assert grid.reference.config.key == "gg/list"
+        assert grid.pct("gg/list") == 0.0
+
+    def test_unknown_reference_key_message(self):
+        grid = GridResult("w", False, 64, 0)
+        with pytest.raises(KeyError, match="no cells"):
+            grid.reference
+        grid.cells["gg/list"] = object()  # only key presence matters here
+        grid.reference_key = "fcfs/easy"
+        with pytest.raises(KeyError, match="available cells: gg/list"):
+            grid.reference
+
+    def test_unknown_cell_key_message(self, workload):
+        grid = run_grid(
+            workload[:20], total_nodes=256, configs=[SchedulerConfig("fcfs", "easy")]
+        )
+        with pytest.raises(KeyError, match="unknown grid cell 'nope/nada'"):
+            grid.pct("nope/nada")
+        with pytest.raises(KeyError, match="available cells"):
+            grid.compute_pct("nope/nada")
+
+
+# -- TimingScheduler next_wakeup accounting (Tables 7–8 bugfix) ----------------
+
+
+class _SlowWakeupScheduler(Scheduler):
+    """Minimal scheduler whose timer callback burns measurable time."""
+
+    name = "slow-wakeup"
+    uses_estimates = False
+
+    def on_submit(self, job, ctx):
+        pass
+
+    def select_jobs(self, ctx):
+        return []
+
+    def next_wakeup(self, ctx):
+        time.sleep(0.002)
+        return None
+
+    @property
+    def pending_count(self):
+        return 0
+
+
+class TestTimingWakeup:
+    def test_next_wakeup_time_is_accumulated(self):
+        timed = TimingScheduler(_SlowWakeupScheduler())
+        assert timed.elapsed == 0.0
+        assert timed.next_wakeup(None) is None
+        assert timed.elapsed >= 0.002
