@@ -8,8 +8,10 @@ runtimes.  (This is also where the NumPy-vs-lists decision documented in
 """
 
 import random
+import time
 
 from repro.core.profile import AvailabilityProfile
+from repro.core.state import SchedulingState
 
 
 def build_profile(n_reservations: int, total_nodes: int = 256, seed: int = 0):
@@ -55,3 +57,106 @@ def test_from_running_bulk(benchmark):
 
     profile = benchmark(AvailabilityProfile.from_running, 256, 0.0, running)
     assert profile.steps()[-1][1] == 256
+
+
+# -- incremental state vs rebuild-per-decision ---------------------------------
+#
+# The event trace below mimics a simulated month under backlog: jobs start
+# and complete while the clock advances, and the scheduler snapshots the
+# availability at every decision point.  The incremental path applies one
+# O(log m) delta per event and clones on snapshot; the rebuild path sorts
+# the whole running table at every decision point — the pattern the
+# SchedulingState refactor removed.
+
+_N_EVENTS = 400
+_TOTAL = 256
+
+
+def _event_trace(seed: int = 3):
+    """(now, starts, completions) tuples driving both implementations."""
+    rng = random.Random(seed)
+    trace = []
+    running = {}
+    now = 0.0
+    next_id = 0
+    for _ in range(_N_EVENTS):
+        now += rng.uniform(1.0, 50.0)
+        done = [job_id for job_id, (end, _n) in running.items() if end <= now]
+        for job_id in done:
+            del running[job_id]
+        starts = []
+        used = sum(n for _e, n in running.values())
+        for _ in range(rng.randint(1, 3)):
+            nodes = rng.randint(1, _TOTAL // 8)
+            if used + nodes > _TOTAL:
+                break
+            est = rng.uniform(10.0, 5000.0)
+            running[next_id] = (now + est, nodes)
+            starts.append((next_id, est, nodes))
+            used += nodes
+            next_id += 1
+        trace.append((now, starts, done, list(running.items())))
+    return trace
+
+
+def _replay_incremental(trace):
+    state = SchedulingState(_TOTAL)
+    acc = 0.0
+    for now, starts, done, _running in trace:
+        state.advance(now)
+        for job_id in done:
+            state.on_release(job_id)
+        for job_id, est, nodes in starts:
+            state.on_start(job_id, est, nodes)
+        acc += state.snapshot().free_at(now)
+    return acc
+
+
+def _replay_rebuild(trace):
+    acc = 0.0
+    for now, _starts, _done, running in trace:
+        releases = [(end, nodes) for _job_id, (end, nodes) in running]
+        profile = AvailabilityProfile.from_running(_TOTAL, now, releases)
+        acc += profile.free_at(now)
+    return acc
+
+
+def test_incremental_state_replay(benchmark):
+    trace = _event_trace()
+    acc = benchmark(_replay_incremental, trace)
+    assert acc == _replay_rebuild(trace)  # same availability at every point
+
+
+def test_rebuild_per_decision_replay(benchmark):
+    trace = _event_trace()
+    acc = benchmark(_replay_rebuild, trace)
+    assert acc > 0
+
+
+def test_incremental_beats_rebuild():
+    """The refactor's raison d'être: deltas + snapshots beat re-sorting.
+
+    Measured outside pytest-benchmark so the two paths can be compared in
+    one test; best-of-5 wall clock on identical traces.
+    """
+    trace = _event_trace()
+    _replay_incremental(trace), _replay_rebuild(trace)  # warm up
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn(trace)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    incremental = best_of(_replay_incremental)
+    rebuild = best_of(_replay_rebuild)
+    print(
+        f"\nincremental={incremental * 1e3:.2f}ms rebuild={rebuild * 1e3:.2f}ms "
+        f"speedup={rebuild / incremental:.2f}x"
+    )
+    assert incremental < rebuild, (
+        f"incremental state ({incremental:.4f}s) should beat "
+        f"rebuild-per-decision ({rebuild:.4f}s)"
+    )

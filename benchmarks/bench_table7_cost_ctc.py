@@ -13,7 +13,7 @@ weighted PSRS/SMART list cells are significantly more expensive than their
 FCFS counterpart (the reordering is the cost).
 """
 
-from benchmarks.conftest import print_reports
+from benchmarks.conftest import print_reports, record_decision_times
 
 
 def test_table7_compute_times(benchmark, experiment_cache):
@@ -23,6 +23,7 @@ def test_table7_compute_times(benchmark, experiment_cache):
         iterations=1,
     )
     print_reports(result)
+    record_decision_times(benchmark, result)
 
     for regime in ("unweighted", "weighted"):
         grid = result.grids[regime]

@@ -5,7 +5,7 @@ classical list scheduling algorithm requires a similar computation time for
 both workloads" is asserted by comparing against the Table 7 run.
 """
 
-from benchmarks.conftest import print_reports
+from benchmarks.conftest import print_reports, record_decision_times
 
 
 def test_table8_compute_times(benchmark, experiment_cache):
@@ -15,6 +15,7 @@ def test_table8_compute_times(benchmark, experiment_cache):
         iterations=1,
     )
     print_reports(result)
+    record_decision_times(benchmark, result)
 
     for regime in ("unweighted", "weighted"):
         grid = result.grids[regime]

@@ -81,3 +81,30 @@ def print_reports(result) -> None:
         print(f"\n=== {result.spec.experiment_id} ({regime}) ===")
         print(report)
         print(f"rank agreement with paper: {result.agreement[regime]:.2f}")
+
+
+def record_decision_times(benchmark, result) -> None:
+    """Attach per-cell decision-point timing to the benchmark record.
+
+    ``decision_time`` is the wall-clock the simulator spent inside
+    ``select_jobs`` — the decision points proper, excluding queue
+    bookkeeping — so the cost tables can separate planning cost from
+    event handling.  Stored in ``extra_info`` (it survives into the
+    pytest-benchmark JSON) and printed alongside the reports.
+    """
+    for regime, grid in result.grids.items():
+        for key, cell in grid.cells.items():
+            benchmark.extra_info[f"decision_time[{regime}][{key}]"] = (
+                cell.decision_time
+            )
+        print(f"\n--- decision-point time ({regime}) ---")
+        for key, cell in grid.cells.items():
+            share = (
+                cell.decision_time / cell.compute_time
+                if cell.compute_time > 0
+                else 0.0
+            )
+            print(
+                f"{key:24s} decision={cell.decision_time:.4f}s "
+                f"compute={cell.compute_time:.4f}s ({share:.0%} of compute)"
+            )

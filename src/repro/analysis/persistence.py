@@ -141,6 +141,7 @@ def cell_to_dict(cell: "CellResult") -> dict:
         "compute_time": cell.compute_time,
         "max_queue_length": cell.max_queue_length,
         "makespan": cell.makespan,
+        "decision_time": cell.decision_time,
     }
 
 
@@ -155,6 +156,7 @@ def cell_from_dict(payload: dict) -> "CellResult":
         compute_time=float(payload["compute_time"]),
         max_queue_length=int(payload["max_queue_length"]),
         makespan=float(payload["makespan"]),
+        decision_time=float(payload.get("decision_time", 0.0)),
     )
 
 

@@ -11,9 +11,11 @@ defines
   identical nodes, no time sharing, exclusive access),
 * how simulated time advances (:mod:`repro.core.engine`),
 * what a finished :class:`~repro.core.schedule.Schedule` looks like and what
-  makes it *valid*, and
+  makes it *valid*,
 * the :class:`~repro.core.profile.AvailabilityProfile` step function used by
-  backfilling and reservations.
+  backfilling and reservations, and
+* the incremental :class:`~repro.core.state.SchedulingState` the simulator
+  maintains across events and exposes to schedulers as cheap snapshots.
 """
 
 from repro.core.job import Job, JobState
@@ -22,6 +24,7 @@ from repro.core.schedule import Schedule, ScheduledJob, ValidityError
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.profile import AvailabilityProfile
 from repro.core.simulator import Simulator, SimulationResult
+from repro.core.state import SchedulingState, StateDivergenceError
 
 __all__ = [
     "AvailabilityProfile",
@@ -33,7 +36,9 @@ __all__ = [
     "Machine",
     "Schedule",
     "ScheduledJob",
+    "SchedulingState",
     "SimulationResult",
     "Simulator",
+    "StateDivergenceError",
     "ValidityError",
 ]

@@ -12,9 +12,22 @@ The :class:`AvailabilityProfile` maintains the number of free nodes over
 
 All durations fed into a profile are *projected* (based on user estimates);
 the paper stresses that realised completions may be earlier, which is why
-backfilling can still delay jobs relative to FCFS (Section 5.2).  The
-profile is rebuilt by the schedulers from live state whenever they make
-decisions, so early completions are picked up naturally.
+backfilling can still delay jobs relative to FCFS (Section 5.2).
+
+Historically the schedulers rebuilt a profile from live state at every
+decision point; today :class:`repro.core.state.SchedulingState` maintains
+one *persistent* profile across events instead, which is why the class also
+supports
+
+* :meth:`release` — returning the projected remainder of an early
+  completion to the free pool,
+* :meth:`advance_origin` — dropping segments the simulation clock has
+  passed, and
+* :meth:`clone` — copy-on-write snapshots handed to the disciplines.
+
+``from_running`` remains the reference constructor: the incremental path is
+cross-checked against it (see ``SchedulingState.verify``), and contexts
+without a state fall back to it.
 
 Implementation note: profiles are the measured hot spot of conservative
 backfilling (hundreds of thousands of first-fit queries per simulated
@@ -39,7 +52,7 @@ class AvailabilityProfile:
     ``total_nodes`` — the machine eventually drains.
     """
 
-    __slots__ = ("_times", "_free", "total_nodes")
+    __slots__ = ("_times", "_free", "total_nodes", "_shared")
 
     def __init__(self, total_nodes: int, origin: float = 0.0) -> None:
         if total_nodes <= 0:
@@ -47,6 +60,7 @@ class AvailabilityProfile:
         self.total_nodes = total_nodes
         self._times: list[float] = [origin]
         self._free: list[int] = [total_nodes]
+        self._shared = False
 
     # -- construction ----------------------------------------------------------
 
@@ -92,6 +106,28 @@ class AvailabilityProfile:
         profile._free = free
         return profile
 
+    def clone(self) -> "AvailabilityProfile":
+        """Copy-on-write snapshot: O(1) until either copy mutates.
+
+        Both instances share the segment lists and carry a shared flag;
+        the first mutation on either side (reserve, release,
+        advance_origin) copies the lists before writing.  Queries never
+        detach.
+        """
+        other = AvailabilityProfile.__new__(AvailabilityProfile)
+        other.total_nodes = self.total_nodes
+        other._times = self._times
+        other._free = self._free
+        other._shared = True
+        self._shared = True
+        return other
+
+    def _detach(self) -> None:
+        if self._shared:
+            self._times = list(self._times)
+            self._free = list(self._free)
+            self._shared = False
+
     # -- queries ----------------------------------------------------------------
 
     @property
@@ -107,6 +143,21 @@ class AvailabilityProfile:
     def steps(self) -> list[tuple[float, int]]:
         """The profile as ``(time, free_nodes_from_time)`` pairs (a copy)."""
         return list(zip(self._times, self._free))
+
+    def canonical_steps(self) -> list[tuple[float, int]]:
+        """Steps with redundant breakpoints merged.
+
+        Incremental maintenance can leave breakpoints where the free count
+        does not change (a release exactly cancelling a reservation edge);
+        they never affect queries, but equality comparisons — the
+        incremental-vs-rebuild cross-check — must ignore them.
+        """
+        out: list[tuple[float, int]] = []
+        for time, free in zip(self._times, self._free):
+            if out and out[-1][1] == free:
+                continue
+            out.append((time, free))
+        return out
 
     def earliest_start(self, nodes: int, duration: float, after: float | None = None) -> float:
         """Earliest ``t >= after`` with ``free >= nodes`` on ``[t, t+duration)``.
@@ -153,6 +204,7 @@ class AvailabilityProfile:
         """
         if duration <= 0:
             return
+        self._detach()
         times = self._times
         free = self._free
         if start < times[0]:
@@ -170,6 +222,55 @@ class AvailabilityProfile:
                 )
         for i in range(lo, hi):
             free[i] -= nodes
+
+    def release(self, end: float, nodes: int) -> None:
+        """Add ``nodes`` free nodes back over ``[origin, end)``.
+
+        The inverse of :meth:`reserve` for the *remainder* of a commitment:
+        when a job completes at the current origin but was projected to run
+        until ``end``, its nodes become free over exactly that interval.
+        Callers must first advance the origin to the completion instant
+        (see :meth:`advance_origin`); ``end <= origin`` is a no-op — the
+        projection already expired on its own.
+
+        Raises ``ValueError`` if the release would lift any segment above
+        ``total_nodes`` (releasing nodes that were never reserved).
+        """
+        if nodes <= 0 or end <= self._times[0]:
+            return
+        self._detach()
+        self._ensure_breakpoint(end)
+        times = self._times
+        free = self._free
+        total = self.total_nodes
+        hi = bisect_left(times, end)
+        for i in range(hi):
+            if free[i] + nodes > total:
+                raise ValueError(
+                    f"release of {nodes} nodes up to {end} exceeds total_nodes "
+                    f"({free[i]} already free at {times[i]})"
+                )
+        for i in range(hi):
+            free[i] += nodes
+
+    def advance_origin(self, now: float) -> None:
+        """Move the origin forward to ``now``, dropping passed segments.
+
+        Keeps the profile anchored at the simulation clock so persistent
+        maintenance does not accumulate dead history.  ``now`` at or before
+        the current origin is a no-op; the free level holding at ``now``
+        becomes the new first segment.
+        """
+        if now <= self._times[0]:
+            return
+        self._detach()
+        times = self._times
+        free = self._free
+        idx = bisect_right(times, now) - 1
+        if idx > 0:
+            del times[:idx]
+            del free[:idx]
+        times[0] = now
 
     def _ensure_breakpoint(self, time: float) -> None:
         times = self._times

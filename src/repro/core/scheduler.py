@@ -24,10 +24,14 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.job import Job
 from repro.core.machine import Machine
+from repro.core.profile import AvailabilityProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (state imports profile)
+    from repro.core.state import SchedulingState
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,17 +50,35 @@ class RunningJob:
 class SchedulerContext:
     """Read-only view of the system state handed to schedulers.
 
-    Wraps the machine and the running-job table; exposes the current
-    simulated time.  A fresh context is not built per event — the simulator
-    keeps one and updates ``now``.
+    Wraps the machine, the running-job table and (when the driving loop
+    maintains one) the incremental :class:`~repro.core.state.SchedulingState`;
+    exposes the current simulated time.  A fresh context is not built per
+    event — the simulator keeps one and updates ``now``, which also
+    advances the state's persistent profile to the new instant.
     """
 
-    __slots__ = ("machine", "_running", "now")
+    __slots__ = ("machine", "_running", "_now", "state")
 
-    def __init__(self, machine: Machine, running: dict[int, RunningJob]) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        running: dict[int, RunningJob],
+        state: "SchedulingState | None" = None,
+    ) -> None:
         self.machine = machine
         self._running = running
-        self.now: float = 0.0
+        self.state = state
+        self._now: float = state.now if state is not None else 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self._now = value
+        if self.state is not None:
+            self.state.advance(value)
 
     @property
     def running(self) -> Mapping[int, RunningJob]:
@@ -75,9 +97,40 @@ class SchedulerContext:
         """``(projected_end, nodes)`` for every running job.
 
         This is the raw material for an availability profile; the order is
-        unspecified.
+        unspecified (end-sorted when an incremental state maintains it).
         """
+        if self.state is not None:
+            return self.state.projected_releases()
         return [(r.projected_end, r.job.nodes) for r in self._running.values()]
+
+    @property
+    def profile(self) -> AvailabilityProfile:
+        """The availability profile as of ``now`` — a private, mutable copy.
+
+        With an incremental state this is a copy-on-write snapshot of the
+        persistent profile (O(overruns), usually O(1)); without one it
+        falls back to a full ``from_running`` rebuild.  Either way the
+        returned step function is identical, disciplines may freely
+        ``reserve`` into it, and every access yields an independent copy.
+        """
+        if self.state is not None:
+            return self.state.snapshot()
+        return AvailabilityProfile.from_running(
+            self.machine.total_nodes, self._now, self.projected_releases()
+        )
+
+    def queue_min_nodes(self, expected_count: int) -> int | None:
+        """Narrowest job in the tracked wait queue, when that is knowable.
+
+        ``expected_count`` is the length of the queue the caller is about
+        to scan; the incremental stat is returned only when it describes
+        exactly that many jobs (wrappers that filter the queue, or
+        schedulers the simulator cannot track, make it refuse).  ``None``
+        means "scan it yourself".
+        """
+        if self.state is None or expected_count <= 0:
+            return None
+        return self.state.queue_min_nodes(expected_count)
 
 
 class Scheduler(abc.ABC):

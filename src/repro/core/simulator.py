@@ -1,8 +1,11 @@
 """The discrete-event simulator driving an on-line scheduler.
 
-The simulator owns the clock, the event queue, the machine, and the table of
-running jobs.  The scheduler owns the wait queue and the policy.  Per
-decision point (a batch of events at one instant) the flow is:
+The simulator owns the clock, the event queue, the machine, the table of
+running jobs, and the incremental
+:class:`~repro.core.state.SchedulingState` (persistent availability
+profile + queue statistics) that schedulers read through the context.  The
+scheduler owns the wait queue and the policy.  Per decision point (a batch
+of events at one instant) the flow is:
 
 1. apply every completion at this instant (release nodes, notify scheduler),
 2. apply every submission at this instant (notify scheduler),
@@ -23,6 +26,7 @@ CTC trace records realised runtimes), so the default is off.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -31,6 +35,7 @@ from repro.core.job import Job, validate_stream
 from repro.core.machine import Machine
 from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.scheduler import RunningJob, Scheduler, SchedulerContext
+from repro.core.state import SchedulingState, verify_every_from_env
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +68,13 @@ class SimulationResult:
     cancelled_queued: tuple[int, ...] = ()
     #: Ids of jobs killed while running (partial execution in the schedule).
     killed_running: tuple[int, ...] = ()
+    #: Wall-clock seconds spent inside ``select_jobs`` across all decision
+    #: points — the per-decision cost of the scheduling algorithm proper.
+    decision_time: float = 0.0
+    #: Deltas applied to / snapshots taken from the incremental scheduling
+    #: state (both 0 when the rebuild fallback ran).
+    profile_deltas: int = 0
+    profile_snapshots: int = 0
 
     @property
     def job_count(self) -> int:
@@ -92,6 +104,16 @@ class Simulator:
     collect_trace:
         If True, record queue length and free nodes at every decision point
         (for the analysis plots); adds memory overhead on large runs.
+    incremental_state:
+        If True (the default), maintain a
+        :class:`~repro.core.state.SchedulingState` across events and hand
+        schedulers cheap snapshots through ``ctx.profile``.  ``False``
+        selects the reference rebuild-per-decision path — same schedules,
+        bit for bit (the equivalence test's oracle).
+    verify_state:
+        Cross-check the incremental state against a fresh rebuild every
+        N-th snapshot (0 disables).  ``None`` (the default) reads
+        ``REPRO_VERIFY_STATE`` from the environment.
     """
 
     def __init__(
@@ -101,11 +123,15 @@ class Simulator:
         *,
         cancel_over_limit: bool = False,
         collect_trace: bool = False,
+        incremental_state: bool = True,
+        verify_state: int | None = None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
         self.cancel_over_limit = cancel_over_limit
         self.collect_trace = collect_trace
+        self.incremental_state = incremental_state
+        self.verify_state = verify_state
         self.trace = _Trace() if collect_trace else None
 
     def run(
@@ -143,9 +169,20 @@ class Simulator:
         events = EventQueue()
         pending_timers: set[float] = set()
         running: dict[int, RunningJob] = {}
-        ctx = SchedulerContext(self.machine, running)
+        state: SchedulingState | None = None
+        if self.incremental_state:
+            verify_every = (
+                self.verify_state
+                if self.verify_state is not None
+                else verify_every_from_env()
+            )
+            state = SchedulingState(
+                self.machine.total_nodes, verify_every=verify_every
+            )
+        ctx = SchedulerContext(self.machine, running, state=state)
         completed: list[ScheduledJob] = []
         decision_points = 0
+        decision_time = 0.0
         max_queue = 0
         now = 0.0
 
@@ -171,10 +208,14 @@ class Simulator:
                         continue  # stale completion of a killed job
                     self.machine.release(item.job.job_id)
                     del running[item.job.job_id]
+                    if state is not None:
+                        state.on_release(item.job.job_id)
                     finished_ids.add(item.job.job_id)
                     completed.append(item)
                     self.scheduler.on_complete(item.job, ctx)
                 elif event.kind is EventKind.SUBMISSION:
+                    if state is not None:
+                        state.note_enqueued(event.payload.nodes)
                     self.scheduler.on_submit(event.payload, ctx)
                 elif event.kind is EventKind.CANCELLATION:
                     job_id: int = event.payload
@@ -184,6 +225,8 @@ class Simulator:
                         start_time = running[job_id].start_time
                         self.machine.release(job_id)
                         del running[job_id]
+                        if state is not None:
+                            state.on_release(job_id)
                         finished_ids.add(job_id)
                         killed_running.append(job_id)
                         completed.append(
@@ -198,6 +241,8 @@ class Simulator:
                     elif job_id not in finished_ids and job_id not in started_ids:
                         # Still queued: withdraw it.
                         self.scheduler.on_cancel(job, ctx)
+                        if state is not None:
+                            state.note_dequeued(job.nodes)
                         cancelled_queued.append(job_id)
                     # else: already finished — the realistic no-op race.
                 else:
@@ -206,7 +251,9 @@ class Simulator:
                     pending_timers.discard(event.time)
 
             decision_points += 1
+            t_select = time.perf_counter()
             started = self.scheduler.select_jobs(ctx)
+            decision_time += time.perf_counter() - t_select
             for job in started:
                 started_ids.add(job.job_id)
                 cancelled = (
@@ -223,6 +270,9 @@ class Simulator:
                 )
                 self.machine.allocate(job)  # raises if the scheduler overcommitted
                 running[job.job_id] = RunningJob(job=job, start_time=now)
+                if state is not None:
+                    state.note_dequeued(job.nodes)
+                    state.on_start(job.job_id, job.estimated_runtime, job.nodes)
                 events.push(item.end_time, EventKind.COMPLETION, item)
 
             # Honour timer requests; only queue jobs justify a wake-up, so a
@@ -268,6 +318,9 @@ class Simulator:
             end_time=now,
             cancelled_queued=tuple(cancelled_queued),
             killed_running=tuple(killed_running),
+            decision_time=decision_time,
+            profile_deltas=state.deltas if state is not None else 0,
+            profile_snapshots=state.snapshots if state is not None else 0,
         )
 
 

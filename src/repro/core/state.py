@@ -1,0 +1,266 @@
+"""Incrementally-maintained scheduling state shared by simulator and schedulers.
+
+Backfilling disciplines plan against the machine's *availability* — free
+nodes as a function of future time.  The original implementation rebuilt an
+:class:`~repro.core.profile.AvailabilityProfile` from the running-job table
+at every decision point: O(m log m) per decision, hundreds of thousands of
+times per simulated month.  :class:`SchedulingState` replaces the
+rebuild-per-decision pattern with one persistent structure owned by the
+simulator and exposed to schedulers through
+:class:`~repro.core.scheduler.SchedulerContext`:
+
+* a **persistent availability profile** absorbing job start, completion and
+  kill deltas (``on_start`` / ``on_release``) and advancing its origin with
+  the simulation clock, so early completions free their projected remainder
+  the instant they happen;
+* a **sorted projected-release index** — ``(projected_end, job_id)`` pairs
+  maintained by binary insertion — replacing the per-decision sort hidden
+  inside ``AvailabilityProfile.from_running``;
+* **incremental queue statistics** — a width histogram of the wait queue
+  with a cached minimum, so disciplines answer "does anything fit at all?"
+  without an O(n) scan per decision point.
+
+The contract (see ``docs/architecture.md`` for the full invariant table):
+only the simulator mutates the state; schedulers read copy-on-write
+:meth:`snapshot` s, which are guaranteed to describe *exactly* the same
+step function ``from_running`` would rebuild — including the clamping of
+overrun jobs (projected end in the past) to an epsilon after *now*.  That
+guarantee is mechanical equivalence: schedules under the incremental state
+are bit-identical to the rebuild implementation, which
+``tests/test_state_equivalence.py`` asserts over the whole registry.
+
+Verification mode (``REPRO_VERIFY_STATE=K`` or ``Simulator(...,
+verify_state=K)``) cross-checks every K-th snapshot against a fresh
+``from_running`` rebuild and raises :class:`StateDivergenceError` on any
+mismatch — the cheap insurance that keeps "incremental" and "correct" the
+same thing as the code evolves.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right, insort
+
+from repro.core.profile import _OVERRUN_EPSILON, AvailabilityProfile
+
+
+class StateDivergenceError(RuntimeError):
+    """The incremental availability profile disagrees with a fresh rebuild.
+
+    Raised only in verification mode; indicates a bookkeeping bug in the
+    delta maintenance (or a scheduler mutating state it should not touch).
+    """
+
+
+def verify_every_from_env() -> int:
+    """Cross-check cadence requested via ``REPRO_VERIFY_STATE``.
+
+    ``0``/unset/empty disables verification; a positive integer N checks
+    every N-th snapshot; any other non-empty value means "every snapshot".
+    """
+    raw = os.environ.get("REPRO_VERIFY_STATE", "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 1
+
+
+#: Sentinel job id larger than any real one, for bisecting the overrun prefix.
+_MAX_JOB_ID = 1 << 62
+
+
+class SchedulingState:
+    """Persistent machine-availability state, updated by simulator deltas.
+
+    Parameters
+    ----------
+    total_nodes:
+        Machine size; snapshots inherit it.
+    origin:
+        Simulation start time.
+    verify_every:
+        Cross-check every N-th snapshot against a ``from_running`` rebuild
+        (0 disables).
+
+    ``deltas``, ``snapshots`` and ``verifications`` count the respective
+    operations for the cost benches (Tables 7–8 instrumentation).
+    """
+
+    __slots__ = (
+        "total_nodes",
+        "now",
+        "profile",
+        "_ends",
+        "_jobs",
+        "_queue_widths",
+        "_queued_count",
+        "_queue_min",
+        "verify_every",
+        "_since_verify",
+        "deltas",
+        "snapshots",
+        "verifications",
+    )
+
+    def __init__(
+        self, total_nodes: int, *, origin: float = 0.0, verify_every: int = 0
+    ) -> None:
+        self.total_nodes = total_nodes
+        self.now = origin
+        #: The persistent profile; schedulers must never mutate it directly —
+        #: they receive copy-on-write clones from :meth:`snapshot`.
+        self.profile = AvailabilityProfile(total_nodes, origin=origin)
+        self._ends: list[tuple[float, int]] = []  # (projected_end, job_id), sorted
+        self._jobs: dict[int, tuple[float, int]] = {}  # job_id -> (end, nodes)
+        self._queue_widths: dict[int, int] = {}  # nodes -> queued count
+        self._queued_count = 0
+        self._queue_min: int | None = None
+        self.verify_every = verify_every
+        self._since_verify = 0
+        self.deltas = 0
+        self.snapshots = 0
+        self.verifications = 0
+
+    # -- clock -----------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Move the state to ``now``, dropping passed profile segments.
+
+        Must be called before any delta at ``now`` is applied — the
+        simulator does so by assigning ``ctx.now`` once per event batch.
+        Backwards moves are ignored (repeat batches at one instant).
+        """
+        if now > self.now:
+            self.now = now
+            self.profile.advance_origin(now)
+
+    # -- job deltas (simulator-only) ---------------------------------------------
+
+    def on_start(self, job_id: int, estimated_runtime: float, nodes: int) -> None:
+        """A job started *now*: commit its projected run to the profile."""
+        end = self.now + estimated_runtime
+        self.profile.reserve(self.now, estimated_runtime, nodes)
+        insort(self._ends, (end, job_id))
+        self._jobs[job_id] = (end, nodes)
+        self.deltas += 1
+
+    def on_release(self, job_id: int) -> None:
+        """A running job ended *now* (completion or kill): free its remainder.
+
+        Early completions release the projected tail ``[now, end)``;
+        overrun jobs (projection already expired) have nothing left to
+        release — their epsilon clamp simply stops being applied to future
+        snapshots.
+        """
+        end, nodes = self._jobs.pop(job_id)
+        idx = bisect_left(self._ends, (end, job_id))
+        del self._ends[idx]
+        if end > self.now:
+            self.profile.release(end, nodes)
+        self.deltas += 1
+
+    # -- queue statistics ---------------------------------------------------------
+
+    def note_enqueued(self, nodes: int) -> None:
+        """A job entered the wait queue (simulator-side membership tracking)."""
+        self._queue_widths[nodes] = self._queue_widths.get(nodes, 0) + 1
+        self._queued_count += 1
+        if self._queue_min is None or nodes < self._queue_min:
+            self._queue_min = nodes
+
+    def note_dequeued(self, nodes: int) -> None:
+        """A queued job left the queue (started or cancelled)."""
+        count = self._queue_widths[nodes] - 1
+        if count:
+            self._queue_widths[nodes] = count
+        else:
+            del self._queue_widths[nodes]
+            if nodes == self._queue_min:
+                self._queue_min = (
+                    min(self._queue_widths) if self._queue_widths else None
+                )
+        self._queued_count -= 1
+
+    def queue_min_nodes(self, expected_count: int) -> int | None:
+        """Narrowest queued job, or ``None`` when the stat does not apply.
+
+        The caller states how many jobs the queue it is looking at holds;
+        when that disagrees with the tracked membership (a discipline
+        wrapper filtered the queue, or a scheduler manages jobs the
+        simulator cannot see) the stat is refused rather than silently
+        wrong, and the caller falls back to scanning.
+        """
+        if expected_count != self._queued_count or self._queue_min is None:
+            return None
+        return self._queue_min
+
+    @property
+    def queued_count(self) -> int:
+        return self._queued_count
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> AvailabilityProfile:
+        """The availability profile as of ``now`` — a copy-on-write clone.
+
+        Equals ``AvailabilityProfile.from_running(total, now,
+        projected_releases)`` as a step function: overrun jobs (projected
+        end at or before ``now``) are clamped to hold their nodes for the
+        same epsilon the reference constructor uses.  Mutating the returned
+        profile (disciplines reserve tentative starts into it) never
+        touches the persistent state.
+        """
+        self.snapshots += 1
+        snap = self.profile.clone()
+        ends = self._ends
+        if ends and ends[0][0] <= self.now:
+            overrun = bisect_right(ends, (self.now, _MAX_JOB_ID))
+            for _end, job_id in ends[:overrun]:
+                snap.reserve(self.now, _OVERRUN_EPSILON, self._jobs[job_id][1])
+        if self.verify_every:
+            self._since_verify += 1
+            if self._since_verify >= self.verify_every:
+                self._since_verify = 0
+                self.verify(snap)
+        return snap
+
+    def projected_releases(self) -> list[tuple[float, int]]:
+        """``(projected_end, nodes)`` of every running job, end-sorted."""
+        jobs = self._jobs
+        return [(end, jobs[job_id][1]) for end, job_id in self._ends]
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(self, snap: AvailabilityProfile | None = None) -> None:
+        """Cross-check the incremental profile against a fresh rebuild.
+
+        Raises :class:`StateDivergenceError` when the two disagree as step
+        functions (redundant breakpoints ignored on both sides).
+        """
+        self.verifications += 1
+        if snap is None:
+            snap = self.profile.clone()
+            overrun = bisect_right(self._ends, (self.now, _MAX_JOB_ID))
+            for _end, job_id in self._ends[:overrun]:
+                snap.reserve(self.now, _OVERRUN_EPSILON, self._jobs[job_id][1])
+        rebuilt = AvailabilityProfile.from_running(
+            self.total_nodes, self.now, self.projected_releases()
+        )
+        incremental = snap.canonical_steps()
+        reference = rebuilt.canonical_steps()
+        if incremental != reference:
+            raise StateDivergenceError(
+                f"incremental availability profile diverged from the "
+                f"from_running rebuild at t={self.now} "
+                f"({len(self._jobs)} running jobs): "
+                f"incremental={incremental[:6]}... reference={reference[:6]}..."
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SchedulingState(now={self.now}, running={len(self._jobs)}, "
+            f"queued={self._queued_count}, deltas={self.deltas}, "
+            f"snapshots={self.snapshots})"
+        )

@@ -51,7 +51,7 @@ from repro.schedulers.registry import SchedulerConfig, paper_configurations
 
 #: Bump when the cached payload or the simulation semantics change; old
 #: entries then miss instead of replaying stale results.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 # -- fingerprints --------------------------------------------------------------

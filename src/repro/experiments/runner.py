@@ -82,6 +82,7 @@ class CellResult:
     compute_time: float     # seconds spent inside the scheduling algorithm
     max_queue_length: int
     makespan: float
+    decision_time: float = 0.0  # seconds inside select_jobs at decision points
 
     def pct_vs(self, reference: float) -> float:
         """Percentage difference against a reference value (paper style)."""
@@ -180,6 +181,7 @@ def simulate_cell(
         compute_time=scheduler.elapsed,
         max_queue_length=result.max_queue_length,
         makespan=result.schedule.makespan,
+        decision_time=result.decision_time,
     )
 
 

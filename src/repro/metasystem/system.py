@@ -17,6 +17,7 @@ from repro.core.job import Job, validate_stream
 from repro.core.machine import Machine
 from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.scheduler import RunningJob, Scheduler, SchedulerContext
+from repro.core.state import SchedulingState, verify_every_from_env
 from repro.metasystem.routing import Router, SiteView
 
 
@@ -88,13 +89,19 @@ class MetasystemResult:
 class _SiteState:
     """Mutable per-site simulation state."""
 
-    __slots__ = ("site", "machine", "running", "ctx", "completed", "routed", "max_queue")
+    __slots__ = (
+        "site", "machine", "running", "state", "ctx", "completed", "routed",
+        "max_queue",
+    )
 
     def __init__(self, site: Site) -> None:
         self.site = site
         self.machine = Machine(site.nodes)
         self.running: dict[int, RunningJob] = {}
-        self.ctx = SchedulerContext(self.machine, self.running)
+        self.state = SchedulingState(
+            site.nodes, verify_every=verify_every_from_env()
+        )
+        self.ctx = SchedulerContext(self.machine, self.running, state=self.state)
         self.completed: list[ScheduledJob] = []
         self.routed = 0
         self.max_queue = 0
@@ -172,6 +179,7 @@ class Metasystem:
                     state = states[site_name]
                     state.machine.release(item.job.job_id)
                     del state.running[item.job.job_id]
+                    state.state.on_release(item.job.job_id)
                     state.completed.append(item)
                     state.site.scheduler.on_complete(item.job, state.ctx)
                     touched.add(site_name)
@@ -198,6 +206,7 @@ class Metasystem:
                             if target != home:
                                 migrations += 1
                             states[target].routed += 1
+                            states[target].state.note_enqueued(job.nodes)
                             states[target].site.scheduler.on_submit(
                                 job, states[target].ctx
                             )
@@ -205,6 +214,7 @@ class Metasystem:
                     else:  # staged arrival at the remote site
                         target, shifted = job
                         states[target].routed += 1
+                        states[target].state.note_enqueued(shifted.nodes)
                         states[target].site.scheduler.on_submit(
                             shifted, states[target].ctx
                         )
@@ -218,6 +228,8 @@ class Metasystem:
                         job=job, start_time=now, end_time=now + job.runtime
                     )
                     state.running[job.job_id] = RunningJob(job=job, start_time=now)
+                    state.state.note_dequeued(job.nodes)
+                    state.state.on_start(job.job_id, job.estimated_runtime, job.nodes)
                     events.push(item.end_time, EventKind.COMPLETION, (name, item))
                 state.max_queue = max(state.max_queue, state.site.scheduler.pending_count)
 

@@ -20,6 +20,13 @@ benefit for this method" because it never leaves a startable job waiting.
 All projections use the user estimate; actual runtimes may be shorter, so
 backfilled jobs can still delay queued work relative to plain FCFS — the
 behaviour the paper points out at the end of Section 5.2.
+
+Both backfilling disciplines plan on ``ctx.profile`` — a snapshot of the
+incrementally-maintained availability state (or a ``from_running`` rebuild
+when the driving loop keeps no state).  The snapshot is theirs to mutate:
+tentative starts and reservations go straight into it and die with the
+decision point, so early completions are still absorbed automatically — the
+next snapshot reflects them.
 """
 
 from __future__ import annotations
@@ -27,9 +34,29 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.job import Job
-from repro.core.profile import AvailabilityProfile
+from repro.core.profile import _OVERRUN_EPSILON, AvailabilityProfile
 from repro.core.scheduler import SchedulerContext
 from repro.schedulers.base import Discipline
+
+
+def _min_queue_nodes(queue: Sequence[Job], ctx: SchedulerContext) -> int:
+    """Narrowest job in ``queue`` — incremental stat when valid, else a scan."""
+    cached = ctx.queue_min_nodes(len(queue))
+    if cached is not None:
+        return cached
+    return min(job.nodes for job in queue)
+
+
+def _reserve_from_now(
+    profile: AvailabilityProfile, now: float, duration: float, nodes: int
+) -> None:
+    """Commit a tentative start at ``now`` the way ``from_running`` projects it.
+
+    Zero-duration estimates are clamped to the overrun epsilon — exactly the
+    clamp the reference constructor applies to a projected end at ``now`` —
+    so snapshot-based planning stays bit-identical to a rebuild.
+    """
+    profile.reserve(now, duration if duration > 0 else _OVERRUN_EPSILON, nodes)
 
 
 class HeadBlockingDiscipline(Discipline):
@@ -39,6 +66,8 @@ class HeadBlockingDiscipline(Discipline):
     uses_estimates = False
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
+        if not queue:
+            return []
         free = ctx.free_nodes
         started: list[Job] = []
         for job in queue:
@@ -60,6 +89,8 @@ class AnyFitDiscipline(Discipline):
     uses_estimates = False
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
+        if not queue:
+            return []
         free = ctx.free_nodes
         started: list[Job] = []
         for job in queue:
@@ -81,67 +112,92 @@ class EasyBackfill(Discipline):
     the shadow time or uses only extra nodes.  The shadow is recomputed
     after every backfill, which keeps the no-postponement invariant exact
     even when a backfilled job's reservation reshapes the profile.
+
+    The queue walk is index-based: a ``taken`` mask plus a head cursor
+    replace the old list mutation (``pop(0)`` / ``remove``), which went
+    quadratic on wide startable queues.  The planning profile is one
+    ``ctx.profile`` snapshot taken lazily when the head first blocks; jobs
+    started this decision point are reserved into it incrementally, which
+    is function-identical to the old rebuild-per-backfill.
     """
 
     name = "easy"
     uses_estimates = True
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
+        if not queue:
+            return []
         free = ctx.free_nodes
         now = ctx.now
         # No queued job fits the free nodes: neither the head nor any
         # backfill candidate can start, so skip the profile work.
-        if free < min(job.nodes for job in queue):
+        if free < _min_queue_nodes(queue, ctx):
             return []
         started: list[Job] = []
-        tentative: list[tuple[float, int]] = []  # projected ends of jobs started now
-        remaining = list(queue)
+        profile: AvailabilityProfile | None = None  # taken when the head blocks
+        n = len(queue)
+        taken = [False] * n
+        head = 0
+        remaining = n
 
         while remaining:
-            head = remaining[0]
-            if head.nodes <= free:
-                started.append(head)
-                free -= head.nodes
-                tentative.append((now + head.estimated_runtime, head.nodes))
-                remaining.pop(0)
+            while taken[head]:
+                head += 1
+            job = queue[head]
+            if job.nodes <= free:
+                started.append(job)
+                free -= job.nodes
+                taken[head] = True
+                remaining -= 1
+                if profile is not None:
+                    _reserve_from_now(profile, now, job.estimated_runtime, job.nodes)
                 continue
-            if len(remaining) == 1:
+            if remaining == 1:
                 break
-            profile = AvailabilityProfile.from_running(
-                ctx.total_nodes, now, ctx.projected_releases() + tentative
-            )
-            shadow = profile.earliest_start(head.nodes, head.estimated_runtime)
-            extra = profile.free_at(shadow) - head.nodes
+            if profile is None:
+                profile = ctx.profile
+                for prior in started:
+                    _reserve_from_now(
+                        profile, now, prior.estimated_runtime, prior.nodes
+                    )
+            shadow = profile.earliest_start(job.nodes, job.estimated_runtime)
+            extra = profile.free_at(shadow) - job.nodes
             candidate = None
-            for job in remaining[1:]:
-                if job.nodes > free:
+            for idx in range(head + 1, n):
+                if taken[idx]:
                     continue
-                if now + job.estimated_runtime <= shadow or job.nodes <= extra:
-                    candidate = job
+                trial = queue[idx]
+                if trial.nodes > free:
+                    continue
+                if now + trial.estimated_runtime <= shadow or trial.nodes <= extra:
+                    candidate = idx
                     break
             if candidate is None:
                 break
-            started.append(candidate)
-            free -= candidate.nodes
-            tentative.append((now + candidate.estimated_runtime, candidate.nodes))
-            remaining.remove(candidate)
+            job = queue[candidate]
+            started.append(job)
+            free -= job.nodes
+            taken[candidate] = True
+            remaining -= 1
+            _reserve_from_now(profile, now, job.estimated_runtime, job.nodes)
         return started
 
 
 class ConservativeBackfill(Discipline):
     """Conservative backfilling: no queued job's projected completion grows.
 
-    Every decision point rebuilds the reservation profile from live state
-    and walks the queue in order: each job either starts now or receives a
-    reservation at its earliest projected start.  Later jobs plan around
-    all earlier reservations, so no job can be postponed (with respect to
-    the projections) by a backfilled successor.
+    Every decision point takes a fresh availability snapshot
+    (``ctx.profile``) and walks the queue in order: each job either starts
+    now or receives a reservation at its earliest projected start.  Later
+    jobs plan around all earlier reservations, so no job can be postponed
+    (with respect to the projections) by a backfilled successor.
 
-    Rebuilding rather than keeping persistent reservations automatically
-    exploits early completions: when a job finishes ahead of its estimate
-    the whole profile shifts forward at the next decision point, exactly
-    like a real conservative-backfill queue manager re-evaluating its
-    reservation table.
+    Queued-job reservations live only inside the decision point's snapshot
+    — never in the persistent state — which automatically exploits early
+    completions: when a job finishes ahead of its estimate the next
+    snapshot already shows the freed remainder, exactly like a real
+    conservative-backfill queue manager re-evaluating its reservation
+    table.
 
     ``depth`` bounds how many queued jobs are considered per decision point
     (production systems call this ``bf_max_job_test``); jobs beyond the
@@ -161,21 +217,21 @@ class ConservativeBackfill(Discipline):
         self.depth = depth
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
+        if not queue:
+            return []
         now = ctx.now
         if self.depth is not None:
             queue = queue[: self.depth]
         # Nothing can start when no queued job fits the free nodes; skip the
-        # profile rebuild entirely (frequent during backlog phases).
-        if ctx.free_nodes < min(job.nodes for job in queue):
+        # profile snapshot entirely (frequent during backlog phases).
+        if ctx.free_nodes < _min_queue_nodes(queue, ctx):
             return []
-        profile = AvailabilityProfile.from_running(
-            ctx.total_nodes, now, ctx.projected_releases()
-        )
+        profile = ctx.profile
         # Early-exit support: once the nodes free *right now* drop below the
         # narrowest job remaining in the queue, no further job can start at
         # this decision point.  The skipped tail's reservations are never
-        # consulted (the profile is rebuilt from live state at every decision
-        # point), so stopping is exact, not an approximation.
+        # consulted (each decision point plans on a fresh snapshot), so
+        # stopping is exact, not an approximation.
         suffix_min = [0] * (len(queue) + 1)
         suffix_min[len(queue)] = _NO_JOB
         for i in range(len(queue) - 1, -1, -1):

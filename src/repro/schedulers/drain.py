@@ -99,12 +99,18 @@ class DrainDiscipline(Discipline):
     # -- Discipline interface ----------------------------------------------------
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
+        if not queue:
+            return []
         now = ctx.now
         if self._active(now) is not None:
             return []
         horizon = self._next_start(now)
         if horizon == float("inf"):
             return self.inner.select(queue, ctx)
+        # The inner discipline plans on ``ctx.profile`` snapshots itself;
+        # filtering the queue here makes the context's incremental queue
+        # statistics refuse (length mismatch), so the inner select falls
+        # back to scanning ``eligible`` — never a stale cached minimum.
         eligible = [job for job in queue if now + job.estimated_runtime <= horizon]
         if not eligible:
             return []

@@ -9,8 +9,8 @@ it postpones no queued job's projected start by more than its remaining
 slack.
 
 Implementation: like :class:`~repro.schedulers.disciplines.ConservativeBackfill`,
-the profile is rebuilt per decision point and every queued job receives a
-reservation — but each job's reservation is placed at
+each decision point plans on a fresh ``ctx.profile`` snapshot and every
+queued job receives a reservation — but each job's reservation is placed at
 ``earliest_start + slack``, where
 
 ``slack = slack_factor * estimated_runtime``
@@ -26,10 +26,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.job import Job
-from repro.core.profile import AvailabilityProfile
 from repro.core.scheduler import SchedulerContext
 from repro.schedulers.base import Discipline
-from repro.schedulers.disciplines import _NO_JOB, _ZERO_RUNTIME_EPSILON
+from repro.schedulers.disciplines import (
+    _NO_JOB,
+    _ZERO_RUNTIME_EPSILON,
+    _min_queue_nodes,
+)
 
 
 class SlackBackfill(Discipline):
@@ -45,12 +48,12 @@ class SlackBackfill(Discipline):
         self.name = f"slack({slack_factor:g})"
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
-        now = ctx.now
-        if ctx.free_nodes < min(job.nodes for job in queue):
+        if not queue:
             return []
-        profile = AvailabilityProfile.from_running(
-            ctx.total_nodes, now, ctx.projected_releases()
-        )
+        now = ctx.now
+        if ctx.free_nodes < _min_queue_nodes(queue, ctx):
+            return []
+        profile = ctx.profile
         suffix_min = [0] * (len(queue) + 1)
         suffix_min[len(queue)] = _NO_JOB
         for i in range(len(queue) - 1, -1, -1):

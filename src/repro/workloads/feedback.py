@@ -35,6 +35,7 @@ from repro.core.job import Job
 from repro.core.machine import Machine
 from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.scheduler import RunningJob, Scheduler, SchedulerContext
+from repro.core.state import SchedulingState, verify_every_from_env
 
 
 @dataclass(slots=True)
@@ -121,7 +122,8 @@ def run_closed_loop(
     scheduler.reset()
     events = EventQueue()
     running: dict[int, RunningJob] = {}
-    ctx = SchedulerContext(machine, running)
+    state = SchedulingState(total_nodes, verify_every=verify_every_from_env())
+    ctx = SchedulerContext(machine, running, state=state)
     completed: list[ScheduledJob] = []
     trace: list[Job] = []
     submissions: dict[int, int] = {u.user_id: 0 for u in users}
@@ -182,6 +184,7 @@ def run_closed_loop(
                 item: ScheduledJob = event.payload
                 machine.release(item.job.job_id)
                 del running[item.job.job_id]
+                state.on_release(item.job.job_id)
                 completed.append(item)
                 scheduler.on_complete(item.job, ctx)
                 user_reacts(item)
@@ -189,12 +192,15 @@ def run_closed_loop(
                 job: Job = event.payload
                 trace.append(job)
                 submissions[job.user] += 1
+                state.note_enqueued(job.nodes)
                 scheduler.on_submit(job, ctx)
 
         for job in scheduler.select_jobs(ctx):
             machine.allocate(job)
             item = ScheduledJob(job=job, start_time=now, end_time=now + job.runtime)
             running[job.job_id] = RunningJob(job=job, start_time=now)
+            state.note_dequeued(job.nodes)
+            state.on_start(job.job_id, job.estimated_runtime, job.nodes)
             events.push(item.end_time, EventKind.COMPLETION, item)
 
     return ClosedLoopResult(

@@ -209,6 +209,107 @@ class TestConservativeDepth:
         res.schedule.validate(64)
 
 
+class TestEmptyQueueGuards:
+    """select() on an empty queue must return [] without touching the profile."""
+
+    def _ctx(self):
+        from repro.core.machine import Machine
+        from repro.core.scheduler import SchedulerContext
+
+        return SchedulerContext(Machine(8), {})
+
+    @pytest.mark.parametrize(
+        "discipline",
+        [
+            HeadBlockingDiscipline(),
+            AnyFitDiscipline(),
+            EasyBackfill(),
+            ConservativeBackfill(),
+        ],
+        ids=lambda d: d.name,
+    )
+    def test_core_disciplines(self, discipline):
+        assert discipline.select([], self._ctx()) == []
+
+    def test_slack(self):
+        from repro.schedulers.slack import SlackBackfill
+
+        assert SlackBackfill().select([], self._ctx()) == []
+
+    def test_drain(self):
+        from repro.schedulers.drain import DrainDiscipline, Reservation
+
+        drained = DrainDiscipline(EasyBackfill(), [Reservation(100.0, 200.0)])
+        assert drained.select([], self._ctx()) == []
+
+
+class _ListMutationEasyBackfill(EasyBackfill):
+    """Oracle: the pre-refactor EASY walk with ``pop(0)`` / ``remove``.
+
+    Semantically identical to :class:`EasyBackfill`; kept here so the
+    index-based rewrite is regression-tested against the original queue
+    mutation on queues wide enough for the O(n^2) behaviour to have bitten.
+    """
+
+    def select(self, queue, ctx):
+        pending = list(queue)
+        free = ctx.free_nodes
+        now = ctx.now
+        started = []
+        while pending:
+            job = pending[0]
+            if job.nodes <= free:
+                started.append(job)
+                free -= job.nodes
+                pending.pop(0)
+                continue
+            if len(pending) == 1:
+                break
+            profile = ctx.profile  # fresh snapshot per blocked-head pass
+            for prior in started:
+                est = prior.estimated_runtime
+                profile.reserve(now, est if est > 0 else 1.0, prior.nodes)
+            shadow = profile.earliest_start(job.nodes, job.estimated_runtime)
+            extra = profile.free_at(shadow) - job.nodes
+            candidate = None
+            for trial in pending[1:]:
+                if trial.nodes > free:
+                    continue
+                if now + trial.estimated_runtime <= shadow or trial.nodes <= extra:
+                    candidate = trial
+                    break
+            if candidate is None:
+                break
+            started.append(candidate)
+            free -= candidate.nodes
+            pending.remove(candidate)
+        return started
+
+
+class TestEasyWideQueue:
+    def test_wide_startable_queue_matches_list_mutation_oracle(self):
+        # Hundreds of jobs submitted at once onto an idle machine: the old
+        # implementation popped each start off the queue front (quadratic);
+        # the index walk must start exactly the same jobs in the same order.
+        jobs = [J(i, 0.0, 1, 10.0, estimate=10.0) for i in range(300)]
+        new = run(jobs, EasyBackfill(), nodes=256)
+        old = run(jobs, _ListMutationEasyBackfill(), nodes=256)
+        for job in jobs:
+            assert new.schedule[job.job_id].start_time == old.schedule[job.job_id].start_time
+        # All 256 fit immediately, the rest wave through at t=10.
+        assert sum(1 for i in new.schedule if i.start_time == 0.0) == 256
+
+    @given(st.integers(min_value=0, max_value=11))
+    @settings(max_examples=12, deadline=None)
+    def test_random_streams_match_list_mutation_oracle(self, seed):
+        jobs = make_jobs(120, seed=seed, max_nodes=48, mean_gap=15.0)
+        new = run(jobs, EasyBackfill(), nodes=64)
+        old = run(jobs, _ListMutationEasyBackfill(), nodes=64)
+        for job in jobs:
+            a, b = new.schedule[job.job_id], old.schedule[job.job_id]
+            assert (a.start_time, a.end_time) == (b.start_time, b.end_time)
+
+
 @given(st.integers(min_value=0, max_value=8))
 @settings(max_examples=9, deadline=None)
 def test_all_disciplines_produce_valid_schedules(seed):

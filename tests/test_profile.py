@@ -127,6 +127,109 @@ class TestFromRunning:
         assert p.free_at(7.0) == 10
 
 
+class TestCloneAndCopyOnWrite:
+    def test_clone_reads_identically(self):
+        p = AvailabilityProfile(10)
+        p.reserve(5.0, 10.0, 4)
+        q = p.clone()
+        assert q.steps() == p.steps()
+        assert q.total_nodes == p.total_nodes
+
+    def test_writes_to_clone_do_not_touch_original(self):
+        p = AvailabilityProfile(10)
+        p.reserve(5.0, 10.0, 4)
+        q = p.clone()
+        q.reserve(0.0, 3.0, 6)
+        assert p.free_at(0.0) == 10
+        assert q.free_at(0.0) == 4
+
+    def test_writes_to_original_do_not_touch_clone(self):
+        p = AvailabilityProfile(10)
+        q = p.clone()
+        p.reserve(0.0, 3.0, 6)
+        assert q.free_at(0.0) == 10
+
+    def test_clone_of_clone(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 5.0, 2)
+        q = p.clone().clone()
+        q.reserve(0.0, 5.0, 3)
+        assert p.free_at(0.0) == 8
+        assert q.free_at(0.0) == 5
+
+
+class TestRelease:
+    def test_release_restores_reserved_window(self):
+        p = AvailabilityProfile(10, origin=0.0)
+        p.reserve(0.0, 100.0, 4)
+        p.release(100.0, 4)  # the job ended at the origin, remainder freed
+        assert p.free_at(0.0) == 10
+        assert p.free_at(99.0) == 10
+
+    def test_partial_release_after_advance(self):
+        # A job reserved [0, 100) finishes early at 30: free [30, 100).
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 100.0, 4)
+        p.advance_origin(30.0)
+        p.release(100.0, 4)
+        assert p.free_at(30.0) == 10
+        assert p.free_at(99.0) == 10
+
+    def test_release_of_nothing_is_noop(self):
+        p = AvailabilityProfile(10)
+        p.release(50.0, 0)
+        p.release(0.0, 4)  # end at the origin: nothing to free
+        assert p.steps() == [(0.0, 10)]
+
+    def test_over_release_raises(self):
+        p = AvailabilityProfile(10)
+        with pytest.raises(ValueError):
+            p.release(50.0, 4)  # nothing was reserved there
+
+
+class TestAdvanceOrigin:
+    def test_drops_passed_segments(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 4)
+        p.reserve(20.0, 10.0, 6)
+        p.advance_origin(15.0)
+        assert p.steps()[0] == (15.0, 10)
+        assert p.free_at(20.0) == 4
+        with pytest.raises(ValueError, match="precedes"):
+            p.free_at(14.0)
+
+    def test_advance_onto_breakpoint(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 4)
+        p.advance_origin(10.0)
+        assert p.steps() == [(10.0, 10)]
+
+    def test_advance_backwards_is_noop(self):
+        p = AvailabilityProfile(10, origin=50.0)
+        p.advance_origin(40.0)
+        assert p.steps()[0] == (50.0, 10)
+
+    def test_advance_mid_reservation_keeps_level(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 100.0, 7)
+        p.advance_origin(60.0)
+        assert p.free_at(60.0) == 3
+        assert p.free_at(100.0) == 10
+
+
+class TestCanonicalSteps:
+    def test_merges_redundant_breakpoints(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 4)
+        p.release(10.0, 4)  # leaves a redundant breakpoint at 10
+        assert p.canonical_steps() == [(0.0, 10)]
+
+    def test_plain_profile_unchanged(self):
+        p = AvailabilityProfile(10)
+        p.reserve(5.0, 10.0, 4)
+        assert p.canonical_steps() == p.steps()
+
+
 # -- property-based tests ---------------------------------------------------------
 
 reservations = st.lists(
