@@ -5,7 +5,12 @@ inspecting simulator output.
 """
 
 from repro.analysis.gantt import render_gantt, render_job_gantt
-from repro.analysis.summary import ScheduleSummary, summarize
+from repro.analysis.summary import (
+    ResilienceSummary,
+    ScheduleSummary,
+    summarize,
+    summarize_resilience,
+)
 from repro.analysis.fairness import (
     IndependenceReport,
     fairness_spread,
@@ -32,6 +37,7 @@ from repro.analysis.persistence import read_schedule, write_schedule
 __all__ = [
     "ComparisonRow",
     "IndependenceReport",
+    "ResilienceSummary",
     "ScheduleSummary",
     "backlog_series",
     "compare_schedulers",
@@ -48,6 +54,7 @@ __all__ = [
     "slowdown_by_user",
     "slowdown_by_width",
     "summarize",
+    "summarize_resilience",
     "utilisation_series",
     "WaitHeatmap",
     "wait_heatmap",

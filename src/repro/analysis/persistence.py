@@ -142,11 +142,19 @@ def cell_to_dict(cell: "CellResult") -> dict:
         "max_queue_length": cell.max_queue_length,
         "makespan": cell.makespan,
         "decision_time": cell.decision_time,
+        "interrupted_jobs": cell.interrupted_jobs,
+        "wasted_node_seconds": cell.wasted_node_seconds,
+        "lost_node_seconds": cell.lost_node_seconds,
+        "requeue_delay": cell.requeue_delay,
     }
 
 
 def cell_from_dict(payload: dict) -> "CellResult":
-    """Inverse of :func:`cell_to_dict`."""
+    """Inverse of :func:`cell_to_dict`.
+
+    The resilience fields default to zero so grids written before failure
+    injection existed still load.
+    """
     from repro.experiments.runner import CellResult
     from repro.schedulers.registry import SchedulerConfig
 
@@ -157,6 +165,10 @@ def cell_from_dict(payload: dict) -> "CellResult":
         max_queue_length=int(payload["max_queue_length"]),
         makespan=float(payload["makespan"]),
         decision_time=float(payload.get("decision_time", 0.0)),
+        interrupted_jobs=int(payload.get("interrupted_jobs", 0)),
+        wasted_node_seconds=float(payload.get("wasted_node_seconds", 0.0)),
+        lost_node_seconds=float(payload.get("lost_node_seconds", 0.0)),
+        requeue_delay=float(payload.get("requeue_delay", 0.0)),
     )
 
 

@@ -5,7 +5,10 @@ the arrival of job submission data ("a stream of job submission data",
 Section 2) and the completion of a running job (which may differ from the
 projected completion because estimates are upper limits).  Internally we add
 a ``TIMER`` event kind so schedulers can request wake-ups (PSRS's wide-job
-patience, policy rules like Example 4's 10am class) without polling.
+patience, policy rules like Example 4's 10am class) without polling, and the
+``NODE_UP`` / ``NODE_DOWN`` pair through which a
+:class:`~repro.failures.trace.FailureTrace` feeds "the sudden failure of a
+hardware component" (Section 2) into the loop.
 
 Events are processed in ``(time, priority, sequence)`` order.  Completions
 are processed *before* submissions at the same instant — a scheduler seeing
@@ -24,15 +27,21 @@ from typing import Any
 class EventKind(enum.IntEnum):
     """Kinds of simulator events; the integer value is the same-time priority.
 
-    Cancellations process after submissions at the same instant (a job
-    submitted and cancelled in the same second is first seen, then
-    withdrawn), and before timers.
+    Completions come first so everything at one instant sees the freed
+    nodes.  Node repairs apply before node failures (a simultaneous
+    repair+failure nets out without a transient negative capacity), and
+    both precede submissions — a job arriving at a failure instant sees
+    the degraded machine.  Cancellations process after submissions at the
+    same instant (a job submitted and cancelled in the same second is
+    first seen, then withdrawn), and before timers.
     """
 
     COMPLETION = 0
-    SUBMISSION = 1
-    CANCELLATION = 2
-    TIMER = 3
+    NODE_UP = 1
+    NODE_DOWN = 2
+    SUBMISSION = 3
+    CANCELLATION = 4
+    TIMER = 5
 
 
 @dataclass(frozen=True, slots=True, order=True)

@@ -10,9 +10,20 @@ machine supports variable partitioning ("any subset of nodes works"), so
 only the count matters.  Heterogeneous node types in the original CTC trace
 are handled upstream by the workload transforms (the administrator "decides
 to ignore all additional hardware requests", Section 6.1).
+
+Capacity is *time-varying*: node failures (Section 2's "sudden failure of a
+hardware component", injected by :mod:`repro.failures`) take nodes out of
+the pool via :meth:`Machine.fail_nodes` and return them via
+:meth:`Machine.repair_nodes`.  The machine records every capacity change so
+:meth:`capacity_at` can answer "how many nodes existed at time t" after the
+run — the time-varying bound :meth:`repro.core.schedule.Schedule.validate`
+checks against.  Topology stays unmodelled: which *jobs* a failure kills is
+the simulator's decision, the machine only counts.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
 
 from repro.core.job import Job
 
@@ -24,11 +35,11 @@ class Machine:
     enforces the two validity constraints of the target machine:
 
     * a job receives exactly ``job.nodes`` nodes, exclusively;
-    * the sum of allocated nodes never exceeds ``total_nodes`` (no time
-      sharing).
+    * the sum of allocated nodes never exceeds the *available* capacity
+      (``total_nodes`` minus nodes currently down; no time sharing).
     """
 
-    __slots__ = ("total_nodes", "_free", "_allocations")
+    __slots__ = ("total_nodes", "_free", "_allocations", "_down", "_capacity_log")
 
     #: Batch partition size used throughout the paper's evaluation.
     PAPER_BATCH_NODES = 256
@@ -39,18 +50,47 @@ class Machine:
         self.total_nodes = total_nodes
         self._free = total_nodes
         self._allocations: dict[int, int] = {}
+        self._down = 0
+        #: ``(time, capacity_from_time)`` breakpoints; empty while no
+        #: failure ever happened (capacity is then ``total_nodes`` forever).
+        self._capacity_log: list[tuple[float, int]] = []
 
     # -- queries -------------------------------------------------------------
 
     @property
     def free_nodes(self) -> int:
-        """Number of currently unallocated nodes."""
+        """Number of currently unallocated, operational nodes."""
         return self._free
 
     @property
     def busy_nodes(self) -> int:
         """Number of currently allocated nodes."""
-        return self.total_nodes - self._free
+        return self.available_nodes - self._free
+
+    @property
+    def down_nodes(self) -> int:
+        """Number of nodes currently failed (out of the pool)."""
+        return self._down
+
+    @property
+    def available_nodes(self) -> int:
+        """Current capacity: nodes that exist and are not down."""
+        return self.total_nodes - self._down
+
+    def capacity_at(self, time: float) -> int:
+        """Capacity that held at ``time`` (from the recorded failure history)."""
+        log = self._capacity_log
+        idx = bisect_right(log, (time, 1 << 62)) - 1
+        return log[idx][1] if idx >= 0 else self.total_nodes
+
+    def capacity_steps(self) -> list[tuple[float, int]]:
+        """Recorded ``(time, capacity_from_time)`` breakpoints (a copy).
+
+        Feed this to :meth:`repro.core.schedule.Schedule.validate` as its
+        ``capacity`` argument to check a finished run against the
+        time-varying machine.
+        """
+        return list(self._capacity_log)
 
     def fits(self, job: Job) -> bool:
         """True iff the job could start right now."""
@@ -75,10 +115,16 @@ class Machine:
         """Give ``job`` its partition.  Raises if it does not fit."""
         if job.job_id in self._allocations:
             raise ValueError(f"job {job.job_id} is already running")
+        if self.available_nodes == 0:
+            raise ValueError(
+                f"cannot allocate job {job.job_id}: all {self.total_nodes} "
+                "nodes are down (capacity is zero)"
+            )
         if job.nodes > self._free:
+            down = f" ({self._down} down)" if self._down else ""
             raise ValueError(
                 f"job {job.job_id} needs {job.nodes} nodes but only "
-                f"{self._free} of {self.total_nodes} are free"
+                f"{self._free} of {self.total_nodes} are free{down}"
             )
         self._allocations[job.job_id] = job.nodes
         self._free -= job.nodes
@@ -93,13 +139,53 @@ class Machine:
         self._free += nodes
         return nodes
 
+    def fail_nodes(self, nodes: int, now: float) -> None:
+        """Take ``nodes`` *free* nodes out of the pool at ``now``.
+
+        The caller (the simulator's ``NODE_DOWN`` handler) must first kill
+        enough running jobs to free the failed nodes; raising here instead
+        of silently overdrawing keeps the accounting exact.
+        """
+        if nodes <= 0:
+            raise ValueError(f"failed node count must be positive, got {nodes}")
+        if nodes > self._free:
+            raise ValueError(
+                f"{nodes} nodes failed but only {self._free} are free — the "
+                "simulator must kill running jobs before removing capacity"
+            )
+        self._free -= nodes
+        self._down += nodes
+        self._record_capacity(now)
+
+    def repair_nodes(self, nodes: int, now: float) -> None:
+        """Return ``nodes`` repaired nodes to the free pool at ``now``."""
+        if nodes <= 0:
+            raise ValueError(f"repaired node count must be positive, got {nodes}")
+        if nodes > self._down:
+            raise ValueError(
+                f"cannot repair {nodes} nodes: only {self._down} are down"
+            )
+        self._free += nodes
+        self._down -= nodes
+        self._record_capacity(now)
+
+    def _record_capacity(self, now: float) -> None:
+        log = self._capacity_log
+        capacity = self.total_nodes - self._down
+        if log and log[-1][0] == now:
+            log[-1] = (now, capacity)
+        else:
+            log.append((now, capacity))
+
     def reset(self) -> None:
-        """Release everything (fresh simulation run)."""
+        """Release everything, repair everything (fresh simulation run)."""
         self._free = self.total_nodes
         self._allocations.clear()
+        self._down = 0
+        self._capacity_log.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Machine(total_nodes={self.total_nodes}, free={self._free}, "
-            f"running={len(self._allocations)})"
+            f"down={self._down}, running={len(self._allocations)})"
         )

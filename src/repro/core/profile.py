@@ -204,12 +204,26 @@ class AvailabilityProfile:
         """
         if duration <= 0:
             return
+        self._reserve_span(start, start + duration, nodes)
+
+    def reserve_until(self, start: float, end: float, nodes: int) -> None:
+        """Subtract ``nodes`` free nodes over ``[start, end)``.
+
+        Like :meth:`reserve`, but the end breakpoint is placed at exactly
+        ``end`` rather than the float sum ``start + duration`` — callers
+        that know the end instant (capacity outages with a repair ETA) use
+        this so independently-built profiles agree bit for bit.
+        """
+        if end <= start:
+            return
+        self._reserve_span(start, end, nodes)
+
+    def _reserve_span(self, start: float, end: float, nodes: int) -> None:
         self._detach()
         times = self._times
         free = self._free
         if start < times[0]:
             raise ValueError(f"reservation start {start} precedes origin {times[0]}")
-        end = start + duration
         self._ensure_breakpoint(start)
         self._ensure_breakpoint(end)
         lo = bisect_left(times, start)

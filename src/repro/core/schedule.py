@@ -100,7 +100,12 @@ class Schedule:
 
     # -- validity ---------------------------------------------------------------
 
-    def validate(self, total_nodes: int) -> None:
+    def validate(
+        self,
+        total_nodes: int,
+        *,
+        capacity: Iterable[tuple[float, int]] | None = None,
+    ) -> None:
         """Raise :class:`ValidityError` unless this schedule is valid.
 
         Checks, per Section 2's machine-defined validity:
@@ -110,8 +115,17 @@ class Schedule:
         * a completed job occupies the machine for exactly its runtime; a
           cancelled job for at most its estimate (kills can happen any
           time up to the limit),
-        * at no instant do concurrently running jobs hold more than
-          ``total_nodes`` nodes.
+        * at no instant do concurrently running jobs hold more than the
+          machine's capacity at that instant.
+
+        ``capacity`` supplies time-varying capacity as ``(time,
+        capacity_from_time)`` breakpoints (``total_nodes`` holds before
+        the first breakpoint) — the shape
+        :meth:`repro.core.machine.Machine.capacity_steps` and
+        :meth:`repro.failures.trace.FailureTrace.capacity_steps` produce.
+        Job widths are still checked against the nominal ``total_nodes``:
+        a job as wide as the whole machine is legal, it just cannot run
+        during an outage.
         """
         events: list[tuple[float, int, int]] = []  # (time, +nodes at start / -nodes at end)
         for item in self._items:
@@ -128,7 +142,11 @@ class Schedule:
                 )
             duration = item.end_time - item.start_time
             if item.cancelled:
-                limit = job.estimated_runtime
+                # A kill can land any time before natural completion: at the
+                # estimate limit (over-limit cancellation), mid-run (user
+                # cancellation), or past an exceeded estimate (node failure
+                # hitting an overrunning job).
+                limit = max(job.runtime, job.estimated_runtime)
                 if duration < -1e-9 or duration > limit + 1e-9 * max(1.0, limit):
                     raise ValidityError(
                         f"cancelled job {job.job_id} occupies the machine for "
@@ -140,17 +158,31 @@ class Schedule:
                     f"expected {job.runtime}s"
                 )
             if duration > 0:
-                events.append((item.start_time, 1, job.nodes))
+                events.append((item.start_time, 2, job.nodes))
                 events.append((item.end_time, 0, -job.nodes))
-        # Releases (tag 0) sort before allocations (tag 1) at equal times, so
-        # back-to-back jobs on the same nodes are legal.
-        events.sort()
+        # Releases (tag 0) sort before capacity changes (tag 1) before
+        # allocations (tag 2) at equal times: jobs killed at a failure
+        # instant release before the capacity drops, repairs apply before
+        # jobs start on the repaired nodes, and back-to-back jobs on the
+        # same nodes stay legal.
+        if capacity is not None:
+            for time, level in capacity:
+                if level < 0 or level > total_nodes:
+                    raise ValidityError(
+                        f"capacity step ({time}, {level}) outside [0, {total_nodes}]"
+                    )
+                events.append((time, 1, level))
+        events.sort(key=lambda e: (e[0], e[1]))
         used = 0
-        for _time, _tag, delta in events:
-            used += delta
-            if used > total_nodes:
+        cap = total_nodes
+        for _time, _tag, value in events:
+            if _tag == 1:
+                cap = value
+            else:
+                used += value
+            if used > cap:
                 raise ValidityError(
-                    f"capacity exceeded at t={_time}: {used} > {total_nodes} nodes in use"
+                    f"capacity exceeded at t={_time}: {used} > {cap} nodes in use"
                 )
 
     def utilisation_profile(self) -> list[tuple[float, int]]:

@@ -57,17 +57,22 @@ class SchedulerContext:
     advances the state's persistent profile to the new instant.
     """
 
-    __slots__ = ("machine", "_running", "_now", "state")
+    __slots__ = ("machine", "_running", "_now", "state", "_capacity_outages")
 
     def __init__(
         self,
         machine: Machine,
         running: dict[int, RunningJob],
         state: "SchedulingState | None" = None,
+        capacity_outages: "list[tuple[float, int]] | None" = None,
     ) -> None:
         self.machine = machine
         self._running = running
         self.state = state
+        #: Active node outages as ``(repair_time, nodes)`` pairs, maintained
+        #: by the simulator; the profile fallback (no incremental state)
+        #: reserves them so both paths plan on the same degraded machine.
+        self._capacity_outages = capacity_outages if capacity_outages is not None else []
         self._now: float = state.now if state is not None else 0.0
 
     @property
@@ -115,9 +120,13 @@ class SchedulerContext:
         """
         if self.state is not None:
             return self.state.snapshot()
-        return AvailabilityProfile.from_running(
+        profile = AvailabilityProfile.from_running(
             self.machine.total_nodes, self._now, self.projected_releases()
         )
+        for until, nodes in self._capacity_outages:
+            if until > self._now:
+                profile.reserve_until(self._now, until, nodes)
+        return profile
 
     def queue_min_nodes(self, expected_count: int) -> int | None:
         """Narrowest job in the tracked wait queue, when that is knowable.

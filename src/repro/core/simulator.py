@@ -22,13 +22,24 @@ at the limit (``cancel_over_limit=True``), matching policy rule 2 of
 Example 5 ("If the execution of a job exceeds this upper limit, the job may
 be cancelled").  The paper's evaluation does not exercise cancellation (the
 CTC trace records realised runtimes), so the default is off.
+
+Node failures (Section 2's "sudden failure of a hardware component") enter
+the loop as ``NODE_DOWN``/``NODE_UP`` events from a
+:class:`~repro.failures.trace.FailureTrace`.  A failure first consumes free
+nodes; when those do not cover it, the simulator kills running jobs —
+youngest first, so the least work is destroyed — and hands each casualty to
+the run's :class:`~repro.failures.recovery.RecoveryPolicy`, which either
+abandons it (the partial execution becomes a cancelled record) or requeues
+a rerun.  The outage itself becomes a finite capacity reservation in the
+scheduling state (the repair ETA is known the moment the node goes down),
+so backfilling disciplines plan around it like any other commitment.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.events import EventKind, EventQueue
 from repro.core.job import Job, validate_stream
@@ -36,6 +47,10 @@ from repro.core.machine import Machine
 from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.scheduler import RunningJob, Scheduler, SchedulerContext
 from repro.core.state import SchedulingState, verify_every_from_env
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (failures imports core)
+    from repro.failures.recovery import RecoveryPolicy
+    from repro.failures.trace import FailureTrace
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,10 +90,46 @@ class SimulationResult:
     #: state (both 0 when the rebuild fallback ran).
     profile_deltas: int = 0
     profile_snapshots: int = 0
+    #: Ids of jobs killed by node failures, in kill order.  A job recovered
+    #: and killed again appears once per kill; abandoned kills also appear
+    #: in the schedule as cancelled records.
+    failure_killed: tuple[int, ...] = ()
+    #: Partial attempts of jobs that were killed by a failure and later
+    #: recovered (resubmitted / restarted).  These records are *not* part of
+    #: ``schedule`` — there the job appears once, with its final attempt —
+    #: but they occupy the machine and count towards capacity validation.
+    interrupted: tuple[ScheduledJob, ...] = ()
+    #: Node-seconds of capacity removed by the failure trace (down × nodes).
+    lost_node_seconds: float = 0.0
+    #: Node-seconds of job execution destroyed by failures: work done in
+    #: killed attempts that no checkpoint preserved, plus restart overheads.
+    wasted_node_seconds: float = 0.0
+    #: Total seconds failure-killed jobs spent between the kill and the
+    #: start of their recovery attempt (0 for abandoned jobs).
+    requeue_delay: float = 0.0
 
     @property
     def job_count(self) -> int:
         return len(self.schedule)
+
+    @property
+    def interrupted_jobs(self) -> int:
+        """Distinct jobs that lost at least one attempt to a node failure."""
+        return len(set(self.failure_killed))
+
+    @classmethod
+    def empty(cls) -> "SimulationResult":
+        """The result of scheduling nothing (degenerate partition buckets).
+
+        :meth:`Simulator.run` refuses empty workloads; callers that slice a
+        stream and may produce empty slices build this record instead.
+        """
+        return cls(
+            schedule=Schedule(()),
+            decision_points=0,
+            max_queue_length=0,
+            end_time=0.0,
+        )
 
 
 @dataclass(slots=True)
@@ -138,14 +189,29 @@ class Simulator:
         self,
         jobs: Iterable[Job],
         cancellations: Sequence[Cancellation] = (),
+        *,
+        failures: "FailureTrace | None" = None,
+        recovery: "RecoveryPolicy | str | None" = None,
     ) -> SimulationResult:
         """Simulate the whole stream and return the final schedule.
 
-        ``cancellations`` injects user withdrawals / failures; each must
-        reference a job in the stream and fire no earlier than its
-        submission.
+        ``cancellations`` injects user withdrawals; each must reference a
+        job in the stream and fire no earlier than its submission.
+
+        ``failures`` injects a node failure/repair trace
+        (:class:`~repro.failures.trace.FailureTrace`); ``recovery`` decides
+        what happens to jobs killed by a failure — a
+        :class:`~repro.failures.recovery.RecoveryPolicy`, a spec string
+        such as ``"abandon"`` or ``"checkpoint:interval=3600,overhead=60"``,
+        or ``None`` for the default full resubmission.
         """
         stream: Sequence[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        if not stream:
+            raise ValueError(
+                "cannot simulate an empty workload: no jobs, no events, no "
+                "schedule — use SimulationResult.empty() if a degenerate "
+                "stream is expected"
+            )
         validate_stream(list(stream))
         by_id = {job.job_id: job for job in stream}
         for job in stream:
@@ -163,6 +229,16 @@ class Simulator:
                     f"job {cancel.job_id} cancelled at {cancel.time} before its "
                     f"submission at {by_id[cancel.job_id].submit_time}"
                 )
+        policy: "RecoveryPolicy | None" = None
+        if failures is not None and failures:
+            from repro.failures.recovery import ResubmitPolicy, recovery_from_spec
+
+            failures.validate_for(self.machine.total_nodes)
+            policy = (
+                ResubmitPolicy() if recovery is None else recovery_from_spec(recovery)
+            )
+        else:
+            failures = None
 
         self.machine.reset()
         self.scheduler.reset()
@@ -179,7 +255,10 @@ class Simulator:
             state = SchedulingState(
                 self.machine.total_nodes, verify_every=verify_every
             )
-        ctx = SchedulerContext(self.machine, running, state=state)
+        active_outages: list[tuple[float, int]] = []
+        ctx = SchedulerContext(
+            self.machine, running, state=state, capacity_outages=active_outages
+        )
         completed: list[ScheduledJob] = []
         decision_points = 0
         decision_time = 0.0
@@ -190,10 +269,30 @@ class Simulator:
             events.push(job.submit_time, EventKind.SUBMISSION, job)
         for cancel in cancellations:
             events.push(cancel.time, EventKind.CANCELLATION, cancel.job_id)
+        if failures is not None:
+            for fail in failures:
+                events.push(fail.down_time, EventKind.NODE_DOWN, fail)
+                events.push(fail.up_time, EventKind.NODE_UP, fail)
         started_ids: set[int] = set()
         finished_ids: set[int] = set()
         cancelled_queued: list[int] = []
         killed_running: list[int] = []
+        #: Latest submitted version of each job (rerun attempts replace the
+        #: original here; ``by_id`` keeps the original submissions, which is
+        #: what recovery policies reason about).
+        current: dict[int, Job] = {}
+        failure_killed: list[int] = []
+        interrupted: list[ScheduledJob] = []
+        #: job_id -> (runtime seconds safely checkpointed, restart overhead
+        #: baked into the current attempt's runtime) — the recovery policy's
+        #: cross-attempt memory.
+        recovery_state: dict[int, tuple[float, float]] = {}
+        #: job_id -> kill time, for jobs awaiting their recovery attempt.
+        killed_at: dict[int, float] = {}
+        resubmit_pending: set[int] = set()
+        resubmit_cancelled: set[int] = set()
+        wasted_node_seconds = 0.0
+        requeue_delay = 0.0
 
         while events:
             now = events.peek().time
@@ -204,8 +303,13 @@ class Simulator:
                 event = events.pop()
                 if event.kind is EventKind.COMPLETION:
                     item: ScheduledJob = event.payload
-                    if item.job.job_id not in running:
-                        continue  # stale completion of a killed job
+                    run_entry = running.get(item.job.job_id)
+                    if run_entry is None or run_entry.start_time != item.start_time:
+                        # Stale completion of a killed attempt.  Rerun
+                        # attempts reuse the job id, so membership alone is
+                        # not enough — the start time identifies the attempt
+                        # (attempt starts strictly increase).
+                        continue
                     self.machine.release(item.job.job_id)
                     del running[item.job.job_id]
                     if state is not None:
@@ -213,13 +317,69 @@ class Simulator:
                     finished_ids.add(item.job.job_id)
                     completed.append(item)
                     self.scheduler.on_complete(item.job, ctx)
-                elif event.kind is EventKind.SUBMISSION:
+                elif event.kind is EventKind.NODE_UP:
+                    fail = event.payload
+                    self.machine.repair_nodes(fail.nodes, now)
                     if state is not None:
-                        state.note_enqueued(event.payload.nodes)
-                    self.scheduler.on_submit(event.payload, ctx)
+                        state.on_capacity_up(fail.up_time, fail.nodes)
+                    active_outages.remove((fail.up_time, fail.nodes))
+                elif event.kind is EventKind.NODE_DOWN:
+                    fail = event.payload
+                    needed = fail.nodes - self.machine.free_nodes
+                    if needed > 0:
+                        # Free nodes do not cover the failure: kill running
+                        # jobs, youngest first (least work destroyed), until
+                        # enough nodes are freed.  ``validate_for`` bounds
+                        # concurrent failures by the machine size, so the
+                        # running jobs always hold enough.
+                        victims = sorted(
+                            running.values(),
+                            key=lambda r: (-r.start_time, -r.job.job_id),
+                        )
+                        freed = 0
+                        for victim in victims:
+                            if freed >= needed:
+                                break
+                            freed += victim.job.nodes
+                            wasted_node_seconds += self._kill_for_failure(
+                                victim,
+                                now=now,
+                                policy=policy,
+                                ctx=ctx,
+                                state=state,
+                                events=events,
+                                running=running,
+                                by_id=by_id,
+                                completed=completed,
+                                started_ids=started_ids,
+                                finished_ids=finished_ids,
+                                failure_killed=failure_killed,
+                                interrupted=interrupted,
+                                recovery_state=recovery_state,
+                                killed_at=killed_at,
+                                resubmit_pending=resubmit_pending,
+                            )
+                    self.machine.fail_nodes(fail.nodes, now)
+                    if state is not None:
+                        state.on_capacity_down(fail.up_time, fail.nodes)
+                    active_outages.append((fail.up_time, fail.nodes))
+                elif event.kind is EventKind.SUBMISSION:
+                    job = event.payload
+                    if job.job_id in resubmit_pending:
+                        resubmit_pending.discard(job.job_id)
+                        if job.job_id in resubmit_cancelled:
+                            # Cancelled in the gap between kill and rerun:
+                            # the rerun never reaches the queue.
+                            resubmit_cancelled.discard(job.job_id)
+                            finished_ids.add(job.job_id)
+                            continue
+                    current[job.job_id] = job
+                    if state is not None:
+                        state.note_enqueued(job.nodes)
+                    self.scheduler.on_submit(job, ctx)
                 elif event.kind is EventKind.CANCELLATION:
                     job_id: int = event.payload
-                    job = by_id[job_id]
+                    job = current.get(job_id, by_id[job_id])
                     if job_id in running:
                         # Kill mid-run: partial execution enters the record.
                         start_time = running[job_id].start_time
@@ -238,6 +398,13 @@ class Simulator:
                             )
                         )
                         self.scheduler.on_complete(job, ctx)
+                    elif job_id in resubmit_pending:
+                        # Killed by a failure, recovery attempt not yet
+                        # submitted: the user withdraws the rerun.
+                        if job_id not in resubmit_cancelled:
+                            resubmit_cancelled.add(job_id)
+                            killed_at.pop(job_id, None)
+                            cancelled_queued.append(job_id)
                     elif job_id not in finished_ids and job_id not in started_ids:
                         # Still queued: withdraw it.
                         self.scheduler.on_cancel(job, ctx)
@@ -256,6 +423,8 @@ class Simulator:
             decision_time += time.perf_counter() - t_select
             for job in started:
                 started_ids.add(job.job_id)
+                if job.job_id in killed_at:
+                    requeue_delay += now - killed_at.pop(job.job_id)
                 cancelled = (
                     self.cancel_over_limit
                     and job.estimate is not None
@@ -321,7 +490,90 @@ class Simulator:
             decision_time=decision_time,
             profile_deltas=state.deltas if state is not None else 0,
             profile_snapshots=state.snapshots if state is not None else 0,
+            failure_killed=tuple(failure_killed),
+            interrupted=tuple(interrupted),
+            lost_node_seconds=(
+                failures.lost_node_seconds() if failures is not None else 0.0
+            ),
+            wasted_node_seconds=wasted_node_seconds,
+            requeue_delay=requeue_delay,
         )
+
+    def _kill_for_failure(
+        self,
+        victim: RunningJob,
+        *,
+        now: float,
+        policy: "RecoveryPolicy | None",
+        ctx: SchedulerContext,
+        state: SchedulingState | None,
+        events: EventQueue,
+        running: dict[int, RunningJob],
+        by_id: dict[int, Job],
+        completed: list[ScheduledJob],
+        started_ids: set[int],
+        finished_ids: set[int],
+        failure_killed: list[int],
+        interrupted: list[ScheduledJob],
+        recovery_state: dict[int, tuple[float, float]],
+        killed_at: dict[int, float],
+        resubmit_pending: set[int],
+    ) -> float:
+        """Kill ``victim`` for a node failure; returns wasted node-seconds.
+
+        Releases the partition, records the partial attempt, and dispatches
+        the recovery policy: abandonment turns the attempt into the job's
+        final (cancelled) schedule record; recovery stores the attempt under
+        ``interrupted`` and schedules a rerun submission carrying the
+        remaining runtime under the original identity.
+        """
+        attempt = victim.job
+        job_id = attempt.job_id
+        self.machine.release(job_id)
+        del running[job_id]
+        if state is not None:
+            state.on_release(job_id)
+        record = ScheduledJob(
+            job=attempt, start_time=victim.start_time, end_time=now, cancelled=True
+        )
+        failure_killed.append(job_id)
+        executed = now - victim.start_time
+        saved, overhead_paid = recovery_state.get(job_id, (0.0, 0.0))
+        original = by_id[job_id]
+        assert policy is not None  # failures without a policy cannot happen
+        outcome = policy.on_interrupt(
+            original,
+            now=now,
+            executed=executed,
+            saved=saved,
+            overhead_paid=overhead_paid,
+        )
+        nodes = attempt.nodes
+        if outcome.resubmit_at is None:
+            # Abandoned: the partial attempt is the job's final record, and
+            # everything it executed (plus any checkpoints from earlier
+            # attempts, now useless) is wasted.
+            finished_ids.add(job_id)
+            completed.append(record)
+            waste = (executed + saved) * nodes
+        else:
+            if outcome.resubmit_at < now:
+                raise ValueError(
+                    f"recovery policy {policy.spec!r} resubmits job {job_id} "
+                    f"at {outcome.resubmit_at}, before the kill at {now}"
+                )
+            interrupted.append(record)
+            started_ids.discard(job_id)
+            rerun = replace(original, runtime=outcome.remaining_runtime)
+            events.push(outcome.resubmit_at, EventKind.SUBMISSION, rerun)
+            resubmit_pending.add(job_id)
+            killed_at[job_id] = now
+            recovery_state[job_id] = (outcome.saved, outcome.overhead)
+            # Work preserved by new checkpoints survives; the rest of this
+            # attempt's execution is wasted.
+            waste = (executed - (outcome.saved - saved)) * nodes
+        self.scheduler.on_complete(attempt, ctx)
+        return waste
 
 
 def simulate(
@@ -330,9 +582,11 @@ def simulate(
     total_nodes: int = Machine.PAPER_BATCH_NODES,
     *,
     cancellations: Sequence[Cancellation] = (),
+    failures: "FailureTrace | None" = None,
+    recovery: "RecoveryPolicy | str | None" = None,
     **kwargs: object,
 ) -> SimulationResult:
     """One-call convenience wrapper: build a machine, run, return the result."""
     return Simulator(Machine(total_nodes), scheduler, **kwargs).run(  # type: ignore[arg-type]
-        jobs, cancellations=cancellations
+        jobs, cancellations=cancellations, failures=failures, recovery=recovery
     )

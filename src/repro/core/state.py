@@ -18,7 +18,11 @@ simulator and exposed to schedulers through
   inside ``AvailabilityProfile.from_running``;
 * **incremental queue statistics** — a width histogram of the wait queue
   with a cached minimum, so disciplines answer "does anything fit at all?"
-  without an O(n) scan per decision point.
+  without an O(n) scan per decision point;
+* **capacity outages** — node failures (:mod:`repro.failures`) enter the
+  profile as finite reservations ``[down, up)`` via
+  :meth:`SchedulingState.on_capacity_down`, so every discipline plans
+  against the degraded machine exactly as it plans around running jobs.
 
 The contract (see ``docs/architecture.md`` for the full invariant table):
 only the simulator mutates the state; schedulers read copy-on-write
@@ -97,6 +101,7 @@ class SchedulingState:
         "_queue_widths",
         "_queued_count",
         "_queue_min",
+        "_capacity",
         "verify_every",
         "_since_verify",
         "deltas",
@@ -117,6 +122,7 @@ class SchedulingState:
         self._queue_widths: dict[int, int] = {}  # nodes -> queued count
         self._queued_count = 0
         self._queue_min: int | None = None
+        self._capacity: list[tuple[float, int]] = []  # active (up_time, nodes)
         self.verify_every = verify_every
         self._since_verify = 0
         self.deltas = 0
@@ -159,6 +165,37 @@ class SchedulingState:
         del self._ends[idx]
         if end > self.now:
             self.profile.release(end, nodes)
+        self.deltas += 1
+
+    # -- capacity deltas (simulator-only) ------------------------------------------
+
+    def on_capacity_down(self, until: float, nodes: int) -> None:
+        """``nodes`` nodes failed *now* with repair expected at ``until``.
+
+        The outage becomes a finite reservation ``[now, until)`` in the
+        persistent profile — planning disciplines route around it exactly
+        as they route around running jobs.  The caller (the simulator's
+        ``NODE_DOWN`` handler) must already have released every job it
+        killed, so the reservation always fits.
+        """
+        if until <= self.now:
+            raise ValueError(
+                f"capacity outage until {until} does not extend past now={self.now}"
+            )
+        # reserve_until, not reserve: the repair breakpoint must sit at
+        # exactly ``until`` so later rebuilds (which reserve from a
+        # different ``now``) produce bit-identical step functions.
+        self.profile.reserve_until(self.now, until, nodes)
+        insort(self._capacity, (until, nodes))
+        self.deltas += 1
+
+    def on_capacity_up(self, until: float, nodes: int) -> None:
+        """The outage reserved until ``until`` was repaired (``now == until``).
+
+        The profile reservation expires on its own as the origin advances;
+        only the active-outage index needs the entry dropped.
+        """
+        self._capacity.remove((until, nodes))
         self.deltas += 1
 
     # -- queue statistics ---------------------------------------------------------
@@ -248,6 +285,11 @@ class SchedulingState:
         rebuilt = AvailabilityProfile.from_running(
             self.total_nodes, self.now, self.projected_releases()
         )
+        # Active capacity outages are part of the reference too: a rebuild
+        # on a degraded machine must reserve the down nodes until repair.
+        for until, nodes in self._capacity:
+            if until > self.now:
+                rebuilt.reserve_until(self.now, until, nodes)
         incremental = snap.canonical_steps()
         reference = rebuilt.canonical_steps()
         if incremental != reference:

@@ -17,6 +17,7 @@
 from repro.experiments.runner import CellResult, GridResult, run_grid
 from repro.experiments.engine import (
     ExperimentEngine,
+    FailureScenario,
     ProgressEvent,
     ResultCache,
     RunStats,
@@ -33,6 +34,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentEngine",
     "ExperimentSpec",
+    "FailureScenario",
     "GridResult",
     "ProgressEvent",
     "ResultCache",

@@ -14,10 +14,22 @@ compare the tables".  :class:`ExperimentEngine` executes that grid:
   only simulates the new cells, and an interrupted run resumes from the
   cells that already finished;
 * **structured progress events** — ``grid-started``, ``cell-started``,
-  ``cache-hit``, ``cell-finished`` and ``grid-finished`` events carry the
-  cell key, wall-clock and objective; the CLI renders them and
+  ``cache-hit``, ``cell-finished``, ``cell-retry``, ``engine-degraded``
+  and ``grid-finished`` events carry the cell key, wall-clock and
+  objective; the CLI renders them and
   :func:`repro.analysis.persistence.append_events` archives them as JSON
-  lines.
+  lines;
+* **crash tolerance** — a worker crash (or a cell exceeding
+  ``cell_timeout``) does not lose the grid: the affected cells are retried
+  with jittered exponential backoff, the pool is rebuilt when it breaks,
+  and once the retry/rebuild budgets are exhausted the surviving cells
+  degrade gracefully to in-process serial execution, so the grid always
+  completes (deterministic cell errors then surface from the serial run,
+  where they belong);
+* **failure scenarios** — grids can run under a
+  :class:`~repro.failures.trace.FailureTrace` plus recovery-policy spec
+  (one more cache-key dimension); :meth:`ExperimentEngine.run_failure_scenarios`
+  sweeps a set of named scenarios over one workload.
 
 Determinism: the simulation is a pure function of (jobs, config,
 machine), so parallel and serial runs produce bit-identical objectives;
@@ -33,12 +45,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import multiprocessing
+import os
+import random
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.core.job import Job
 from repro.experiments.runner import (
@@ -49,9 +65,12 @@ from repro.experiments.runner import (
 )
 from repro.schedulers.registry import SchedulerConfig, paper_configurations
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.trace import FailureTrace
+
 #: Bump when the cached payload or the simulation semantics change; old
 #: entries then miss instead of replaying stale results.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 # -- fingerprints --------------------------------------------------------------
@@ -81,8 +100,16 @@ def cell_fingerprint(
     total_nodes: int,
     weighted: bool,
     recompute_threshold: float = 2.0 / 3.0,
+    failures_digest: str = "",
+    recovery: str = "",
 ) -> str:
-    """Content address of one grid cell result."""
+    """Content address of one grid cell result.
+
+    ``failures_digest`` is :meth:`FailureTrace.fingerprint` (empty for a
+    failure-free cell) and ``recovery`` the canonical recovery-policy spec
+    — both are part of the cell's identity, so scenario sweeps never
+    collide in the cache.
+    """
     payload = json.dumps(
         {
             "version": CACHE_VERSION,
@@ -92,6 +119,8 @@ def cell_fingerprint(
             "total_nodes": total_nodes,
             "weighted": weighted,
             "recompute_threshold": repr(recompute_threshold),
+            "failures": failures_digest,
+            "recovery": recovery,
         },
         sort_keys=True,
     )
@@ -105,9 +134,17 @@ class ResultCache:
     """Content-addressed cell store: one JSON file per fingerprint.
 
     Keys are the hex digests from :func:`cell_fingerprint`; values are
-    :class:`CellResult` payloads.  Writes are atomic (tmp file + rename),
-    so a killed run never leaves a truncated entry; unreadable or
-    version-skewed entries read as misses.
+    :class:`CellResult` payloads.  Writes are crash-safe: the payload goes
+    to a process-unique temporary file finalized with ``os.replace``, so a
+    killed run never leaves a truncated entry and concurrent engines never
+    clobber each other's half-written files.
+
+    Reads distinguish three failure modes: a missing file or I/O error is
+    a plain miss; a version-skewed entry is a plain miss too (it stays on
+    disk for whatever software version wrote it); an entry that *parses
+    wrong* — truncated JSON, malformed payload — is quarantined by
+    renaming it to ``<fingerprint>.corrupt`` so the corruption is visible
+    on disk instead of silently re-simulated forever.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -121,15 +158,26 @@ class ResultCache:
 
         path = self.path(fingerprint)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        if payload.get("version") != CACHE_VERSION:
-            return None
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # missing or unreadable device: plain miss
         try:
+            payload = json.loads(text)
+            if payload.get("version") != CACHE_VERSION:
+                return None  # other format version: miss, leave in place
             return cell_from_dict(payload["cell"])
-        except (KeyError, TypeError, ValueError):
+        except (AttributeError, KeyError, TypeError, ValueError):
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt entry aside as ``*.corrupt``; best effort."""
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing cleanup
+            return None
+        return target
 
     def put(self, fingerprint: str, cell: CellResult) -> None:
         from repro.analysis.persistence import cell_to_dict
@@ -137,9 +185,12 @@ class ResultCache:
         path = self.path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_VERSION, "cell": cell_to_dict(cell)}
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        tmp.replace(path)
+        tmp = path.parent / f".{fingerprint}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
 
 # -- progress events -----------------------------------------------------------
@@ -150,10 +201,13 @@ class ProgressEvent:
     """One structured engine event.
 
     ``kind`` is ``grid-started``, ``cell-started``, ``cache-hit``,
-    ``cell-finished`` or ``grid-finished``; ``key`` is the cell key for
-    cell-level events and ``None`` for grid-level ones.  ``wall_time`` is
-    the wall-clock of the finished unit (whole grid for grid-finished);
-    cache hits report the objective but no wall time.
+    ``cell-finished``, ``cell-retry``, ``engine-degraded`` or
+    ``grid-finished``; ``key`` is the cell key for cell-level events and
+    ``None`` for grid-level ones.  ``wall_time`` is the wall-clock of the
+    finished unit (whole grid for grid-finished; the backoff pause for
+    cell-retry); cache hits report the objective but no wall time.
+    ``detail`` carries the human-readable reason for retry/degradation
+    events.
     """
 
     kind: str
@@ -163,6 +217,7 @@ class ProgressEvent:
     wall_time: float | None = None
     objective: float | None = None
     cached: bool = False
+    detail: str | None = None
 
 
 EventFn = Callable[[ProgressEvent], None]
@@ -176,21 +231,38 @@ class RunStats:
     cache_hits: int = 0
     simulated: int = 0
     wall_time: float = 0.0
+    #: Worker-side retries (crashes or timeouts) during this run.
+    retries: int = 0
+    #: Pool rebuilds forced by broken or hung pools.
+    pool_rebuilds: int = 0
+    #: Cells that fell back to in-process serial execution.
+    degraded_cells: int = 0
 
 
 # -- the engine ----------------------------------------------------------------
 
 
 def _run_cell_task(
-    args: tuple[str, str, tuple[Job, ...], int, bool, float],
+    args: tuple[str, str, tuple[Job, ...], int, bool, float, object, str | None],
 ) -> tuple[str, CellResult, float]:
     """Pool worker: simulate one cell, returning (key, result, wall-clock).
 
     Takes primitive row/column keys and rebuilds the scheduler from the
     registry inside the worker — with the fork start method the child
-    inherits user registrations made before the run.
+    inherits user registrations made before the run.  ``failures`` travels
+    as a pickled :class:`FailureTrace` (plain data) and ``recovery`` as a
+    spec string, so nothing unpicklable crosses the process boundary.
     """
-    row, column, jobs, total_nodes, weighted, recompute_threshold = args
+    (
+        row,
+        column,
+        jobs,
+        total_nodes,
+        weighted,
+        recompute_threshold,
+        failures,
+        recovery,
+    ) = args
     config = SchedulerConfig(row=row, column=column)
     t0 = time.perf_counter()
     cell = simulate_cell(
@@ -199,6 +271,8 @@ def _run_cell_task(
         total_nodes=total_nodes,
         weighted=weighted,
         recompute_threshold=recompute_threshold,
+        failures=failures,  # type: ignore[arg-type]
+        recovery=recovery,
     )
     return config.key, cell, time.perf_counter() - t0
 
@@ -207,6 +281,38 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork so in-process registry registrations reach the workers."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly hung) pool down without waiting for its workers.
+
+    The process table must be captured *before* ``shutdown`` — it nulls
+    ``_processes``, and a worker stuck in a simulation never notices a mere
+    shutdown request.  Unterminated hung workers would keep the executor's
+    manager thread alive, which ``concurrent.futures`` joins at interpreter
+    exit: the whole process would hang long after the grid finished.
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+
+
+@dataclass(frozen=True, slots=True)
+class FailureScenario:
+    """One named failure-injection scenario for a grid sweep.
+
+    ``failures=None`` (with any ``recovery``) is the healthy baseline;
+    ``recovery`` is a canonical spec string (see
+    :func:`repro.failures.recovery.recovery_from_spec`).
+    """
+
+    name: str
+    failures: "FailureTrace | None" = None
+    recovery: str | None = None
 
 
 class ExperimentEngine:
@@ -222,6 +328,23 @@ class ExperimentEngine:
         ``None`` to disable caching.
     on_event:
         Callback receiving every :class:`ProgressEvent`.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds (parallel runs only).  A
+        cell still unfinished past it is presumed hung: the pool is torn
+        down, the overdue cell charged a retry, and every other in-flight
+        cell resubmitted for free.  ``None`` (the default) never times out.
+    max_retries:
+        Worker-side attempts beyond the first for a cell whose worker
+        crashed, timed out, or raised.  Exhausting the budget sends the
+        cell to the in-process serial fallback — where a deterministic
+        error reproduces and surfaces, and a flaky one recovers.
+    retry_backoff:
+        Base pause before retry ``n`` (seconds); the actual pause is
+        ``retry_backoff * 2**(n-1)``, jittered by ×0.5–1.5 so retrying
+        engines do not stampede in lockstep.
+    max_pool_rebuilds:
+        Broken/hung pools rebuilt before giving up on parallelism and
+        running every remaining cell serially in-process.
 
     ``stats`` holds the :class:`RunStats` of the most recent :meth:`run`.
     """
@@ -232,10 +355,28 @@ class ExperimentEngine:
         workers: int | None = None,
         cache: ResultCache | str | Path | None = None,
         on_event: EventFn | None = None,
+        cell_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        max_pool_rebuilds: int = 2,
     ) -> None:
         self.workers = max(1, workers if workers is not None else 1)
         self.cache = ResultCache(cache) if isinstance(cache, (str, Path)) else cache
         self.on_event = on_event
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be non-negative, got {retry_backoff}")
+        if max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be non-negative, got {max_pool_rebuilds}"
+            )
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_pool_rebuilds = max_pool_rebuilds
         self.stats = RunStats()
 
     def _emit(self, event: ProgressEvent) -> None:
@@ -253,6 +394,8 @@ class ExperimentEngine:
         recompute_threshold: float = 2.0 / 3.0,
         progress: ProgressFn | None = None,
         reference_key: str | None = None,
+        failures: "FailureTrace | None" = None,
+        recovery: str | None = None,
     ) -> GridResult:
         """Run one grid; the parallel, cached equivalent of ``run_grid``.
 
@@ -262,8 +405,25 @@ class ExperimentEngine:
         ``grid.cells`` is always in config order regardless of completion
         order, and the ``progress`` callback (``run_grid`` compatible)
         fires in that same order after all cells exist.
+
+        ``failures``/``recovery`` inject a node-failure scenario into
+        every cell (see :mod:`repro.failures`); both are folded into the
+        cache fingerprints.  ``recovery`` must be a spec string (workers
+        rebuild the policy from it).
         """
         jobs = list(jobs)
+        failures_digest = ""
+        recovery_spec = ""
+        if failures is not None and failures:
+            failures_digest = failures.fingerprint()
+        else:
+            failures = None
+        if recovery is not None:
+            from repro.failures.recovery import recovery_from_spec
+
+            # Canonicalize (and fail fast on malformed specs) before the
+            # spec reaches fingerprints or workers.
+            recovery_spec = recovery = recovery_from_spec(recovery).spec
         chosen = list(configs) if configs is not None else list(paper_configurations())
         grid = GridResult(
             workload_name=workload_name,
@@ -291,6 +451,8 @@ class ExperimentEngine:
                 total_nodes=total_nodes,
                 weighted=weighted,
                 recompute_threshold=recompute_threshold,
+                failures_digest=failures_digest,
+                recovery=recovery_spec,
             )
             cell = self.cache.get(fp) if self.cache is not None else None
             if cell is not None:
@@ -311,10 +473,14 @@ class ExperimentEngine:
 
         if self.workers > 1 and len(pending) > 1:
             self._run_parallel(
-                pending, jobs, grid, stats, recompute_threshold, results
+                pending, jobs, grid, stats, recompute_threshold, results,
+                failures, recovery,
             )
         else:
-            self._run_serial(pending, jobs, grid, stats, recompute_threshold, results)
+            self._run_serial(
+                pending, jobs, grid, stats, recompute_threshold, results,
+                failures, recovery,
+            )
 
         for config in chosen:
             grid.cells[config.key] = results[config.key]
@@ -331,6 +497,37 @@ class ExperimentEngine:
         )
         return grid
 
+    def run_failure_scenarios(
+        self,
+        jobs: Sequence[Job],
+        scenarios: Sequence[FailureScenario],
+        *,
+        workload_name: str = "workload",
+        **kwargs: object,
+    ) -> Mapping[str, GridResult]:
+        """Sweep named failure scenarios over one workload.
+
+        Runs one full grid per :class:`FailureScenario` (the scenario name
+        is appended to ``workload_name`` for progress events) and returns
+        ``{scenario_name: GridResult}`` in scenario order.  Cells are
+        cached per scenario — the failure trace and recovery spec are part
+        of the fingerprint — so re-sweeping with one extra scenario only
+        simulates the new cells.
+        """
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario names: {names}")
+        out: dict[str, GridResult] = {}
+        for scenario in scenarios:
+            out[scenario.name] = self.run(
+                jobs,
+                workload_name=f"{workload_name}[{scenario.name}]",
+                failures=scenario.failures,
+                recovery=scenario.recovery,
+                **kwargs,  # type: ignore[arg-type]
+            )
+        return out
+
     def _run_serial(
         self,
         pending: list[tuple[SchedulerConfig, str]],
@@ -339,6 +536,8 @@ class ExperimentEngine:
         stats: RunStats,
         recompute_threshold: float,
         results: dict[str, CellResult],
+        failures: "FailureTrace | None",
+        recovery: str | None,
     ) -> None:
         for config, fp in pending:
             self._emit(
@@ -356,6 +555,8 @@ class ExperimentEngine:
                 total_nodes=grid.total_nodes,
                 weighted=grid.weighted,
                 recompute_threshold=recompute_threshold,
+                failures=failures,
+                recovery=recovery,
             )
             wall = time.perf_counter() - t0
             self._record(config.key, fp, cell, wall, grid, stats, results)
@@ -368,39 +569,186 @@ class ExperimentEngine:
         stats: RunStats,
         recompute_threshold: float,
         results: dict[str, CellResult],
+        failures: "FailureTrace | None",
+        recovery: str | None,
     ) -> None:
         job_tuple = tuple(jobs)
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)), mp_context=_pool_context()
-        ) as pool:
-            futures = {}
-            for config, fp in pending:
-                self._emit(
-                    ProgressEvent(
-                        kind="cell-started",
-                        workload_name=grid.workload_name,
-                        weighted=grid.weighted,
-                        key=config.key,
-                    )
+        config_by_fp = {fp: config for config, fp in pending}
+        attempts: dict[str, int] = {}
+        serial_fallback: list[tuple[SchedulerConfig, str]] = []
+        rng = random.Random()
+        rebuilds = 0
+
+        def task_args(config: SchedulerConfig) -> tuple:
+            return (
+                config.row,
+                config.column,
+                job_tuple,
+                grid.total_nodes,
+                grid.weighted,
+                recompute_threshold,
+                failures,
+                recovery,
+            )
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)),
+                mp_context=_pool_context(),
+            )
+
+        def charge_and_backoff(fp: str, why: str) -> bool:
+            """Charge a retry for ``fp``; True when it may go back to the pool."""
+            attempts[fp] = attempts.get(fp, 0) + 1
+            if attempts[fp] > self.max_retries:
+                serial_fallback.append((config_by_fp[fp], fp))
+                return False
+            stats.retries += 1
+            pause = (
+                self.retry_backoff
+                * (2 ** (attempts[fp] - 1))
+                * rng.uniform(0.5, 1.5)
+            )
+            self._emit(
+                ProgressEvent(
+                    kind="cell-retry",
+                    workload_name=grid.workload_name,
+                    weighted=grid.weighted,
+                    key=config_by_fp[fp].key,
+                    wall_time=pause,
+                    detail=f"attempt {attempts[fp]}/{self.max_retries}: {why}",
                 )
-                future = pool.submit(
-                    _run_cell_task,
-                    (
-                        config.row,
-                        config.column,
-                        job_tuple,
-                        grid.total_nodes,
-                        grid.weighted,
-                        recompute_threshold,
+            )
+            if pause > 0:
+                time.sleep(pause)
+            return True
+
+        pool = make_pool()
+        futures: dict[Future, str] = {}
+        deadlines: dict[Future, float] = {}
+
+        def submit(fp: str) -> None:
+            future = pool.submit(_run_cell_task, task_args(config_by_fp[fp]))
+            futures[future] = fp
+            deadlines[future] = (
+                time.perf_counter() + self.cell_timeout
+                if self.cell_timeout is not None
+                else math.inf
+            )
+
+        for config, fp in pending:
+            self._emit(
+                ProgressEvent(
+                    kind="cell-started",
+                    workload_name=grid.workload_name,
+                    weighted=grid.weighted,
+                    key=config.key,
+                )
+            )
+            submit(fp)
+
+        try:
+            while futures:
+                timeout = None
+                if self.cell_timeout is not None:
+                    timeout = max(
+                        0.0, min(deadlines.values()) - time.perf_counter()
+                    )
+                done, _ = wait(
+                    set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                retry_fps: list[str] = []
+                pool_broken = False
+                if not done:
+                    # A cell blew its wall-clock budget: the pool has a hung
+                    # worker.  Kill the pool; overdue cells are charged a
+                    # retry, every other in-flight cell resubmits for free.
+                    now = time.perf_counter()
+                    for future, fp in futures.items():
+                        if now >= deadlines[future]:
+                            if charge_and_backoff(
+                                fp, f"exceeded cell_timeout={self.cell_timeout}s"
+                            ):
+                                retry_fps.append(fp)
+                        else:
+                            retry_fps.append(fp)
+                    futures.clear()
+                    deadlines.clear()
+                    pool_broken = True
+                else:
+                    for future in done:
+                        fp = futures.pop(future)
+                        deadlines.pop(future)
+                        try:
+                            key, cell, wall = future.result()
+                        except BrokenProcessPool as exc:
+                            pool_broken = True
+                            if charge_and_backoff(fp, f"worker crashed: {exc!r}"):
+                                retry_fps.append(fp)
+                        except Exception as exc:
+                            # The task itself raised inside a healthy
+                            # worker: retry (flaky crashes recover), then
+                            # surface deterministic errors via the serial
+                            # fallback where the traceback is direct.
+                            if charge_and_backoff(fp, f"cell raised: {exc!r}"):
+                                retry_fps.append(fp)
+                        else:
+                            self._record(
+                                key, fp, cell, wall, grid, stats, results
+                            )
+                    if pool_broken:
+                        # A broken executor dooms every in-flight future;
+                        # resubmit them to the next pool uncharged.
+                        retry_fps.extend(futures.values())
+                        futures.clear()
+                        deadlines.clear()
+                if pool_broken:
+                    _terminate_pool(pool)
+                    rebuilds += 1
+                    stats.pool_rebuilds += 1
+                    if rebuilds > self.max_pool_rebuilds:
+                        # Give up on parallelism entirely.
+                        serial_fallback.extend(
+                            (config_by_fp[fp], fp) for fp in retry_fps
+                        )
+                        serial_fallback.extend(
+                            (config_by_fp[fp], fp) for fp in futures.values()
+                        )
+                        futures.clear()
+                        deadlines.clear()
+                        break
+                    pool = make_pool()
+                for fp in retry_fps:
+                    submit(fp)
+        finally:
+            _terminate_pool(pool)
+
+        if serial_fallback:
+            # Deduplicate while preserving order (a cell can be queued for
+            # fallback once via retries and once via the rebuild budget).
+            seen: set[str] = set()
+            unique = [
+                (config, fp)
+                for config, fp in serial_fallback
+                if not (fp in seen or seen.add(fp))
+            ]
+            stats.degraded_cells += len(unique)
+            self._emit(
+                ProgressEvent(
+                    kind="engine-degraded",
+                    workload_name=grid.workload_name,
+                    weighted=grid.weighted,
+                    detail=(
+                        f"{len(unique)} cell(s) fell back to in-process serial "
+                        f"execution after {stats.retries} retries and "
+                        f"{stats.pool_rebuilds} pool rebuilds"
                     ),
                 )
-                futures[future] = fp
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key, cell, wall = future.result()
-                    self._record(key, futures[future], cell, wall, grid, stats, results)
+            )
+            self._run_serial(
+                unique, jobs, grid, stats, recompute_threshold, results,
+                failures, recovery,
+            )
 
     def _record(
         self,

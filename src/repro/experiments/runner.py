@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.job import Job
 from repro.core.machine import Machine
@@ -26,6 +26,9 @@ from repro.metrics.objectives import (
     average_weighted_response_time,
 )
 from repro.schedulers.registry import SchedulerConfig, build_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.trace import FailureTrace
 
 
 class TimingScheduler(Scheduler):
@@ -83,6 +86,12 @@ class CellResult:
     max_queue_length: int
     makespan: float
     decision_time: float = 0.0  # seconds inside select_jobs at decision points
+    # Resilience metrics (all zero when the cell ran without failure
+    # injection; see repro.failures and docs/architecture.md).
+    interrupted_jobs: int = 0
+    wasted_node_seconds: float = 0.0
+    lost_node_seconds: float = 0.0
+    requeue_delay: float = 0.0
 
     def pct_vs(self, reference: float) -> float:
         """Percentage difference against a reference value (paper style)."""
@@ -155,6 +164,8 @@ def simulate_cell(
     total_nodes: int = 256,
     weighted: bool = False,
     recompute_threshold: float = 2.0 / 3.0,
+    failures: "FailureTrace | None" = None,
+    recovery: str | None = None,
 ) -> CellResult:
     """Simulate one grid cell and measure the paper's metrics.
 
@@ -162,6 +173,11 @@ def simulate_cell(
     :func:`run_grid`, the parallel engine's workers, and its cache misses
     all funnel through here, which is what makes parallel and serial runs
     bit-identical.
+
+    ``failures``/``recovery`` inject a node-failure scenario (see
+    :mod:`repro.failures`); the resilience metrics of the result are then
+    populated.  ``recovery`` must be a spec string here (not a policy
+    object) so the cell stays picklable and cache-fingerprintable.
     """
     scheduler = TimingScheduler(
         build_scheduler(
@@ -169,7 +185,9 @@ def simulate_cell(
             recompute_threshold=recompute_threshold,
         )
     )
-    result = Simulator(Machine(total_nodes), scheduler).run(jobs)
+    result = Simulator(Machine(total_nodes), scheduler).run(
+        jobs, failures=failures, recovery=recovery
+    )
     objective = (
         average_weighted_response_time(result.schedule)
         if weighted
@@ -182,6 +200,10 @@ def simulate_cell(
         max_queue_length=result.max_queue_length,
         makespan=result.schedule.makespan,
         decision_time=result.decision_time,
+        interrupted_jobs=result.interrupted_jobs,
+        wasted_node_seconds=result.wasted_node_seconds,
+        lost_node_seconds=result.lost_node_seconds,
+        requeue_delay=result.requeue_delay,
     )
 
 

@@ -1,0 +1,50 @@
+"""Fault injection: node failure/repair traces and job recovery policies.
+
+Section 2 of the paper reminds the designer that a schedule is subject to
+"the sudden failure of a hardware component" and that jobs may "fail to
+run".  This package supplies the failure model the core simulator honours:
+
+* :class:`~repro.failures.trace.FailureTrace` — a deterministic list of
+  :class:`~repro.failures.trace.NodeFailure` intervals (plus the seeded
+  :func:`~repro.failures.trace.mtbf_trace` MTBF/MTTR generator) that the
+  simulator merges into its event loop as ``NODE_DOWN`` / ``NODE_UP``
+  events;
+* :class:`~repro.failures.recovery.RecoveryPolicy` — the pluggable policy
+  deciding what happens to a running job killed by a failure
+  (:class:`~repro.failures.recovery.AbandonPolicy`,
+  :class:`~repro.failures.recovery.ResubmitPolicy`,
+  :class:`~repro.failures.recovery.CheckpointRestartPolicy`);
+* :func:`~repro.failures.audit.audit_run` — the exactness oracle: no job
+  lost or double-counted across kills and requeues, every execution
+  interval (final and interrupted) within the time-varying capacity.
+
+The on-line information model: a failure is a *surprise* (schedulers learn
+about it only when it happens), but the repair time is known once the node
+is down — the resource manager has a repair ETA — so planning disciplines
+see the outage as a capacity reservation ``[down, up)`` in the availability
+profile and keep backfilling around it.
+"""
+
+from repro.failures.recovery import (
+    AbandonPolicy,
+    CheckpointRestartPolicy,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    ResubmitPolicy,
+    recovery_from_spec,
+)
+from repro.failures.trace import FailureTrace, NodeFailure, mtbf_trace
+from repro.failures.audit import audit_run
+
+__all__ = [
+    "AbandonPolicy",
+    "CheckpointRestartPolicy",
+    "FailureTrace",
+    "NodeFailure",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "ResubmitPolicy",
+    "audit_run",
+    "mtbf_trace",
+    "recovery_from_spec",
+]

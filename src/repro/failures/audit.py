@@ -1,0 +1,222 @@
+"""Resilience exactness oracle: audit a simulation run against its failure trace.
+
+The fault-injection subsystem promises *exact* accounting: no job lost or
+double-counted across kills and requeues, every execution interval (final
+records and interrupted attempts alike) within the machine's time-varying
+capacity, and the resilience counters internally consistent.
+:func:`audit_run` re-derives all of that from first principles — the job
+stream, the failure trace, and the :class:`~repro.core.simulator.
+SimulationResult` — and raises :class:`AuditError` on the first violation.
+
+The audit is deliberately independent of the simulator's bookkeeping: it
+sweeps raw intervals rather than trusting ``Machine``'s capacity log, so a
+bug in either side trips it.  Benches and the chaos CI job run it after
+every injected scenario.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids core<->failures cycle)
+    from repro.core.job import Job
+    from repro.core.simulator import SimulationResult
+    from repro.failures.trace import FailureTrace
+
+
+class AuditError(AssertionError):
+    """The run's resilience accounting is inconsistent with its inputs."""
+
+
+_REL_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def audit_run(
+    result: "SimulationResult",
+    jobs: Iterable["Job"],
+    trace: "FailureTrace",
+    total_nodes: int,
+    *,
+    recovery: str | None = None,
+) -> dict[str, float]:
+    """Audit ``result`` against the stream and failure trace it came from.
+
+    Checks, raising :class:`AuditError` on the first failure:
+
+    * **conservation** — every submitted job appears exactly once in
+      ``schedule`` or ``cancelled_queued``, never both, none invented;
+    * **identity** — final records keep the original submission identity
+      (submit time, width, estimate), so response times span the original
+      submission even across reruns;
+    * **attempt ordering** — a job's interrupted attempts and final record
+      never overlap and appear in start order;
+    * **capacity** — the sweep over *all* execution intervals (final and
+      interrupted) never exceeds the trace's time-varying capacity;
+    * **counters** — ``lost_node_seconds`` equals the trace total; kill,
+      interrupt and abandon counts balance; wasted work and requeue delay
+      are non-negative, and exact where the ``recovery`` spec pins them
+      down (``"abandon"`` and ``"resubmit*"``).
+
+    Returns the derived tallies (job/kill/interrupt/abandon counts, wasted
+    node-seconds recomputed where possible) for tests to assert against.
+    """
+    stream = list(jobs)
+    stream_ids = {job.job_id for job in stream}
+    if len(stream_ids) != len(stream):
+        raise AuditError("input stream reuses job ids; audit is meaningless")
+    originals = {job.job_id: job for job in stream}
+
+    # -- conservation ---------------------------------------------------------
+    scheduled_ids = {item.job.job_id for item in result.schedule}
+    cancelled_ids = set(result.cancelled_queued)
+    if len(result.cancelled_queued) != len(cancelled_ids):
+        raise AuditError("cancelled_queued lists a job twice")
+    overlap = scheduled_ids & cancelled_ids
+    if overlap:
+        raise AuditError(
+            f"jobs {sorted(overlap)} both scheduled and cancelled-while-queued"
+        )
+    accounted = scheduled_ids | cancelled_ids
+    if accounted != stream_ids:
+        lost = sorted(stream_ids - accounted)
+        invented = sorted(accounted - stream_ids)
+        raise AuditError(
+            f"job conservation violated: lost={lost[:5]} invented={invented[:5]}"
+        )
+
+    # -- identity -------------------------------------------------------------
+    for item in result.schedule:
+        original = originals[item.job.job_id]
+        if (
+            item.job.submit_time != original.submit_time
+            or item.job.nodes != original.nodes
+            or item.job.estimate != original.estimate
+        ):
+            raise AuditError(
+                f"job {item.job.job_id} lost its submission identity across "
+                "recovery (submit time, width and estimate must survive reruns)"
+            )
+
+    # -- attempt ordering -----------------------------------------------------
+    attempts: dict[int, list[tuple[float, float]]] = {}
+    for item in result.interrupted:
+        attempts.setdefault(item.job.job_id, []).append(
+            (item.start_time, item.end_time)
+        )
+        if item.job.job_id not in stream_ids:
+            raise AuditError(f"interrupted attempt of unknown job {item.job.job_id}")
+        if not item.cancelled:
+            raise AuditError(
+                f"interrupted attempt of job {item.job.job_id} not marked cancelled"
+            )
+    for job_id, spans in attempts.items():
+        ordered = sorted(spans)
+        if ordered != spans:
+            raise AuditError(f"attempts of job {job_id} out of start order")
+        final = result.schedule[job_id] if job_id in result.schedule else None
+        if final is not None:
+            ordered.append((final.start_time, final.end_time))
+        for (s0, e0), (s1, e1) in zip(ordered, ordered[1:]):
+            if e0 > s1 + _REL_TOL * max(1.0, abs(e0)):
+                raise AuditError(
+                    f"attempts of job {job_id} overlap: [{s0}, {e0}) then [{s1}, {e1})"
+                )
+
+    # -- capacity sweep -------------------------------------------------------
+    intervals = [
+        (item.start_time, item.end_time, item.job.nodes)
+        for item in list(result.schedule) + list(result.interrupted)
+        if item.end_time > item.start_time
+    ]
+    # Tags order equal-time events: releases (0) before capacity changes (1)
+    # before allocations (2) — mirrors Schedule.validate.
+    events: list[tuple[float, int, int]] = []
+    for start, end, nodes in intervals:
+        events.append((start, 2, nodes))
+        events.append((end, 0, -nodes))
+    for time, level in trace.capacity_steps(total_nodes):
+        if level < 0:
+            raise AuditError(f"trace drives capacity negative at t={time}")
+        events.append((time, 1, level))
+    events.sort(key=lambda e: (e[0], e[1]))
+    used, cap = 0, total_nodes
+    for time, tag, value in events:
+        if tag == 1:
+            cap = value
+        else:
+            used += value
+        if used > cap:
+            raise AuditError(
+                f"capacity exceeded at t={time}: {used} nodes in use, "
+                f"capacity {cap} (attempts included)"
+            )
+
+    # -- counters -------------------------------------------------------------
+    if not _close(result.lost_node_seconds, trace.lost_node_seconds()):
+        raise AuditError(
+            f"lost_node_seconds {result.lost_node_seconds} != trace total "
+            f"{trace.lost_node_seconds()}"
+        )
+    kills = len(result.failure_killed)
+    interrupts = len(result.interrupted)
+    abandoned = kills - interrupts
+    if abandoned < 0:
+        raise AuditError(
+            f"{interrupts} interrupted attempts but only {kills} failure kills"
+        )
+    for job_id in result.failure_killed:
+        if job_id not in stream_ids:
+            raise AuditError(f"failure_killed lists unknown job {job_id}")
+    cancelled_records = {
+        item.job.job_id for item in result.schedule if item.cancelled
+    }
+    killed_by_user = set(result.killed_running)
+    # Every abandon decision leaves a cancelled final record that no user
+    # kill explains.
+    failure_cancelled = cancelled_records - killed_by_user
+    if recovery == "abandon":
+        if interrupts:
+            raise AuditError("abandon policy produced interrupted attempts")
+        if set(result.failure_killed) - cancelled_records:
+            raise AuditError("abandoned job lacks a cancelled final record")
+    if result.wasted_node_seconds < -_REL_TOL:
+        raise AuditError(f"negative wasted work: {result.wasted_node_seconds}")
+    if result.requeue_delay < -_REL_TOL:
+        raise AuditError(f"negative requeue delay: {result.requeue_delay}")
+
+    wasted_expected: float | None = None
+    if recovery == "abandon":
+        wasted_expected = sum(
+            (item.end_time - item.start_time) * item.job.nodes
+            for item in result.schedule
+            if item.cancelled and item.job.job_id in set(result.failure_killed)
+        )
+    elif recovery is not None and recovery.split(":")[0] == "resubmit":
+        if abandoned:
+            raise AuditError("resubmit policy abandoned a job")
+        wasted_expected = sum(
+            (item.end_time - item.start_time) * item.job.nodes
+            for item in result.interrupted
+        )
+    if wasted_expected is not None and not _close(
+        result.wasted_node_seconds, wasted_expected
+    ):
+        raise AuditError(
+            f"wasted_node_seconds {result.wasted_node_seconds} != recomputed "
+            f"{wasted_expected} under {recovery!r}"
+        )
+
+    return {
+        "jobs": float(len(stream)),
+        "kills": float(kills),
+        "interrupted": float(interrupts),
+        "abandoned": float(abandoned),
+        "failure_cancelled": float(len(failure_cancelled)),
+        "wasted_recomputed": (
+            wasted_expected if wasted_expected is not None else float("nan")
+        ),
+    }

@@ -1,0 +1,211 @@
+"""Recovery policies: what happens to a running job killed by a node failure.
+
+The simulator consults exactly one :class:`RecoveryPolicy` per run.  When a
+``NODE_DOWN`` event forces a running job off the machine, the policy
+receives the *original* job, the wall-clock the interrupted attempt
+executed, and the job's cumulative checkpointed progress, and answers with
+a :class:`RecoveryOutcome`:
+
+* ``resubmit_at is None`` — **abandon**: the partial execution enters the
+  final schedule as a cancelled record and the job is never rerun;
+* otherwise — requeue a rerun of ``remaining_runtime`` seconds at
+  ``resubmit_at``, carrying ``saved`` seconds of checkpointed progress
+  forward (``overhead`` of the rerun is restart replay, not progress).
+
+Three policies cover the design space the resilience literature spans:
+lose the work (:class:`AbandonPolicy`), rerun from scratch
+(:class:`ResubmitPolicy`), or rerun from the last checkpoint at the price
+of a periodic-checkpoint model and a restart overhead
+(:class:`CheckpointRestartPolicy`).
+
+Policies are cheap value objects with a canonical ``spec`` string
+(``"checkpoint:interval=3600,overhead=60"``) so the experiment engine can
+fingerprint them into cache keys and rebuild them inside pool workers —
+:func:`recovery_from_spec` is the inverse.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.core.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryOutcome:
+    """The policy's verdict on one interrupted attempt."""
+
+    #: When to resubmit the job (``None`` abandons it).
+    resubmit_at: float | None
+    #: Execution time of the rerun (includes ``overhead``).
+    remaining_runtime: float = 0.0
+    #: Cumulative checkpointed progress carried into the rerun.
+    saved: float = 0.0
+    #: Restart replay included at the head of the rerun; it consumes
+    #: machine time without advancing progress.
+    overhead: float = 0.0
+
+
+class RecoveryPolicy(abc.ABC):
+    """Decides the fate of jobs interrupted by node failures."""
+
+    #: Canonical spec string (parsable by :func:`recovery_from_spec`);
+    #: used in engine cache fingerprints.
+    spec: str = "abandon"
+
+    @abc.abstractmethod
+    def on_interrupt(
+        self,
+        job: Job,
+        *,
+        now: float,
+        executed: float,
+        saved: float,
+        overhead_paid: float,
+    ) -> RecoveryOutcome:
+        """Handle one interrupted attempt.
+
+        ``job`` is the *original* submission (full runtime), ``executed``
+        the wall-clock this attempt ran before the kill, ``saved`` the
+        progress checkpointed before this attempt started, and
+        ``overhead_paid`` the restart replay the attempt began with.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+
+class AbandonPolicy(RecoveryPolicy):
+    """Interrupted jobs are lost: partial execution recorded, no rerun."""
+
+    spec = "abandon"
+
+    def on_interrupt(
+        self,
+        job: Job,
+        *,
+        now: float,
+        executed: float,
+        saved: float,
+        overhead_paid: float,
+    ) -> RecoveryOutcome:
+        return RecoveryOutcome(resubmit_at=None)
+
+
+class ResubmitPolicy(RecoveryPolicy):
+    """Requeue the whole job after ``delay`` seconds; all progress is lost."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+        self.spec = "resubmit" if delay == 0 else f"resubmit:delay={delay!r}"
+
+    def on_interrupt(
+        self,
+        job: Job,
+        *,
+        now: float,
+        executed: float,
+        saved: float,
+        overhead_paid: float,
+    ) -> RecoveryOutcome:
+        return RecoveryOutcome(
+            resubmit_at=now + self.delay,
+            remaining_runtime=job.runtime,
+            saved=0.0,
+            overhead=0.0,
+        )
+
+
+class CheckpointRestartPolicy(RecoveryPolicy):
+    """Periodic checkpointing: rerun from the last checkpoint plus overhead.
+
+    The job checkpoints every ``interval`` seconds of *progress*
+    (``interval == 0`` models continuous checkpointing); a rerun replays
+    ``overhead`` seconds of restart work before resuming, and is requeued
+    ``delay`` seconds after the kill.  Work since the last checkpoint —
+    and any restart replay in flight — is wasted.
+    """
+
+    def __init__(
+        self, interval: float = 3600.0, overhead: float = 0.0, delay: float = 0.0
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be non-negative, got {interval}")
+        if overhead < 0:
+            raise ValueError(f"overhead must be non-negative, got {overhead}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.interval = interval
+        self.overhead = overhead
+        self.delay = delay
+        parts = [f"interval={interval!r}", f"overhead={overhead!r}"]
+        if delay:
+            parts.append(f"delay={delay!r}")
+        self.spec = "checkpoint:" + ",".join(parts)
+
+    def on_interrupt(
+        self,
+        job: Job,
+        *,
+        now: float,
+        executed: float,
+        saved: float,
+        overhead_paid: float,
+    ) -> RecoveryOutcome:
+        progressed = max(0.0, executed - overhead_paid)
+        total = saved + progressed
+        if self.interval == 0:
+            checkpointed = total
+        else:
+            checkpointed = math.floor(total / self.interval) * self.interval
+        # Progress can only move forward: a kill during restart replay
+        # keeps the checkpoint it was replaying towards.
+        checkpointed = min(max(checkpointed, saved), job.runtime)
+        remaining = job.runtime - checkpointed + self.overhead
+        return RecoveryOutcome(
+            resubmit_at=now + self.delay,
+            remaining_runtime=remaining,
+            saved=checkpointed,
+            overhead=self.overhead,
+        )
+
+
+def recovery_from_spec(spec: "str | RecoveryPolicy") -> RecoveryPolicy:
+    """Build a policy from its canonical spec string.
+
+    Accepted forms: ``"abandon"``, ``"resubmit"``,
+    ``"resubmit:delay=30"``, ``"checkpoint:interval=3600,overhead=60"``
+    (``delay`` optional on both parametrised forms).  A
+    :class:`RecoveryPolicy` instance passes through unchanged.
+    """
+    if isinstance(spec, RecoveryPolicy):
+        return spec
+    head, _, tail = spec.partition(":")
+    params: dict[str, float] = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(f"malformed recovery spec parameter {item!r} in {spec!r}")
+            try:
+                params[key.strip()] = float(value)
+            except ValueError as exc:
+                raise ValueError(f"malformed recovery spec {spec!r}: {exc}") from None
+    try:
+        if head == "abandon":
+            if params:
+                raise TypeError("abandon takes no parameters")
+            return AbandonPolicy()
+        if head == "resubmit":
+            return ResubmitPolicy(**params)
+        if head == "checkpoint":
+            return CheckpointRestartPolicy(**params)
+    except TypeError as exc:
+        raise ValueError(f"malformed recovery spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"unknown recovery policy {head!r}; expected abandon, resubmit or checkpoint"
+    )

@@ -97,7 +97,13 @@ class PartitionedSystem:
         out: dict[str, PartitionResult] = {}
         for partition in self.partitions:
             stream = buckets[partition.name]
-            result = Simulator(Machine(partition.nodes), partition.scheduler).run(stream)
+            if stream:
+                result = Simulator(
+                    Machine(partition.nodes), partition.scheduler
+                ).run(stream)
+            else:
+                # Nothing routed here: an idle partition, not a simulation.
+                result = SimulationResult.empty()
             out[partition.name] = PartitionResult(
                 partition=partition, result=result, jobs_routed=len(stream)
             )

@@ -129,12 +129,35 @@ class TestRandomCancellations:
     def test_fraction_bounds(self):
         with pytest.raises(ValueError):
             random_cancellations([], 1.5)
+        with pytest.raises(ValueError):
+            random_cancellations([], -0.1)
+
+    def test_rate_zero_cancels_nothing(self):
+        jobs = make_jobs(40, seed=1, max_nodes=16)
+        assert random_cancellations(jobs, 0.0, seed=2) == []
+
+    def test_rate_one_cancels_every_job_once(self):
+        jobs = make_jobs(40, seed=1, max_nodes=16)
+        cancellations = random_cancellations(jobs, 1.0, seed=2)
+        assert [c.job_id for c in cancellations] == [j.job_id for j in jobs]
+
+    def test_no_duplicate_job_ids_at_intermediate_rates(self):
+        jobs = make_jobs(60, seed=5, max_nodes=16)
+        for rate in (0.2, 0.5, 0.8):
+            picked = [c.job_id for c in random_cancellations(jobs, rate, seed=6)]
+            assert len(picked) == len(set(picked))
 
     def test_deterministic(self):
         jobs = make_jobs(40, seed=1, max_nodes=16)
         a = random_cancellations(jobs, 0.3, seed=2)
         b = random_cancellations(jobs, 0.3, seed=2)
         assert a == b
+
+    def test_seed_changes_selection(self):
+        jobs = make_jobs(40, seed=1, max_nodes=16)
+        a = random_cancellations(jobs, 0.5, seed=2)
+        b = random_cancellations(jobs, 0.5, seed=3)
+        assert a != b
 
     def test_times_after_submission(self):
         jobs = make_jobs(40, seed=3, max_nodes=16)

@@ -1,5 +1,7 @@
 """Tests for the parallel experiment engine, its cache, and the open registry."""
 
+import multiprocessing
+import os
 import time
 
 import pytest
@@ -9,10 +11,12 @@ from repro.core.scheduler import Scheduler
 from repro.experiments.engine import (
     CACHE_VERSION,
     ExperimentEngine,
+    FailureScenario,
     ResultCache,
     cell_fingerprint,
     fingerprint_jobs,
 )
+from repro.failures import FailureTrace, NodeFailure, mtbf_trace
 from repro.experiments.paper import probabilistic_workload
 from repro.experiments.runner import GridResult, TimingScheduler, run_grid
 from repro.experiments.tables import format_grid
@@ -108,6 +112,38 @@ class TestResultCache:
         )
         path.write_text(payload, encoding="utf-8")
         assert cache.get("ef" * 32) is None
+        # Version skew is an honest format difference, not corruption: the
+        # entry stays where a newer library version can still read it.
+        assert path.exists()
+
+    def test_corrupt_entry_quarantined_not_retried(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path("cd" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get("cd" * 32) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_wrong_shape_entry_quarantined(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        path = cache.path("ee" * 32)
+        path.parent.mkdir(parents=True)
+        # Right version, but the cell payload is missing entirely.
+        path.write_text(json.dumps({"version": CACHE_VERSION}), encoding="utf-8")
+        assert cache.get("ee" * 32) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_put_finalizes_atomically(self, tmp_path, workload):
+        cache = ResultCache(tmp_path)
+        grid = run_grid(workload[:20], total_nodes=256,
+                        configs=[SchedulerConfig("fcfs", "list")])
+        cache.put("ff" * 32, grid.cells["fcfs/list"])
+        entry_dir = cache.path("ff" * 32).parent
+        # os.replace finalization never leaves partial temp files behind.
+        assert [p.name for p in entry_dir.iterdir()] == [f"{'ff' * 32}.json"]
 
 
 # -- parallel equivalence and cache-served re-runs -----------------------------
@@ -192,6 +228,231 @@ class TestProgressEvents:
         # appending accumulates across runs (resumable logs)
         append_events(events, target)
         assert len(target.read_text().splitlines()) == 2 * len(events)
+
+
+# -- crash tolerance: retries, backoff, serial degradation ---------------------
+
+
+def _in_pool_worker():
+    return multiprocessing.parent_process() is not None
+
+
+def _crashy_order(total_nodes, weight, threshold):
+    """A scheduler that hard-kills any pool worker it runs in.
+
+    In the parent process (the serial fallback) it behaves like FCFS, so
+    the cell is computable — just never inside a worker.
+    """
+
+    def key(job):
+        if _in_pool_worker():
+            os._exit(1)
+        return job.submit_time
+
+    return KeyOrderPolicy(key, "crashy")
+
+
+def _sleepy_order(total_nodes, weight, threshold):
+    """A scheduler that hangs forever inside pool workers only."""
+
+    def key(job):
+        if _in_pool_worker():
+            time.sleep(300.0)
+        return job.submit_time
+
+    return KeyOrderPolicy(key, "sleepy")
+
+
+class TestCrashTolerance:
+    def test_crashing_worker_retried_then_degraded_to_serial(
+        self, tmp_path, workload
+    ):
+        register_row("crashy", _crashy_order, columns=("easy",))
+        try:
+            events = []
+            engine = ExperimentEngine(
+                workers=2,
+                cache=tmp_path,
+                on_event=events.append,
+                max_retries=1,
+                retry_backoff=0.01,
+                max_pool_rebuilds=5,
+            )
+            configs = [
+                SchedulerConfig("crashy", "easy"),
+                SchedulerConfig("fcfs", "easy"),
+            ]
+            grid = engine.run(workload[:30], total_nodes=256, configs=configs)
+
+            # The grid completed despite the crashing cell...
+            assert set(grid.cells) == {"crashy/easy", "fcfs/easy"}
+            assert grid.cells["crashy/easy"].objective > 0
+            # ...after at least one charged retry and a serial fallback.
+            assert engine.stats.retries >= 1
+            assert engine.stats.pool_rebuilds >= 1
+            assert engine.stats.degraded_cells >= 1
+            kinds = [e.kind for e in events]
+            assert "cell-retry" in kinds
+            assert "engine-degraded" in kinds
+            # The crashing cell itself was retried (a collateral victim of
+            # the broken pool may also be charged — ordering is not ours).
+            retries = [e for e in events if e.kind == "cell-retry"]
+            crashy = [e for e in retries if e.key == "crashy/easy"]
+            assert crashy
+            assert all("worker crashed" in e.detail for e in crashy)
+            assert all(e.wall_time > 0 for e in retries)  # backoff slept
+
+            # The serial result is the canonical one: a plain serial engine
+            # (no pool, nothing to crash) computes the same objective.
+            serial = ExperimentEngine(workers=1).run(
+                workload[:30], total_nodes=256, configs=configs
+            )
+            for key in serial.cells:
+                assert grid.cells[key].objective == serial.cells[key].objective
+        finally:
+            unregister_row("crashy")
+
+    def test_hung_worker_times_out_and_grid_completes(self, workload):
+        register_row("sleepy", _sleepy_order, columns=("easy",))
+        try:
+            events = []
+            engine = ExperimentEngine(
+                workers=2,
+                on_event=events.append,
+                cell_timeout=1.0,
+                max_retries=0,
+                max_pool_rebuilds=5,
+            )
+            configs = [
+                SchedulerConfig("sleepy", "easy"),
+                SchedulerConfig("fcfs", "easy"),
+            ]
+            grid = engine.run(workload[:20], total_nodes=256, configs=configs)
+            assert set(grid.cells) == {"sleepy/easy", "fcfs/easy"}
+            assert engine.stats.pool_rebuilds >= 1
+            assert engine.stats.degraded_cells >= 1
+            degraded = next(e for e in events if e.kind == "engine-degraded")
+            assert "serial" in degraded.detail
+        finally:
+            unregister_row("sleepy")
+
+    def test_retry_knob_validation(self):
+        with pytest.raises(ValueError, match="cell_timeout"):
+            ExperimentEngine(cell_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ExperimentEngine(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ExperimentEngine(retry_backoff=-0.1)
+        with pytest.raises(ValueError, match="max_pool_rebuilds"):
+            ExperimentEngine(max_pool_rebuilds=-1)
+
+
+# -- failure scenarios through the engine --------------------------------------
+
+
+class TestFailureScenarios:
+    def _trace(self):
+        return FailureTrace(
+            [
+                NodeFailure(down_time=2_000.0, up_time=12_000.0, nodes=64),
+                NodeFailure(down_time=30_000.0, up_time=40_000.0, nodes=32),
+            ]
+        )
+
+    def test_fingerprint_distinguishes_failure_axes(self, workload):
+        digest = fingerprint_jobs(workload)
+        cfg = SchedulerConfig("fcfs", "easy")
+        base = cell_fingerprint(digest, cfg, total_nodes=256, weighted=False)
+        faulty = cell_fingerprint(
+            digest, cfg, total_nodes=256, weighted=False,
+            failures_digest=self._trace().fingerprint(), recovery="resubmit",
+        )
+        assert faulty != base
+        assert faulty != cell_fingerprint(
+            digest, cfg, total_nodes=256, weighted=False,
+            failures_digest=self._trace().fingerprint(), recovery="abandon",
+        )
+        assert faulty != cell_fingerprint(
+            digest, cfg, total_nodes=256, weighted=False,
+            failures_digest=FailureTrace().fingerprint(), recovery="resubmit",
+        )
+
+    def test_scenario_sweep_baseline_matches_plain_run(self, tmp_path, workload):
+        configs = [SchedulerConfig("fcfs", "easy"), SchedulerConfig("fcfs", "list")]
+        engine = ExperimentEngine(workers=2, cache=tmp_path)
+        grids = engine.run_failure_scenarios(
+            workload[:60],
+            [
+                FailureScenario("healthy"),
+                FailureScenario("outage", failures=self._trace(), recovery="resubmit"),
+            ],
+            total_nodes=256,
+            configs=configs,
+        )
+        assert list(grids) == ["healthy", "outage"]
+
+        plain = run_grid(workload[:60], total_nodes=256, configs=configs)
+        for key in plain.cells:
+            healthy = grids["healthy"].cells[key]
+            assert healthy.objective == plain.cells[key].objective
+            assert healthy.lost_node_seconds == 0.0
+            faulty = grids["outage"].cells[key]
+            assert faulty.lost_node_seconds == self._trace().lost_node_seconds()
+            assert faulty.objective != healthy.objective
+
+        # Scenario cells cache independently: a re-sweep is all hits.
+        warm = ExperimentEngine(workers=1, cache=tmp_path)
+        warm.run_failure_scenarios(
+            workload[:60],
+            [
+                FailureScenario("healthy"),
+                FailureScenario("outage", failures=self._trace(), recovery="resubmit"),
+            ],
+            total_nodes=256,
+            configs=configs,
+        )
+        assert warm.stats.simulated == 0
+
+    def test_parallel_failure_cells_match_serial(self, workload):
+        # The trace pickles across the process boundary and the workers
+        # rebuild the recovery policy from its spec: results must be
+        # bit-identical to the in-process path.
+        trace = mtbf_trace(
+            total_nodes=256, horizon=60_000.0, mtbf=400_000.0, mttr=3_000.0,
+            seed=17, max_nodes_per_failure=32,
+        )
+        configs = [SchedulerConfig("fcfs", "easy"), SchedulerConfig("psrs", "easy")]
+        kwargs = dict(
+            total_nodes=256, configs=configs, failures=trace,
+            recovery="checkpoint:interval=600,overhead=30",
+        )
+        parallel = ExperimentEngine(workers=2).run(workload[:60], **kwargs)
+        serial = ExperimentEngine(workers=1).run(workload[:60], **kwargs)
+        for key in serial.cells:
+            assert parallel.cells[key].objective == serial.cells[key].objective
+            assert (
+                parallel.cells[key].wasted_node_seconds
+                == serial.cells[key].wasted_node_seconds
+            )
+
+    def test_duplicate_scenario_names_rejected(self, workload):
+        with pytest.raises(ValueError, match="duplicate scenario names"):
+            ExperimentEngine().run_failure_scenarios(
+                workload[:10],
+                [FailureScenario("x"), FailureScenario("x")],
+                total_nodes=256,
+                configs=[SchedulerConfig("fcfs", "easy")],
+            )
+
+    def test_malformed_recovery_spec_fails_fast(self, workload):
+        with pytest.raises(ValueError, match="unknown recovery policy"):
+            ExperimentEngine().run(
+                workload[:10],
+                total_nodes=256,
+                configs=[SchedulerConfig("fcfs", "easy")],
+                failures=self._trace(),
+                recovery="pray",
+            )
 
 
 # -- grid persistence ----------------------------------------------------------

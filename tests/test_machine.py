@@ -76,3 +76,73 @@ class TestAllocation:
 
     def test_paper_batch_default(self):
         assert Machine().total_nodes == 256
+
+
+class TestTimeVaryingCapacity:
+    def test_fail_and_repair_accounting(self):
+        m = Machine(16)
+        m.fail_nodes(4, now=10.0)
+        assert m.down_nodes == 4
+        assert m.available_nodes == 12
+        assert m.free_nodes == 12
+        m.repair_nodes(4, now=20.0)
+        assert m.down_nodes == 0
+        assert m.free_nodes == 16
+
+    def test_fail_more_than_free_raises(self):
+        m = Machine(16)
+        m.allocate(job(job_id=1, nodes=10))
+        with pytest.raises(ValueError, match="only 6 are free"):
+            m.fail_nodes(7, now=0.0)
+
+    def test_repair_more_than_down_raises(self):
+        m = Machine(16)
+        m.fail_nodes(2, now=0.0)
+        with pytest.raises(ValueError, match="only 2 are down"):
+            m.repair_nodes(3, now=1.0)
+
+    def test_nonpositive_counts_rejected(self):
+        m = Machine(16)
+        with pytest.raises(ValueError, match="positive"):
+            m.fail_nodes(0, now=0.0)
+        m.fail_nodes(1, now=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            m.repair_nodes(0, now=1.0)
+
+    def test_capacity_at_and_steps(self):
+        m = Machine(16)
+        assert m.capacity_at(5.0) == 16
+        m.fail_nodes(4, now=10.0)
+        m.fail_nodes(2, now=30.0)
+        m.repair_nodes(6, now=50.0)
+        assert m.capacity_steps() == [(10.0, 12), (30.0, 10), (50.0, 16)]
+        assert m.capacity_at(0.0) == 16
+        assert m.capacity_at(10.0) == 12
+        assert m.capacity_at(40.0) == 10
+        assert m.capacity_at(50.0) == 16
+
+    def test_same_instant_changes_coalesce(self):
+        m = Machine(16)
+        m.fail_nodes(4, now=10.0)
+        m.repair_nodes(2, now=10.0)
+        assert m.capacity_steps() == [(10.0, 14)]
+
+    def test_allocate_with_zero_capacity_raises(self):
+        m = Machine(4)
+        m.fail_nodes(4, now=0.0)
+        with pytest.raises(ValueError, match="capacity is zero"):
+            m.allocate(job(nodes=1))
+
+    def test_allocate_error_mentions_down_nodes(self):
+        m = Machine(8)
+        m.fail_nodes(4, now=0.0)
+        with pytest.raises(ValueError, match="4 down"):
+            m.allocate(job(nodes=6))
+
+    def test_reset_repairs_everything(self):
+        m = Machine(16)
+        m.fail_nodes(4, now=10.0)
+        m.reset()
+        assert m.down_nodes == 0
+        assert m.free_nodes == 16
+        assert m.capacity_steps() == []

@@ -55,6 +55,21 @@ class TestBasics:
         assert p.free_at(10.0) == 6
         assert p.free_at(15.0) == 10
 
+    def test_reserve_until_places_exact_end_breakpoint(self):
+        # start + (end - start) loses the last ulp of ``end`` for these
+        # values; reserve_until must keep the breakpoint exact anyway.
+        start, end = 330.95490119465023, 1842.1866778581186
+        assert start + (end - start) != end
+        p = AvailabilityProfile(10, origin=start)
+        p.reserve_until(start, end, 4)
+        assert (end, 10) in p.steps()
+        assert p.free_at(start) == 6
+
+    def test_reserve_until_empty_span_is_noop(self):
+        p = AvailabilityProfile(10)
+        p.reserve_until(5.0, 5.0, 4)
+        assert p.free_at(5.0) == 10
+
 
 class TestEarliestStart:
     def test_empty_machine_starts_now(self):

@@ -23,9 +23,17 @@ class TestBasicRuns:
         assert res.schedule[0].end_time == 100.0
         assert res.end_time == 100.0
 
-    def test_empty_stream(self):
-        res = simulate([], FCFSScheduler.plain(), 8)
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty workload"):
+            simulate([], FCFSScheduler.plain(), 8)
+
+    def test_empty_result_constructor(self):
+        from repro.core.simulator import SimulationResult
+
+        res = SimulationResult.empty()
         assert len(res.schedule) == 0
+        assert res.end_time == 0.0
+        assert res.decision_points == 0
 
     def test_sequential_when_machine_full(self):
         jobs = [J(0, 0.0, 8, 10.0), J(1, 0.0, 8, 10.0)]

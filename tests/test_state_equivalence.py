@@ -22,6 +22,7 @@ import pytest
 
 from repro.core.machine import Machine
 from repro.core.simulator import Cancellation, Simulator
+from repro.failures import FailureTrace, audit_run, mtbf_trace
 from repro.schedulers.base import OrderedQueueScheduler, SubmitOrderPolicy
 from repro.schedulers.drain import DrainingScheduler, Reservation
 from repro.schedulers.registry import build_scheduler, registered_configurations
@@ -126,6 +127,89 @@ def test_over_limit_kills_bit_identical():
         assert_equivalent(
             lambda: build_scheduler(config, NODES), jobs, cancel_over_limit=True
         )
+
+
+@pytest.mark.parametrize(
+    "config", registered_configurations(), ids=lambda c: c.key
+)
+def test_empty_failure_trace_bit_identical_to_no_failures(config):
+    """Injecting an *empty* trace must not perturb a single bit: the failure
+    machinery has to stay fully dormant until an event actually exists."""
+    jobs = make_jobs(150, seed=23, max_nodes=NODES, mean_gap=40.0)
+    plain = Simulator(Machine(NODES), build_scheduler(config, NODES)).run(jobs)
+    injected = Simulator(Machine(NODES), build_scheduler(config, NODES)).run(
+        jobs, failures=FailureTrace(), recovery="checkpoint:interval=60,overhead=5"
+    )
+    assert signature(injected) == signature(plain)
+    assert injected.decision_points == plain.decision_points
+    assert injected.failure_killed == ()
+    assert injected.interrupted == ()
+    assert injected.lost_node_seconds == 0.0
+    assert injected.wasted_node_seconds == 0.0
+
+
+def _failure_signature(result):
+    return (
+        signature(result),
+        result.failure_killed,
+        [
+            (item.job.job_id, item.start_time, item.end_time)
+            for item in result.interrupted
+        ],
+        result.wasted_node_seconds,
+        result.requeue_delay,
+    )
+
+
+@pytest.mark.parametrize(
+    "recovery", ["abandon", "resubmit", "checkpoint:interval=300.0,overhead=30.0"]
+)
+def test_failure_injection_bit_identical(recovery):
+    """With failures injected, the incremental state (outage reservations and
+    all) still reproduces the rebuild oracle bit for bit, and every run
+    passes the independent resilience audit."""
+    jobs = make_jobs(120, seed=53, max_nodes=NODES, mean_gap=40.0)
+    trace = mtbf_trace(
+        total_nodes=NODES,
+        horizon=max(j.submit_time for j in jobs) + 8_000.0,
+        mtbf=15_000.0,
+        mttr=1_200.0,
+        seed=59,
+        max_nodes_per_failure=4,
+    )
+    assert len(trace) > 0
+    for config in registered_configurations():
+        incremental = Simulator(Machine(NODES), build_scheduler(config, NODES)).run(
+            jobs, failures=trace, recovery=recovery
+        )
+        reference = Simulator(
+            Machine(NODES), build_scheduler(config, NODES), incremental_state=False
+        ).run(jobs, failures=trace, recovery=recovery)
+        assert _failure_signature(incremental) == _failure_signature(reference), (
+            config.key
+        )
+        incremental.schedule.validate(NODES, capacity=trace.capacity_steps(NODES))
+        audit_run(incremental, jobs, trace, NODES, recovery=recovery)
+
+
+def test_verified_run_with_failures_stays_clean():
+    """Snapshot-by-snapshot verification of the incremental state holds while
+    outage reservations come and go."""
+    jobs = make_jobs(100, seed=61, max_nodes=NODES, mean_gap=40.0)
+    trace = mtbf_trace(
+        total_nodes=NODES,
+        horizon=max(j.submit_time for j in jobs) + 8_000.0,
+        mtbf=20_000.0,
+        mttr=1_500.0,
+        seed=67,
+        max_nodes_per_failure=4,
+    )
+    assert len(trace) > 0
+    for config in registered_configurations():
+        result = Simulator(
+            Machine(NODES), build_scheduler(config, NODES), verify_state=1
+        ).run(jobs, failures=trace, recovery="resubmit")
+        audit_run(result, jobs, trace, NODES, recovery="resubmit")
 
 
 def test_verified_run_stays_clean():
