@@ -1,0 +1,217 @@
+"""Dispatch-overhead benchmarks for the parallel experiment engine.
+
+The engine fans the paper's 13-cell grid out over a process pool; before
+the workload store, every cell's submission re-pickled the full job tuple.
+These benchmarks measure what the zero-copy path saves:
+
+* **payload bytes per cell** — pickled job tuple (legacy) vs the 64-char
+  digest (store), with the packed buffer shipped once per pool via the
+  worker initializer;
+* **pack / unpack / fingerprint throughput** — the fixed costs the store
+  adds on the way in;
+* **cold pool vs warm store dispatch** (script mode) — wall clock of a
+  real pool round-trip with and without the store.
+
+Run under pytest-benchmark for statistics, or as a script for the CI
+perf-smoke baseline::
+
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py --bench-json BENCH_engine.json
+"""
+
+import argparse
+import json
+import pickle
+import random
+import time
+from pathlib import Path
+
+from repro.core.job import Job
+from repro.core.packing import fingerprint_packed, pack_jobs, unpack_jobs
+from repro.experiments.engine import fingerprint_jobs
+
+#: Cells in the paper's grid — how many times the legacy path re-pickles.
+N_CELLS = 13
+N_JOBS = 5_000
+
+
+def synthetic_workload(n: int = N_JOBS, seed: int = 0) -> list[Job]:
+    """A deterministic n-job stream shaped like the CTC stand-in."""
+    rng = random.Random(seed)
+    jobs = []
+    clock = 0.0
+    for job_id in range(n):
+        clock += rng.expovariate(1.0 / 90.0)
+        runtime = rng.uniform(1.0, 5e4)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                submit_time=clock,
+                nodes=rng.randint(1, 256),
+                runtime=runtime,
+                estimate=runtime * rng.uniform(1.0, 8.0),
+                user=rng.randint(0, 40),
+            )
+        )
+    return jobs
+
+
+def payload_bytes(jobs: list[Job]) -> dict[str, float]:
+    """Dispatch bytes over a full grid: legacy tuple vs digest + one pack."""
+    packed = pack_jobs(jobs)
+    digest = fingerprint_packed(packed)
+    legacy_per_cell = len(pickle.dumps(tuple(jobs), protocol=pickle.HIGHEST_PROTOCOL))
+    store_per_cell = len(pickle.dumps(digest, protocol=pickle.HIGHEST_PROTOCOL))
+    store_one_time = len(pickle.dumps(packed, protocol=pickle.HIGHEST_PROTOCOL))
+    return {
+        "legacy_bytes_per_cell": legacy_per_cell,
+        "store_bytes_per_cell": store_per_cell,
+        "store_one_time_bytes": store_one_time,
+        "legacy_grid_bytes": legacy_per_cell * N_CELLS,
+        "store_grid_bytes": store_per_cell * N_CELLS + store_one_time,
+        "per_cell_reduction_x": legacy_per_cell / store_per_cell,
+        "grid_reduction_x": (legacy_per_cell * N_CELLS)
+        / (store_per_cell * N_CELLS + store_one_time),
+    }
+
+
+# -- pytest-benchmark entry points -----------------------------------------------
+
+
+def test_pack_jobs_5k(benchmark):
+    jobs = synthetic_workload()
+    packed = benchmark(pack_jobs, jobs)
+    assert len(packed) == len(jobs)
+
+
+def test_unpack_jobs_5k(benchmark):
+    packed = pack_jobs(synthetic_workload())
+    jobs = benchmark(unpack_jobs, packed)
+    assert len(jobs) == len(packed)
+
+
+def test_fingerprint_packed_5k(benchmark):
+    jobs = synthetic_workload()
+    packed = pack_jobs(jobs)
+    digest = benchmark(fingerprint_packed, packed)
+    assert digest == fingerprint_jobs(jobs)
+
+
+def test_pickle_roundtrip_packed_5k(benchmark):
+    packed = pack_jobs(synthetic_workload())
+
+    def roundtrip():
+        return pickle.loads(pickle.dumps(packed, protocol=pickle.HIGHEST_PROTOCOL))
+
+    out = benchmark(roundtrip)
+    assert len(out) == len(packed)
+
+
+def test_dispatch_payload_reduced_10x():
+    """The acceptance bar: per-cell dispatch bytes shrink >= 10x on 5k jobs."""
+    stats = payload_bytes(synthetic_workload())
+    print(
+        f"\nlegacy={stats['legacy_bytes_per_cell']:.0f} B/cell  "
+        f"store={stats['store_bytes_per_cell']:.0f} B/cell  "
+        f"reduction={stats['per_cell_reduction_x']:.0f}x "
+        f"(grid incl. one-time pack: {stats['grid_reduction_x']:.1f}x)"
+    )
+    assert stats["per_cell_reduction_x"] >= 10.0
+    assert stats["grid_reduction_x"] >= 10.0
+
+
+# -- real pool round-trips (script mode) -----------------------------------------
+
+
+def _legacy_cell(payload):
+    jobs = payload
+    return len(jobs)
+
+
+def _store_cell(digest):
+    from repro.experiments.workload_store import resolve_worker_workload
+
+    return len(resolve_worker_workload(digest))
+
+
+def measure_pool_dispatch(jobs: list[Job], use_store: bool, workers: int = 2) -> float:
+    """Wall clock of one grid's worth of no-op cells through a fresh pool.
+
+    Isolates dispatch overhead: each task only deserializes its payload
+    (and, store path, resolves the digest from the worker cache) — the
+    difference between the two modes is pure serialization cost.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.engine import _pool_context
+    from repro.experiments.workload_store import WorkloadStore, seed_worker_cache
+
+    kwargs = {}
+    if use_store:
+        store = WorkloadStore()
+        packed = store.register(fingerprint_jobs(jobs), jobs)
+        digest = fingerprint_packed(packed)
+        kwargs = {"initializer": seed_worker_cache, "initargs": (store.entries(digest),)}
+        task, payload = _store_cell, digest
+    else:
+        task, payload = _legacy_cell, tuple(jobs)
+
+    t0 = time.perf_counter()
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context(), **kwargs
+    ) as pool:
+        counts = list(pool.map(task, [payload] * N_CELLS))
+    elapsed = time.perf_counter() - t0
+    assert counts == [len(jobs)] * N_CELLS
+    return elapsed
+
+
+def collect_measurements(rounds: int = 3) -> dict[str, float]:
+    jobs = synthetic_workload()
+    packed = pack_jobs(jobs)
+
+    def best_of(fn) -> float:
+        fn()
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    measurements = {
+        "pack_jobs_5k": best_of(lambda: pack_jobs(jobs)),
+        "unpack_jobs_5k": best_of(lambda: unpack_jobs(packed)),
+        "fingerprint_packed_5k": best_of(lambda: fingerprint_packed(packed)),
+        "fingerprint_jobs_5k": best_of(lambda: fingerprint_jobs(jobs)),
+        "pool_dispatch_legacy": measure_pool_dispatch(jobs, use_store=False),
+        "pool_dispatch_store": measure_pool_dispatch(jobs, use_store=True),
+    }
+    measurements.update(payload_bytes(jobs))
+    return measurements
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=None,
+        help="write measurements to this JSON file (perf-smoke baseline)",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    measurements = collect_measurements(rounds=args.rounds)
+    for name, value in measurements.items():
+        unit = "" if "bytes" in name or name.endswith("_x") else " s"
+        print(f"{name}: {value:.6g}{unit}")
+    if args.bench_json is not None:
+        args.bench_json.write_text(
+            json.dumps({"suite": "engine", "seconds": measurements}, indent=2) + "\n"
+        )
+        print(f"wrote {args.bench_json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

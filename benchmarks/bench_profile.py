@@ -5,10 +5,18 @@ per simulated month; these benchmarks track the profile's query and
 reservation costs so a regression is caught before it melts the Table 3
 runtimes.  (This is also where the NumPy-vs-lists decision documented in
 ``repro/core/profile.py`` was measured.)
+
+Run under pytest-benchmark for statistics, or as a script for the CI
+perf-smoke baseline::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py --bench-json BENCH_profile.json
 """
 
+import argparse
+import json
 import random
 import time
+from pathlib import Path
 
 from repro.core.profile import AvailabilityProfile
 from repro.core.state import SchedulingState
@@ -47,6 +55,37 @@ def test_earliest_start_queries(benchmark):
 
     total = benchmark(run)
     assert total > 0
+
+
+def test_earliest_start_batch(benchmark):
+    """The batch kernel: same queries as above, one call, shared locals."""
+    profile = build_profile(300)
+    rng = random.Random(1)
+    requests = [
+        (rng.randint(1, 256), rng.uniform(10.0, 5000.0)) for _ in range(500)
+    ]
+
+    starts = benchmark(profile.earliest_start_batch, requests)
+    assert len(starts) == len(requests)
+    assert starts == [
+        profile.earliest_start(nodes, duration) for nodes, duration in requests
+    ]
+
+
+def test_allocate_fused(benchmark):
+    """allocate() = earliest_start + reserve without the re-validation scan."""
+
+    def run():
+        profile = build_profile(50)
+        rng = random.Random(7)
+        for _ in range(250):
+            nodes = rng.randint(1, 64)
+            duration = rng.uniform(10.0, 5000.0)
+            profile.allocate(nodes, duration, after=rng.uniform(0.0, 1e5))
+        return profile
+
+    profile = benchmark(run)
+    assert profile.steps()[-1][1] == 256
 
 
 def test_from_running_bulk(benchmark):
@@ -160,3 +199,80 @@ def test_incremental_beats_rebuild():
         f"incremental state ({incremental:.4f}s) should beat "
         f"rebuild-per-decision ({rebuild:.4f}s)"
     )
+
+
+# -- script mode: JSON baseline for the CI perf-smoke gate -----------------------
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    fn()  # warm up
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def collect_measurements(rounds: int = 5) -> dict[str, float]:
+    """Best-of-``rounds`` wall clock (seconds) for each tracked hot path."""
+    profile = build_profile(300)
+    rng = random.Random(1)
+    queries = [
+        (rng.randint(1, 256), rng.uniform(10.0, 5000.0), rng.uniform(0.0, 1e5))
+        for _ in range(500)
+    ]
+    requests = [(nodes, duration) for nodes, duration, _after in queries]
+    trace = _event_trace()
+
+    def scalar_queries():
+        for nodes, duration, after in queries:
+            profile.earliest_start(nodes, duration, after=after)
+
+    def allocate_churn():
+        p = build_profile(50)
+        churn = random.Random(7)
+        for _ in range(250):
+            p.allocate(
+                churn.randint(1, 64),
+                churn.uniform(10.0, 5000.0),
+                after=churn.uniform(0.0, 1e5),
+            )
+
+    return {
+        "earliest_start_500_queries": _best_of(scalar_queries, rounds),
+        "earliest_start_batch_500": _best_of(
+            lambda: profile.earliest_start_batch(requests), rounds
+        ),
+        "allocate_churn_250": _best_of(allocate_churn, rounds),
+        "incremental_state_replay": _best_of(
+            lambda: _replay_incremental(trace), rounds
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=None,
+        help="write measurements to this JSON file (perf-smoke baseline)",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    measurements = collect_measurements(rounds=args.rounds)
+    for name, seconds in measurements.items():
+        print(f"{name}: {seconds * 1e3:.3f} ms")
+    if args.bench_json is not None:
+        args.bench_json.write_text(
+            json.dumps({"suite": "profile", "seconds": measurements}, indent=2)
+            + "\n"
+        )
+        print(f"wrote {args.bench_json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

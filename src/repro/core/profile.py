@@ -34,12 +34,90 @@ backfilling (hundreds of thousands of first-fit queries per simulated
 month).  Profiles here are small (tens to a few hundred segments), so tight
 Python loops over plain lists beat NumPy, whose per-call overhead dominates
 at these sizes — measured both ways; see ``benchmarks/bench_profile.py``.
+
+Three query kernels keep the first-fit scan cheap as profiles grow:
+
+* every query funnels through one module-level kernel (:func:`_first_fit`)
+  with the hot lists hoisted into locals;
+* profiles with ≥ :data:`_INDEX_MIN_SEGMENTS` segments lazily build a
+  **block-max index** (max free nodes per :data:`_INDEX_BLOCK`-segment
+  block) that lets the feasibility scan skip whole runs of infeasible
+  breakpoints; any mutation invalidates it, clones share it.  (A plain
+  suffix-max is vacuous here: the final segment is always fully free, so
+  every suffix max equals ``total_nodes`` — the blocked form is the useful
+  prefix structure.  See the decision record in ``docs/architecture.md``.)
+* :meth:`earliest_start_batch` answers many queries against a fixed
+  profile in one pass, and :meth:`allocate` fuses the query with its
+  reservation, skipping the redundant feasibility re-validation —
+  conservative and slack backfilling issue exactly that pair per queued
+  job.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterable
+from typing import Iterable, Sequence
+
+#: Segments per block of the lazily-built block-max feasibility index.
+_INDEX_BLOCK = 32
+
+#: Minimum segment count before a query builds the block-max index; below
+#: it the plain scan wins (index upkeep would cost more than it saves).
+_INDEX_MIN_SEGMENTS = 96
+
+
+def _first_fit(
+    times: list[float],
+    free: list[int],
+    n: int,
+    block_max: list[int] | None,
+    nodes: int,
+    duration: float,
+    start_at: float,
+) -> float:
+    """First ``t >= start_at`` with ``free >= nodes`` over ``[t, t+duration)``.
+
+    The single query kernel behind :meth:`AvailabilityProfile.earliest_start`,
+    :meth:`~AvailabilityProfile.earliest_start_batch` and
+    :meth:`~AvailabilityProfile.allocate`.  ``block_max`` (when not ``None``)
+    holds ``max(free[k*B:(k+1)*B])`` per block and must describe exactly
+    ``free``; the caller guarantees ``nodes <= total_nodes`` so the scan
+    always terminates on the final, fully-free segment.
+    """
+    idx = bisect_right(times, start_at) - 1
+    while True:
+        # Skip infeasible segments; _free[-1] == total_nodes >= nodes, so
+        # neither loop runs off the end.
+        if block_max is None:
+            while free[idx] < nodes:
+                idx += 1
+        else:
+            # Finish the current block by scan, then hop infeasible blocks.
+            end_of_block = ((idx // _INDEX_BLOCK) + 1) * _INDEX_BLOCK
+            if end_of_block > n:
+                end_of_block = n
+            while idx < end_of_block and free[idx] < nodes:
+                idx += 1
+            if idx == end_of_block:
+                block = idx // _INDEX_BLOCK
+                while block_max[block] < nodes:
+                    block += 1
+                idx = block * _INDEX_BLOCK
+                while free[idx] < nodes:
+                    idx += 1
+        t = times[idx]
+        candidate = t if t > start_at else start_at
+        end = candidate + duration
+        j = idx + 1
+        while j < n:
+            if times[j] >= end:
+                return candidate
+            if free[j] < nodes:
+                break
+            j += 1
+        else:
+            return candidate
+        idx = j
 
 
 class AvailabilityProfile:
@@ -52,7 +130,7 @@ class AvailabilityProfile:
     ``total_nodes`` — the machine eventually drains.
     """
 
-    __slots__ = ("_times", "_free", "total_nodes", "_shared")
+    __slots__ = ("_times", "_free", "total_nodes", "_shared", "_block_max")
 
     def __init__(self, total_nodes: int, origin: float = 0.0) -> None:
         if total_nodes <= 0:
@@ -61,6 +139,7 @@ class AvailabilityProfile:
         self._times: list[float] = [origin]
         self._free: list[int] = [total_nodes]
         self._shared = False
+        self._block_max: list[int] | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -118,6 +197,10 @@ class AvailabilityProfile:
         other.total_nodes = self.total_nodes
         other._times = self._times
         other._free = self._free
+        # The block-max index describes the shared segment lists, so the
+        # clone inherits it; whichever copy mutates first invalidates only
+        # its own reference.
+        other._block_max = self._block_max
         other._shared = True
         self._shared = True
         return other
@@ -159,6 +242,18 @@ class AvailabilityProfile:
             out.append((time, free))
         return out
 
+    def _query_index(self) -> list[int] | None:
+        """The block-max feasibility index, built lazily for large profiles."""
+        block_max = self._block_max
+        if block_max is None:
+            free = self._free
+            if len(free) >= _INDEX_MIN_SEGMENTS:
+                block_max = self._block_max = [
+                    max(free[i : i + _INDEX_BLOCK])
+                    for i in range(0, len(free), _INDEX_BLOCK)
+                ]
+        return block_max
+
     def earliest_start(self, nodes: int, duration: float, after: float | None = None) -> float:
         """Earliest ``t >= after`` with ``free >= nodes`` on ``[t, t+duration)``.
 
@@ -169,29 +264,73 @@ class AvailabilityProfile:
         if nodes > self.total_nodes:
             raise ValueError(f"{nodes} nodes never fit a {self.total_nodes}-node machine")
         times = self._times
+        origin = times[0]
+        start_at = origin if after is None or after < origin else after
+        return _first_fit(
+            times, self._free, len(times), self._query_index(), nodes, duration, start_at
+        )
+
+    def earliest_start_batch(
+        self,
+        requests: Sequence[tuple[int, float]],
+        after: float | None = None,
+    ) -> list[float]:
+        """First-fit starts for many ``(nodes, duration)`` requests at once.
+
+        All requests are answered against this *fixed* profile (no
+        reservations between them — use :meth:`allocate` per job when each
+        answer must constrain the next).  One pass hoists the segment
+        lists and the feasibility index out of the per-request path, so a
+        batch of k queries costs far less than k :meth:`earliest_start`
+        calls.  Results are exactly ``[self.earliest_start(n, d, after)
+        for n, d in requests]``.
+        """
+        times = self._times
         free = self._free
         n = len(times)
         origin = times[0]
         start_at = origin if after is None or after < origin else after
-        idx = bisect_right(times, start_at) - 1
-        while True:
-            # Skip insufficient segments; _free[-1] == total_nodes >= nodes,
-            # so this never runs off the end.
-            while free[idx] < nodes:
-                idx += 1
-            t = times[idx]
-            candidate = t if t > start_at else start_at
-            end = candidate + duration
-            j = idx + 1
-            while j < n:
-                if times[j] >= end:
-                    return candidate
-                if free[j] < nodes:
-                    break
-                j += 1
-            else:
-                return candidate
-            idx = j
+        total = self.total_nodes
+        block_max = self._query_index()
+        out: list[float] = []
+        for nodes, duration in requests:
+            if nodes > total:
+                raise ValueError(f"{nodes} nodes never fit a {total}-node machine")
+            out.append(_first_fit(times, free, n, block_max, nodes, duration, start_at))
+        return out
+
+    def allocate(self, nodes: int, duration: float, after: float | None = None) -> float:
+        """Fused :meth:`earliest_start` + :meth:`reserve`; returns the start.
+
+        Finds the earliest feasible window and commits the reservation in
+        one pass — the found window is free by construction, so the
+        re-validation scan :meth:`reserve` performs is skipped.  The
+        resulting profile is bit-identical to the two-call sequence
+        (same breakpoints, same float arithmetic); conservative and
+        slack backfilling call this once per queued job.
+        """
+        if nodes > self.total_nodes:
+            raise ValueError(f"{nodes} nodes never fit a {self.total_nodes}-node machine")
+        if duration <= 0:
+            # reserve() treats non-positive durations as no-ops; match it.
+            return self.earliest_start(nodes, duration, after)
+        self._detach()
+        times = self._times
+        origin = times[0]
+        start_at = origin if after is None or after < origin else after
+        candidate = _first_fit(
+            times, self._free, len(times), self._query_index(), nodes, duration, start_at
+        )
+        end = candidate + duration
+        self._block_max = None
+        self._ensure_breakpoint(candidate)
+        self._ensure_breakpoint(end)
+        free = self._free
+        lo = bisect_left(times, candidate)
+        hi = bisect_left(times, end)
+        for i in range(lo, hi):
+            free[i] -= nodes
+        return candidate
 
     # -- mutation ----------------------------------------------------------------
 
@@ -220,6 +359,7 @@ class AvailabilityProfile:
 
     def _reserve_span(self, start: float, end: float, nodes: int) -> None:
         self._detach()
+        self._block_max = None
         times = self._times
         free = self._free
         if start < times[0]:
@@ -253,6 +393,7 @@ class AvailabilityProfile:
         if nodes <= 0 or end <= self._times[0]:
             return
         self._detach()
+        self._block_max = None
         self._ensure_breakpoint(end)
         times = self._times
         free = self._free
@@ -278,6 +419,7 @@ class AvailabilityProfile:
         if now <= self._times[0]:
             return
         self._detach()
+        self._block_max = None
         times = self._times
         free = self._free
         idx = bisect_right(times, now) - 1

@@ -268,6 +268,22 @@ class SchedulingState:
         jobs = self._jobs
         return [(end, jobs[job_id][1]) for end, job_id in self._ends]
 
+    def earliest_start_batch(
+        self, requests: "list[tuple[int, float]]"
+    ) -> list[float]:
+        """First-fit starts for many ``(nodes, duration)`` requests at *now*.
+
+        A read-only batch query against the current availability: one
+        snapshot, one pass (see
+        :meth:`~repro.core.profile.AvailabilityProfile.earliest_start_batch`).
+        Disciplines planning with interleaved reservations keep using
+        their own snapshot's :meth:`~repro.core.profile.AvailabilityProfile.
+        allocate` kernel instead — that pair shares the same pruned
+        first-fit scan, so every profile consumer benefits from the
+        block-max index without further wiring.
+        """
+        return self.snapshot().earliest_start_batch(requests)
+
     # -- verification -------------------------------------------------------------
 
     def verify(self, snap: AvailabilityProfile | None = None) -> None:

@@ -83,6 +83,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="append engine progress events to this file as JSON lines",
     )
+    parser.add_argument(
+        "--no-workload-store",
+        action="store_true",
+        help="ship the full job tuple to every parallel cell instead of the "
+        "zero-copy digest dispatch (debugging/measurement aid)",
+    )
     args = parser.parse_args(argv)
 
     source_trace = None
@@ -146,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             cache=cache,
             on_event=on_event,
+            use_workload_store=not args.no_workload_store,
         )
         for regime, report in result.reports.items():
             banner = f"=== {experiment_id} ({regime}) — {spec.description} ==="

@@ -7,6 +7,13 @@ compare the tables".  :class:`ExperimentEngine` executes that grid:
   regime) run concurrently on a ``ProcessPoolExecutor``; each worker
   rebuilds its scheduler from the registry, so nothing unpicklable ever
   crosses the process boundary and user-registered rows work unchanged;
+* **zero-copy workload distribution** — the job stream is packed once
+  into columnar arrays (:mod:`repro.core.packing`) and seeded into each
+  worker by the pool initializer; cell tasks then carry only the stream's
+  64-character digest, so dispatch payloads shrink >100x and each worker
+  deserializes the workload once per pool lifetime instead of once per
+  cell (see :class:`repro.experiments.workload_store.WorkloadStore`; the
+  serial path and the degradation fallback bypass the store);
 * **content-addressed caching** — every cell result is stored on disk
   under a deterministic fingerprint of the job stream, machine size,
   configuration, regime and cache format version.  A cache hit skips the
@@ -21,11 +28,14 @@ compare the tables".  :class:`ExperimentEngine` executes that grid:
   lines;
 * **crash tolerance** — a worker crash (or a cell exceeding
   ``cell_timeout``) does not lose the grid: the affected cells are retried
-  with jittered exponential backoff, the pool is rebuilt when it breaks,
-  and once the retry/rebuild budgets are exhausted the surviving cells
-  degrade gracefully to in-process serial execution, so the grid always
-  completes (deterministic cell errors then surface from the serial run,
-  where they belong);
+  with jittered exponential backoff, the pool is rebuilt when it breaks
+  (re-seeding the workload store), and once the retry/rebuild budgets are
+  exhausted the surviving cells degrade gracefully to in-process serial
+  execution, so the grid always completes (deterministic cell errors then
+  surface from the serial run, where they belong).  Backoff never blocks
+  the dispatch loop: a retried cell receives a *resubmit deadline* folded
+  into the ``wait`` timeout, so every other in-flight cell keeps being
+  collected while the pause elapses;
 * **failure scenarios** — grids can run under a
   :class:`~repro.failures.trace.FailureTrace` plus recovery-policy spec
   (one more cache-key dimension); :meth:`ExperimentEngine.run_failure_scenarios`
@@ -44,6 +54,7 @@ over this engine, so all existing callers share the same execution path.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import math
 import multiprocessing
@@ -53,15 +64,22 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from itertools import count
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.core.job import Job
+from repro.core.packing import job_record
 from repro.experiments.runner import (
     CellResult,
     GridResult,
     ProgressFn,
     simulate_cell,
+)
+from repro.experiments.workload_store import (
+    WorkloadStore,
+    resolve_worker_workload,
+    seed_worker_cache,
 )
 from repro.schedulers.registry import SchedulerConfig, paper_configurations
 
@@ -80,16 +98,27 @@ def fingerprint_jobs(jobs: Sequence[Job]) -> str:
     """Deterministic content digest of a job stream.
 
     Covers every field the simulator reads (``repr`` of floats keeps full
-    precision, so streams differing in the last bit get distinct digests).
-    ``meta`` is excluded: no scheduler may read it.
+    precision, so streams differing in the last bit get distinct digests);
+    ``meta`` has never been part of a stream's cache identity.  Records
+    stream into the hasher one job at a time through the shared
+    :func:`repro.core.packing.job_record` formatter — the byte stream, and
+    therefore the digest, is identical to what
+    :func:`repro.core.packing.fingerprint_packed` computes for the packed
+    form of the same jobs, so CACHE_VERSION stays put.
     """
     hasher = hashlib.sha256()
     for job in jobs:
-        record = (
-            f"{job.job_id},{job.submit_time!r},{job.nodes},{job.runtime!r},"
-            f"{job.estimate!r},{job.user},{job.weight!r}\n"
+        hasher.update(
+            job_record(
+                job.job_id,
+                job.submit_time,
+                job.nodes,
+                job.runtime,
+                job.estimate,
+                job.user,
+                job.weight,
+            ).encode("ascii")
         )
-        hasher.update(record.encode("ascii"))
     return hasher.hexdigest()
 
 
@@ -243,15 +272,18 @@ class RunStats:
 
 
 def _run_cell_task(
-    args: tuple[str, str, tuple[Job, ...], int, bool, float, object, str | None],
+    args: tuple[str, str, "tuple[Job, ...] | str", int, bool, float, object, str | None],
 ) -> tuple[str, CellResult, float]:
     """Pool worker: simulate one cell, returning (key, result, wall-clock).
 
     Takes primitive row/column keys and rebuilds the scheduler from the
     registry inside the worker — with the fork start method the child
-    inherits user registrations made before the run.  ``failures`` travels
-    as a pickled :class:`FailureTrace` (plain data) and ``recovery`` as a
-    spec string, so nothing unpicklable crosses the process boundary.
+    inherits user registrations made before the run.  The jobs slot is
+    either the job tuple itself (legacy per-cell-pickle path) or the
+    workload digest, resolved against the process-global cache the pool
+    initializer seeded — the zero-copy path.  ``failures`` travels as a
+    pickled :class:`FailureTrace` (plain data) and ``recovery`` as a spec
+    string, so nothing unpicklable crosses the process boundary.
     """
     (
         row,
@@ -263,6 +295,8 @@ def _run_cell_task(
         failures,
         recovery,
     ) = args
+    if isinstance(jobs, str):
+        jobs = resolve_worker_workload(jobs)
     config = SchedulerConfig(row=row, column=column)
     t0 = time.perf_counter()
     cell = simulate_cell(
@@ -345,6 +379,13 @@ class ExperimentEngine:
     max_pool_rebuilds:
         Broken/hung pools rebuilt before giving up on parallelism and
         running every remaining cell serially in-process.
+    use_workload_store:
+        When true (the default), parallel runs pack the job stream once,
+        seed it into workers via the pool initializer, and dispatch cells
+        by digest only — the zero-copy path.  When false, every cell task
+        pickles the full job tuple (the legacy behaviour, kept for the
+        store-on/store-off equivalence test and as an escape hatch).
+        Results are bit-identical either way.
 
     ``stats`` holds the :class:`RunStats` of the most recent :meth:`run`.
     """
@@ -359,10 +400,13 @@ class ExperimentEngine:
         max_retries: int = 2,
         retry_backoff: float = 0.5,
         max_pool_rebuilds: int = 2,
+        use_workload_store: bool = True,
     ) -> None:
         self.workers = max(1, workers if workers is not None else 1)
         self.cache = ResultCache(cache) if isinstance(cache, (str, Path)) else cache
         self.on_event = on_event
+        self.use_workload_store = use_workload_store
+        self.workload_store = WorkloadStore()
         if cell_timeout is not None and cell_timeout <= 0:
             raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
         if max_retries < 0:
@@ -474,7 +518,7 @@ class ExperimentEngine:
         if self.workers > 1 and len(pending) > 1:
             self._run_parallel(
                 pending, jobs, grid, stats, recompute_threshold, results,
-                failures, recovery,
+                failures, recovery, digest,
             )
         else:
             self._run_serial(
@@ -571,19 +615,30 @@ class ExperimentEngine:
         results: dict[str, CellResult],
         failures: "FailureTrace | None",
         recovery: str | None,
+        digest: str,
     ) -> None:
-        job_tuple = tuple(jobs)
         config_by_fp = {fp: config for config, fp in pending}
         attempts: dict[str, int] = {}
         serial_fallback: list[tuple[SchedulerConfig, str]] = []
         rng = random.Random()
         rebuilds = 0
 
+        # Zero-copy dispatch: register the packed stream once, ship only
+        # the digest per cell; workers hydrate via the pool initializer.
+        # The legacy path (store off) pickles the job tuple per cell.
+        if self.use_workload_store:
+            self.workload_store.register(digest, jobs)
+            store_entries = self.workload_store.entries(digest)
+            payload: "str | tuple[Job, ...]" = digest
+        else:
+            store_entries = None
+            payload = tuple(jobs)
+
         def task_args(config: SchedulerConfig) -> tuple:
             return (
                 config.row,
                 config.column,
-                job_tuple,
+                payload,
                 grid.total_nodes,
                 grid.weighted,
                 recompute_threshold,
@@ -592,17 +647,49 @@ class ExperimentEngine:
             )
 
         def make_pool() -> ProcessPoolExecutor:
+            # A rebuilt pool re-seeds its workers from the store: the
+            # initializer runs again in every fresh worker process.
+            kwargs: dict = {}
+            if store_entries is not None:
+                kwargs["initializer"] = seed_worker_cache
+                kwargs["initargs"] = (store_entries,)
             return ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending)),
                 mp_context=_pool_context(),
+                **kwargs,
             )
 
-        def charge_and_backoff(fp: str, why: str) -> bool:
-            """Charge a retry for ``fp``; True when it may go back to the pool."""
+        pool = make_pool()
+        futures: dict[Future, str] = {}
+        deadlines: dict[Future, float] = {}
+        #: Min-heap of (deadline, seq, future) mirroring ``deadlines`` —
+        #: the next-deadline lookup is O(log n) with lazy invalidation
+        #: instead of min(deadlines.values()) on every wakeup.  Unused
+        #: (and unmaintained) when no cell timeout is configured.
+        deadline_heap: list[tuple[float, int, Future]] = []
+        heap_seq = count()
+        #: Cells waiting out a retry backoff: fp -> perf_counter instant at
+        #: which they go back to the pool.  Folding these deadlines into
+        #: the wait timeout (instead of time.sleep in the monitor loop)
+        #: keeps every other in-flight future being collected during the
+        #: pause.
+        resubmit_at: dict[str, float] = {}
+
+        def submit(fp: str) -> None:
+            future = pool.submit(_run_cell_task, task_args(config_by_fp[fp]))
+            futures[future] = fp
+            if self.cell_timeout is not None:
+                deadline = time.perf_counter() + self.cell_timeout
+                deadlines[future] = deadline
+                heapq.heappush(deadline_heap, (deadline, next(heap_seq), future))
+
+        def charge_retry(fp: str, why: str) -> None:
+            """Charge a retry for ``fp``: schedule its resubmission, or send
+            it to the serial fallback once the budget is exhausted."""
             attempts[fp] = attempts.get(fp, 0) + 1
             if attempts[fp] > self.max_retries:
                 serial_fallback.append((config_by_fp[fp], fp))
-                return False
+                return
             stats.retries += 1
             pause = (
                 self.retry_backoff
@@ -619,22 +706,28 @@ class ExperimentEngine:
                     detail=f"attempt {attempts[fp]}/{self.max_retries}: {why}",
                 )
             )
-            if pause > 0:
-                time.sleep(pause)
-            return True
+            resubmit_at[fp] = time.perf_counter() + pause
 
-        pool = make_pool()
-        futures: dict[Future, str] = {}
-        deadlines: dict[Future, float] = {}
+        def next_wait_timeout() -> float | None:
+            """Seconds until the next cell or resubmit deadline (None: never).
 
-        def submit(fp: str) -> None:
-            future = pool.submit(_run_cell_task, task_args(config_by_fp[fp]))
-            futures[future] = fp
-            deadlines[future] = (
-                time.perf_counter() + self.cell_timeout
-                if self.cell_timeout is not None
-                else math.inf
-            )
+            Early-outs when no cell timeout is configured; otherwise peeks
+            the deadline heap, discarding entries whose future already
+            finished.
+            """
+            next_at = math.inf
+            if self.cell_timeout is not None:
+                while deadline_heap and deadline_heap[0][2] not in futures:
+                    heapq.heappop(deadline_heap)
+                if deadline_heap:
+                    next_at = deadline_heap[0][0]
+            if resubmit_at:
+                soonest = min(resubmit_at.values())
+                if soonest < next_at:
+                    next_at = soonest
+            if next_at is math.inf:
+                return None
+            return max(0.0, next_at - time.perf_counter())
 
         for config, fp in pending:
             self._emit(
@@ -648,50 +741,65 @@ class ExperimentEngine:
             submit(fp)
 
         try:
-            while futures:
-                timeout = None
-                if self.cell_timeout is not None:
-                    timeout = max(
-                        0.0, min(deadlines.values()) - time.perf_counter()
-                    )
+            while futures or resubmit_at:
+                if resubmit_at:
+                    now = time.perf_counter()
+                    due = [fp for fp, at in resubmit_at.items() if at <= now]
+                    for fp in due:
+                        del resubmit_at[fp]
+                        submit(fp)
+                    if not futures:
+                        # Nothing in flight: idle until the next resubmit.
+                        pause = min(resubmit_at.values()) - time.perf_counter()
+                        if pause > 0:
+                            time.sleep(pause)
+                        continue
                 done, _ = wait(
-                    set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+                    set(futures),
+                    timeout=next_wait_timeout(),
+                    return_when=FIRST_COMPLETED,
                 )
-                retry_fps: list[str] = []
+                retry_now: list[str] = []
                 pool_broken = False
                 if not done:
+                    now = time.perf_counter()
+                    overdue = [
+                        fp
+                        for future, fp in futures.items()
+                        if now >= deadlines.get(future, math.inf)
+                    ]
+                    if not overdue:
+                        # Woke for a resubmit deadline, not a hung cell.
+                        continue
                     # A cell blew its wall-clock budget: the pool has a hung
                     # worker.  Kill the pool; overdue cells are charged a
                     # retry, every other in-flight cell resubmits for free.
-                    now = time.perf_counter()
                     for future, fp in futures.items():
-                        if now >= deadlines[future]:
-                            if charge_and_backoff(
+                        if now >= deadlines.get(future, math.inf):
+                            charge_retry(
                                 fp, f"exceeded cell_timeout={self.cell_timeout}s"
-                            ):
-                                retry_fps.append(fp)
+                            )
                         else:
-                            retry_fps.append(fp)
+                            retry_now.append(fp)
                     futures.clear()
                     deadlines.clear()
+                    deadline_heap.clear()
                     pool_broken = True
                 else:
                     for future in done:
                         fp = futures.pop(future)
-                        deadlines.pop(future)
+                        deadlines.pop(future, None)
                         try:
                             key, cell, wall = future.result()
                         except BrokenProcessPool as exc:
                             pool_broken = True
-                            if charge_and_backoff(fp, f"worker crashed: {exc!r}"):
-                                retry_fps.append(fp)
+                            charge_retry(fp, f"worker crashed: {exc!r}")
                         except Exception as exc:
                             # The task itself raised inside a healthy
                             # worker: retry (flaky crashes recover), then
                             # surface deterministic errors via the serial
                             # fallback where the traceback is direct.
-                            if charge_and_backoff(fp, f"cell raised: {exc!r}"):
-                                retry_fps.append(fp)
+                            charge_retry(fp, f"cell raised: {exc!r}")
                         else:
                             self._record(
                                 key, fp, cell, wall, grid, stats, results
@@ -699,26 +807,33 @@ class ExperimentEngine:
                     if pool_broken:
                         # A broken executor dooms every in-flight future;
                         # resubmit them to the next pool uncharged.
-                        retry_fps.extend(futures.values())
+                        retry_now.extend(futures.values())
                         futures.clear()
                         deadlines.clear()
+                        deadline_heap.clear()
                 if pool_broken:
                     _terminate_pool(pool)
                     rebuilds += 1
                     stats.pool_rebuilds += 1
                     if rebuilds > self.max_pool_rebuilds:
-                        # Give up on parallelism entirely.
+                        # Give up on parallelism entirely: everything still
+                        # in flight or waiting out a backoff goes serial.
                         serial_fallback.extend(
-                            (config_by_fp[fp], fp) for fp in retry_fps
+                            (config_by_fp[fp], fp) for fp in retry_now
                         )
                         serial_fallback.extend(
                             (config_by_fp[fp], fp) for fp in futures.values()
                         )
+                        serial_fallback.extend(
+                            (config_by_fp[fp], fp) for fp in resubmit_at
+                        )
                         futures.clear()
                         deadlines.clear()
+                        deadline_heap.clear()
+                        resubmit_at.clear()
                         break
                     pool = make_pool()
-                for fp in retry_fps:
+                for fp in retry_now:
                     submit(fp)
         finally:
             _terminate_pool(pool)

@@ -291,6 +291,7 @@ def run_experiment(
     workers: int | None = None,
     cache: ResultCache | str | Path | None = None,
     on_event: EventFn | None = None,
+    use_workload_store: bool = True,
 ) -> ExperimentResult:
     """Regenerate one paper artifact at the given scale.
 
@@ -309,12 +310,19 @@ def run_experiment(
     :class:`~repro.experiments.engine.ExperimentEngine`: worker processes
     for parallel cell fan-out, a content-addressed result cache (a
     directory path suffices), and a structured progress-event callback.
+    ``use_workload_store=False`` reverts parallel runs to pickling the job
+    tuple per cell instead of the zero-copy digest dispatch.
     """
     spec = EXPERIMENTS[experiment_id]
     n = spec.default_scale if scale is None else scale
     jobs = _experiment_jobs(spec, n, seed, source_trace)
     wanted = list(regimes) if regimes is not None else list(spec.paper.keys())
-    engine = ExperimentEngine(workers=workers, cache=cache, on_event=on_event)
+    engine = ExperimentEngine(
+        workers=workers,
+        cache=cache,
+        on_event=on_event,
+        use_workload_store=use_workload_store,
+    )
 
     grids: dict[str, GridResult] = {}
     reports: dict[str, str] = {}

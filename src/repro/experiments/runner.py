@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.job import Job
 from repro.core.machine import Machine
+from repro.core.packing import PackedJobs, unpack_jobs
 from repro.core.scheduler import Scheduler, SchedulerContext
 from repro.core.simulator import Simulator
 from repro.metrics.objectives import (
@@ -159,7 +160,7 @@ ProgressFn = Callable[[SchedulerConfig, CellResult], None]
 
 def simulate_cell(
     config: SchedulerConfig,
-    jobs: Sequence[Job],
+    jobs: "Sequence[Job] | PackedJobs",
     *,
     total_nodes: int = 256,
     weighted: bool = False,
@@ -174,11 +175,18 @@ def simulate_cell(
     all funnel through here, which is what makes parallel and serial runs
     bit-identical.
 
+    ``jobs`` may be a :class:`~repro.core.packing.PackedJobs` columnar
+    buffer (the zero-copy dispatch format); it is unpacked to the same
+    ``Job`` tuple the caller would have shipped, so results are identical
+    either way.
+
     ``failures``/``recovery`` inject a node-failure scenario (see
     :mod:`repro.failures`); the resilience metrics of the result are then
     populated.  ``recovery`` must be a spec string here (not a policy
     object) so the cell stays picklable and cache-fingerprintable.
     """
+    if isinstance(jobs, PackedJobs):
+        jobs = unpack_jobs(jobs)
     scheduler = TimingScheduler(
         build_scheduler(
             config, total_nodes, weighted=weighted,

@@ -1,0 +1,121 @@
+"""Zero-copy workload distribution for the experiment engine.
+
+The engine's grid cells all simulate the same job stream, yet the original
+dispatch path pickled the full job tuple into every
+``ProcessPoolExecutor`` task: a 21-cell grid over a 10⁴-job trace
+serialized the identical workload 21 times and deserialized it 21 times in
+the workers.  The :class:`WorkloadStore` replaces that with
+register-once/reference-many:
+
+* the parent packs the stream once (:func:`repro.core.packing.pack_jobs`)
+  and registers it under its content digest — the same digest the result
+  cache already computes, so registration is free of extra hashing;
+* the pool is built with an ``initializer`` that ships the packed buffer
+  to each worker exactly once per pool lifetime and hydrates it into a
+  process-global cache (a rebuilt pool re-runs the initializer, so crash
+  recovery re-seeds automatically);
+* each cell task then carries only the 64-character digest — dispatch
+  payloads shrink by >100x on real workloads (measured in
+  ``benchmarks/bench_engine_overhead.py``) and workers deserialize the
+  workload once per pool lifetime instead of once per cell.
+
+The in-process serial path (and the engine's serial-degradation fallback)
+bypasses the store entirely — it already holds the live job list.
+
+Worker-side state is process-global by design: with the ``fork`` start
+method the initializer runs in the child after the fork, with ``spawn`` it
+receives the pickled buffer — either way :func:`resolve_worker_workload`
+finds the hydrated tuple without any per-task shipping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.job import Job
+from repro.core.packing import PackedJobs, pack_jobs
+
+__all__ = ["WorkloadStore", "resolve_worker_workload", "seed_worker_cache"]
+
+
+#: Worker-process-global cache: digest -> hydrated job tuple.  Populated by
+#: the pool initializer (:func:`seed_worker_cache`), read by cell tasks.
+_WORKER_WORKLOADS: dict[str, tuple[Job, ...]] = {}
+
+#: Hydration counter, observable from tests: how many times this process
+#: actually unpacked a workload (should be once per digest per pool).
+_WORKER_HYDRATIONS = 0
+
+
+def seed_worker_cache(entries: tuple[tuple[str, PackedJobs], ...]) -> None:
+    """Pool initializer: hydrate packed workloads into the worker cache.
+
+    Runs once per worker process per pool.  Idempotent per digest, so a
+    worker inheriting an already-seeded cache via ``fork`` does not unpack
+    again.
+    """
+    global _WORKER_HYDRATIONS
+    from repro.core.packing import unpack_jobs
+
+    for digest, packed in entries:
+        if digest not in _WORKER_WORKLOADS:
+            _WORKER_WORKLOADS[digest] = unpack_jobs(packed)
+            _WORKER_HYDRATIONS += 1
+
+
+def resolve_worker_workload(digest: str) -> tuple[Job, ...]:
+    """The hydrated job stream for ``digest`` inside a pool worker.
+
+    Raises :class:`RuntimeError` when the digest was never seeded — a
+    bookkeeping bug, surfaced loudly so the engine's retry/serial-fallback
+    machinery reports it instead of simulating the wrong workload.
+    """
+    try:
+        return _WORKER_WORKLOADS[digest]
+    except KeyError:
+        raise RuntimeError(
+            f"workload {digest[:12]}... was not seeded into this worker; "
+            f"seeded: {[d[:12] for d in _WORKER_WORKLOADS]} — was the pool "
+            f"built without the WorkloadStore initializer?"
+        ) from None
+
+
+class WorkloadStore:
+    """Parent-side registry of packed workloads, keyed by content digest.
+
+    One instance lives on each :class:`~repro.experiments.engine.
+    ExperimentEngine`; ``register`` packs at most once per digest (repeat
+    runs over the same stream reuse the packed buffer), and ``entries()``
+    supplies the pool-initializer arguments.  The store keeps only the
+    most recent :data:`MAX_ENTRIES` workloads so long-lived engines
+    sweeping many workloads do not accumulate every stream they ever saw.
+    """
+
+    #: Packed workloads retained; oldest evicted first (insertion order).
+    MAX_ENTRIES = 4
+
+    def __init__(self) -> None:
+        self._packed: dict[str, PackedJobs] = {}
+
+    def __len__(self) -> int:
+        return len(self._packed)
+
+    def register(self, digest: str, jobs: Sequence[Job]) -> PackedJobs:
+        """Pack ``jobs`` under ``digest`` (idempotent per digest)."""
+        packed = self._packed.get(digest)
+        if packed is None:
+            packed = pack_jobs(jobs)
+            while len(self._packed) >= self.MAX_ENTRIES:
+                self._packed.pop(next(iter(self._packed)))
+            self._packed[digest] = packed
+        return packed
+
+    def get(self, digest: str) -> PackedJobs | None:
+        return self._packed.get(digest)
+
+    def entries(self, digest: str) -> tuple[tuple[str, PackedJobs], ...]:
+        """Initializer payload for a pool that will run cells of ``digest``."""
+        packed = self._packed.get(digest)
+        if packed is None:
+            raise KeyError(f"workload {digest[:12]}... is not registered")
+        return ((digest, packed),)

@@ -74,8 +74,8 @@ class SlackBackfill(Discipline):
             else:
                 # Not startable: reserve at its earliest start *plus* the
                 # slack allowance, leaving room for later jobs to squeeze
-                # in front of it by at most that much.
+                # in front of it by at most that much.  allocate() fuses
+                # the delayed query with its reservation.
                 slack = self.slack_factor * job.estimated_runtime
-                delayed = profile.earliest_start(job.nodes, est, after=start + slack)
-                profile.reserve(delayed, est, job.nodes)
+                profile.allocate(job.nodes, est, after=start + slack)
         return started

@@ -193,6 +193,95 @@ class TestParallelEquivalence:
         assert seen == [c.key for c in configs]
 
 
+class TestWorkloadStore:
+    def test_store_on_matches_store_off_over_full_registry(self, workload):
+        """Zero-copy dispatch changes bytes on the wire, never objectives.
+
+        The full registry grid (not just the paper's 13 cells) under the
+        warm store must equal the per-cell-pickle legacy path cell for
+        cell, bit for bit.
+        """
+        configs = list(registered_configurations())
+        jobs = workload[:40]
+        with_store = ExperimentEngine(workers=2, use_workload_store=True).run(
+            jobs, total_nodes=256, configs=configs
+        )
+        without_store = ExperimentEngine(workers=2, use_workload_store=False).run(
+            jobs, total_nodes=256, configs=configs
+        )
+        assert list(with_store.cells) == list(without_store.cells)
+        for key in with_store.cells:
+            assert (
+                with_store.cells[key].objective
+                == without_store.cells[key].objective
+            )
+            assert (
+                with_store.cells[key].makespan == without_store.cells[key].makespan
+            )
+
+    def test_store_registers_once_per_digest(self, workload):
+        from repro.experiments.workload_store import WorkloadStore
+
+        store = WorkloadStore()
+        digest = fingerprint_jobs(workload)
+        first = store.register(digest, workload)
+        again = store.register(digest, workload)
+        assert first is again  # packed once, reused
+        assert store.entries(digest) == ((digest, first),)
+        with pytest.raises(KeyError):
+            store.entries("no-such-digest")
+
+    def test_store_evicts_oldest_beyond_capacity(self, workload):
+        from repro.experiments.workload_store import WorkloadStore
+
+        store = WorkloadStore()
+        for i in range(WorkloadStore.MAX_ENTRIES + 2):
+            store.register(f"digest-{i}", workload[:5])
+        assert len(store) == WorkloadStore.MAX_ENTRIES
+        assert store.get("digest-0") is None  # oldest evicted
+        assert store.get(f"digest-{WorkloadStore.MAX_ENTRIES + 1}") is not None
+
+    def test_worker_cache_seeding_is_idempotent(self, workload):
+        """A rebuilt pool re-runs the initializer; re-seeding must not
+        re-hydrate digests the process already holds (the fork-start case)."""
+        from repro.core.packing import pack_jobs
+        from repro.experiments import workload_store as ws
+
+        saved = dict(ws._WORKER_WORKLOADS)
+        try:
+            ws._WORKER_WORKLOADS.clear()
+            jobs = workload[:10]
+            digest = fingerprint_jobs(jobs)
+            entries = ((digest, pack_jobs(jobs)),)
+            before = ws._WORKER_HYDRATIONS
+            ws.seed_worker_cache(entries)
+            ws.seed_worker_cache(entries)  # the pool-rebuild re-run
+            assert ws._WORKER_HYDRATIONS == before + 1
+            assert ws.resolve_worker_workload(digest) == tuple(jobs)
+            with pytest.raises(RuntimeError, match="not seeded"):
+                ws.resolve_worker_workload("missing-digest")
+        finally:
+            ws._WORKER_WORKLOADS.clear()
+            ws._WORKER_WORKLOADS.update(saved)
+
+    def test_digest_backward_compatible_with_inline_formula(self, workload):
+        """The streaming refactor must not move anyone's cache: the shared
+        formatter reproduces the historical inline fingerprint byte for
+        byte (CACHE_VERSION stays at its current value for the same
+        reason)."""
+        import hashlib
+
+        hasher = hashlib.sha256()
+        for job in workload:
+            record = (
+                f"{job.job_id},{job.submit_time!r},{job.nodes},{job.runtime!r},"
+                f"{job.estimate!r},{job.user},{job.weight!r}\n"
+            )
+            hasher.update(record.encode("ascii"))
+        assert fingerprint_jobs(workload) == hasher.hexdigest()
+        assert CACHE_VERSION == 3
+
+
 class TestProgressEvents:
     def test_event_stream_shape(self, tmp_path, workload):
         events = []
@@ -300,7 +389,7 @@ class TestCrashTolerance:
             crashy = [e for e in retries if e.key == "crashy/easy"]
             assert crashy
             assert all("worker crashed" in e.detail for e in crashy)
-            assert all(e.wall_time > 0 for e in retries)  # backoff slept
+            assert all(e.wall_time > 0 for e in retries)  # backoff scheduled
 
             # The serial result is the canonical one: a plain serial engine
             # (no pool, nothing to crash) computes the same objective.

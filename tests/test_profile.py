@@ -333,3 +333,144 @@ def test_from_running_tail_is_fully_free(nodes, duration, running):
     profile = AvailabilityProfile.from_running(total, 0.0, running)
     steps = profile.steps()
     assert steps[-1][1] == total
+
+
+# -- batch queries, fused allocate, and the block-max index ---------------------
+
+
+from repro.core.profile import _INDEX_BLOCK, _INDEX_MIN_SEGMENTS, _first_fit
+
+
+def _busy_profile(n_reservations=120, total=256, seed=11):
+    """A profile with enough segments to cross the index threshold."""
+    import random
+
+    rng = random.Random(seed)
+    profile = AvailabilityProfile(total)
+    for _ in range(n_reservations):
+        nodes = rng.randint(1, total // 4)
+        duration = rng.uniform(10.0, 5000.0)
+        start = profile.earliest_start(nodes, duration, after=rng.uniform(0.0, 1e5))
+        profile.reserve(start, duration, nodes)
+    return profile
+
+
+class TestEarliestStartBatch:
+    def test_matches_scalar_queries(self):
+        import random
+
+        profile = _busy_profile()
+        rng = random.Random(3)
+        requests = [
+            (rng.randint(1, 256), rng.uniform(0.1, 5000.0)) for _ in range(200)
+        ]
+        assert profile.earliest_start_batch(requests) == [
+            profile.earliest_start(n, d) for n, d in requests
+        ]
+
+    def test_matches_scalar_queries_with_after(self):
+        profile = _busy_profile(seed=5)
+        requests = [(16, 100.0), (256, 1.0), (1, 9000.0)]
+        after = 5e4
+        assert profile.earliest_start_batch(requests, after=after) == [
+            profile.earliest_start(n, d, after=after) for n, d in requests
+        ]
+
+    def test_empty_batch(self):
+        assert AvailabilityProfile(8).earliest_start_batch([]) == []
+
+    def test_oversized_request_raises(self):
+        profile = AvailabilityProfile(8)
+        with pytest.raises(ValueError, match="never fit"):
+            profile.earliest_start_batch([(9, 1.0)])
+
+    def test_batch_is_read_only(self):
+        profile = _busy_profile(seed=7)
+        before = profile.steps()
+        profile.earliest_start_batch([(32, 500.0)] * 10)
+        assert profile.steps() == before
+
+
+class TestAllocate:
+    def test_bit_identical_to_query_then_reserve(self):
+        import random
+
+        rng = random.Random(13)
+        fused = AvailabilityProfile(128)
+        paired = AvailabilityProfile(128)
+        for _ in range(150):
+            nodes = rng.randint(1, 64)
+            duration = rng.uniform(0.1, 5000.0)
+            after = rng.uniform(0.0, 1e5)
+            start_fused = fused.allocate(nodes, duration, after=after)
+            start_paired = paired.earliest_start(nodes, duration, after=after)
+            paired.reserve(start_paired, duration, nodes)
+            assert start_fused == start_paired
+            assert fused.steps() == paired.steps()
+
+    def test_nonpositive_duration_is_pure_query(self):
+        profile = _busy_profile(seed=17)
+        before = profile.steps()
+        start = profile.allocate(32, 0.0)
+        assert start == profile.earliest_start(32, 0.0)
+        assert profile.steps() == before
+
+    def test_allocate_detaches_clones(self):
+        base = _busy_profile(seed=19)
+        reference = base.steps()
+        snap = base.clone()
+        snap.allocate(64, 1000.0)
+        assert base.steps() == reference  # copy-on-write: base untouched
+
+
+class TestBlockMaxIndex:
+    def test_index_built_only_past_threshold(self):
+        small = AvailabilityProfile(64)
+        small.reserve(0.0, 10.0, 8)
+        assert small._query_index() is None
+
+        big = _busy_profile()
+        assert len(big.steps()) >= _INDEX_MIN_SEGMENTS
+        index = big._query_index()
+        assert index is not None
+        free = [f for _t, f in big.steps()]
+        assert index == [
+            max(free[i : i + _INDEX_BLOCK])
+            for i in range(0, len(free), _INDEX_BLOCK)
+        ]
+
+    def test_indexed_and_linear_scans_agree(self):
+        import random
+
+        profile = _busy_profile(seed=23)
+        times = profile._times
+        free = profile._free
+        index = profile._query_index()
+        assert index is not None
+        rng = random.Random(29)
+        for _ in range(300):
+            nodes = rng.randint(1, 256)
+            duration = rng.uniform(0.1, 5000.0)
+            after = rng.uniform(0.0, 2e5)
+            start_at = max(after, times[0])
+            assert _first_fit(
+                times, free, len(times), index, nodes, duration, start_at
+            ) == _first_fit(
+                times, free, len(times), None, nodes, duration, start_at
+            )
+
+    def test_mutation_invalidates_index(self):
+        profile = _busy_profile(seed=31)
+        assert profile._query_index() is not None
+        profile.reserve(profile.earliest_start(8, 10.0), 10.0, 8)
+        assert profile._block_max is None  # rebuilt lazily on next query
+        assert profile._query_index() is not None
+
+    def test_clone_shares_index_until_mutation(self):
+        profile = _busy_profile(seed=37)
+        index = profile._query_index()
+        snap = profile.clone()
+        assert snap._block_max is index
+        snap.allocate(8, 10.0)
+        assert snap._block_max is None
+        assert profile._block_max is index  # parent keeps its copy
