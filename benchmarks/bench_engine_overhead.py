@@ -10,7 +10,9 @@ These benchmarks measure what the zero-copy path saves:
 * **pack / unpack / fingerprint throughput** — the fixed costs the store
   adds on the way in;
 * **cold pool vs warm store dispatch** (script mode) — wall clock of a
-  real pool round-trip with and without the store.
+  real pool round-trip with and without the store;
+* **journal append** — the fsynced per-cell cost of the run journal, the
+  price every journaled cell pays for crash tolerance.
 
 Run under pytest-benchmark for statistics, or as a script for the CI
 perf-smoke baseline::
@@ -22,6 +24,7 @@ import argparse
 import json
 import pickle
 import random
+import tempfile
 import time
 from pathlib import Path
 
@@ -119,6 +122,68 @@ def test_dispatch_payload_reduced_10x():
     assert stats["grid_reduction_x"] >= 10.0
 
 
+# -- run-journal append cost ------------------------------------------------------
+
+
+def measure_journal_append(records: int = 200) -> float:
+    """Seconds per fsynced journal record (the per-cell crash-tolerance tax).
+
+    Each grid cell adds a handful of journal records (scheduled, started,
+    completed); this measures one append including the fsync, so the
+    engine's journaling overhead per 13-cell grid is roughly
+    ``3 * 13 * journal_append_per_record``.
+    """
+    from repro.experiments.journal import RunJournal, manifest_for
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        manifest = manifest_for(
+            workload_digest="b" * 16,
+            configs=["bench/easy"],
+            total_nodes=256,
+            weighted=False,
+            recompute_threshold=2.0 / 3.0,
+            failures_digest="",
+            recovery="",
+            cache_version=0,
+            workload_name="bench",
+        )
+        path = Path(tmp) / "bench.jsonl"
+        with RunJournal.create(path, manifest) as journal:
+            t0 = time.perf_counter()
+            for i in range(records):
+                journal.record_cell(
+                    "bench/easy", "completed", fingerprint="b" * 64,
+                    objective=float(i),
+                )
+            elapsed = time.perf_counter() - t0
+    return elapsed / records
+
+
+def test_journal_append_fsynced(benchmark):
+    from repro.experiments.journal import RunJournal, manifest_for
+
+    manifest = manifest_for(
+        workload_digest="b" * 16,
+        configs=["bench/easy"],
+        total_nodes=256,
+        weighted=False,
+        recompute_threshold=2.0 / 3.0,
+        failures_digest="",
+        recovery="",
+        cache_version=0,
+        workload_name="bench",
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        with RunJournal.create(Path(tmp) / "bench.jsonl", manifest) as journal:
+            benchmark(
+                journal.record_cell,
+                "bench/easy",
+                "completed",
+                fingerprint="b" * 64,
+                objective=1.0,
+            )
+
+
 # -- real pool round-trips (script mode) -----------------------------------------
 
 
@@ -185,6 +250,7 @@ def collect_measurements(rounds: int = 3) -> dict[str, float]:
         "fingerprint_jobs_5k": best_of(lambda: fingerprint_jobs(jobs)),
         "pool_dispatch_legacy": measure_pool_dispatch(jobs, use_store=False),
         "pool_dispatch_store": measure_pool_dispatch(jobs, use_store=True),
+        "journal_append_per_record": measure_journal_append(),
     }
     measurements.update(payload_bytes(jobs))
     return measurements

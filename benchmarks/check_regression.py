@@ -26,10 +26,28 @@ def _is_timing(name: str) -> bool:
     return "bytes" not in name and not name.endswith("_x")
 
 
-def compare(baseline: dict, current: dict, max_ratio: float) -> list[str]:
+def compare(
+    baseline: dict,
+    current: dict,
+    max_ratio: float,
+    warnings: list[str] | None = None,
+) -> list[str]:
+    """Problems (gate failures) comparing ``current`` against ``baseline``.
+
+    A bench key present in the current run but absent from the baseline is
+    a *new* bench — there is nothing to gate it against yet, so it only
+    produces a warning (collected into ``warnings`` when given).  This
+    keeps CI green when a PR adds benchmarks without regenerating the
+    committed baselines; the key starts gating once a baseline records it.
+    Keys missing from the *current* run stay hard failures: a vanished
+    bench usually means the suite silently stopped measuring something.
+    """
     problems: list[str] = []
-    base = baseline.get("seconds", {})
-    cur = current.get("seconds", {})
+    base = baseline.get("seconds", {}) or {}
+    cur = current.get("seconds", {}) or {}
+    for name in cur:
+        if name not in base and warnings is not None:
+            warnings.append(f"{name}: new bench with no baseline entry — not gated")
     for name, base_value in base.items():
         if name not in cur:
             problems.append(f"{name}: missing from current run")
@@ -65,11 +83,14 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
-    problems = compare(baseline, current, args.max_ratio)
+    warnings: list[str] = []
+    problems = compare(baseline, current, args.max_ratio, warnings)
+    for warning in warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
     for problem in problems:
         print(f"REGRESSION: {problem}", file=sys.stderr)
     if not problems:
-        n = sum(1 for k in baseline.get("seconds", {}))
+        n = sum(1 for k in baseline.get("seconds", {}) or {})
         print(f"ok: {n} metrics within {args.max_ratio:g}x of {args.baseline}")
     return 1 if problems else 0
 

@@ -181,6 +181,7 @@ def grid_to_dict(grid: "GridResult") -> dict:
         "n_jobs": grid.n_jobs,
         "reference_key": grid.reference_key,
         "cells": [cell_to_dict(cell) for cell in grid.cells.values()],
+        "fingerprints": dict(grid.fingerprints),
     }
 
 
@@ -198,6 +199,12 @@ def grid_from_dict(payload: dict) -> "GridResult":
     for raw in payload["cells"]:
         cell = cell_from_dict(raw)
         grid.cells[cell.config.key] = cell
+    # Grids written before the run-lifecycle layer have no fingerprints.
+    fingerprints = payload.get("fingerprints")
+    if fingerprints:
+        grid.fingerprints.update(
+            {str(key): str(value) for key, value in fingerprints.items()}
+        )
     return grid
 
 

@@ -11,16 +11,33 @@
 * :mod:`repro.experiments.paper` — one entry per paper artifact, each
   bundling the workload recipe, the regime, the paper's published numbers
   and the comparison report;
+* :mod:`repro.experiments.journal` — the crash-tolerant run lifecycle:
+  append-only run journals, deterministic run ids, resume, the
+  ``verify_run`` integrity audit;
 * :mod:`repro.experiments.cli` — ``repro-experiments`` command line.
 """
 
 from repro.experiments.runner import CellResult, GridResult, run_grid
 from repro.experiments.engine import (
+    CachePruneStats,
     ExperimentEngine,
     FailureScenario,
     ProgressEvent,
     ResultCache,
     RunStats,
+)
+from repro.experiments.journal import (
+    JournalCorruptError,
+    JournalError,
+    ManifestMismatchError,
+    RunAudit,
+    RunInterrupted,
+    RunJournal,
+    RunSummary,
+    UnknownRunError,
+    list_runs,
+    read_journal,
+    verify_run,
 )
 from repro.experiments.paper import (
     EXPERIMENTS,
@@ -30,17 +47,29 @@ from repro.experiments.paper import (
 from repro.experiments.tables import format_grid, format_comparison
 
 __all__ = [
+    "CachePruneStats",
     "CellResult",
     "EXPERIMENTS",
     "ExperimentEngine",
     "ExperimentSpec",
     "FailureScenario",
     "GridResult",
+    "JournalCorruptError",
+    "JournalError",
+    "ManifestMismatchError",
     "ProgressEvent",
     "ResultCache",
+    "RunAudit",
+    "RunInterrupted",
+    "RunJournal",
     "RunStats",
+    "RunSummary",
+    "UnknownRunError",
     "format_comparison",
     "format_grid",
+    "list_runs",
+    "read_journal",
     "run_experiment",
     "run_grid",
+    "verify_run",
 ]

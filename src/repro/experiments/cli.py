@@ -17,6 +17,17 @@ content-addressed under ``--cache-dir`` (default ``.repro-cache``), so
 re-runs and interrupted runs only simulate what is missing.  ``--no-cache``
 forces fresh simulations; ``--events FILE`` appends the engine's
 structured progress events as JSON lines.
+
+Every cached run is journaled under ``<cache>/runs/<run_id>.jsonl``
+(crash-tolerant run lifecycle)::
+
+    repro-experiments --list-runs            # journals + cache prune stats
+    repro-experiments table3 --resume RUN_ID # re-dispatch only the remainder
+    repro-experiments --verify-run RUN_ID    # audit journal vs cache
+    repro-experiments --verify-run all
+
+A run killed by SIGINT/SIGTERM exits cleanly (status 130) after printing
+the ``--resume`` handle.
 """
 
 from __future__ import annotations
@@ -28,6 +39,55 @@ from pathlib import Path
 from repro.experiments.paper import EXPERIMENTS, run_experiment
 
 
+def _journal_root(args: argparse.Namespace) -> Path:
+    if args.journal_dir is not None:
+        return args.journal_dir
+    return args.cache_dir / "runs"
+
+
+def _cmd_list_runs(args: argparse.Namespace) -> int:
+    from repro.experiments.engine import ResultCache
+    from repro.experiments.journal import list_runs
+
+    summaries = list_runs(_journal_root(args))
+    if not summaries:
+        print(f"no runs journaled under {_journal_root(args)}")
+    for summary in summaries:
+        print(summary.describe())
+    if not args.no_cache and args.cache_dir.is_dir():
+        # Listing runs is the natural moment to sweep the cache the
+        # journals point into: stale entries out, corruption quarantined.
+        print(ResultCache(args.cache_dir).prune().describe())
+    return 0
+
+
+def _cmd_verify_run(args: argparse.Namespace) -> int:
+    from repro.experiments.engine import ResultCache
+    from repro.experiments.journal import JournalError, list_runs, verify_run
+
+    root = _journal_root(args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.verify_run == "all":
+        run_ids = [s.run_id for s in list_runs(root) if s.status != "corrupt"]
+        if not run_ids:
+            print(f"no runs journaled under {root}")
+            return 0
+    else:
+        run_ids = [args.verify_run]
+    failures = 0
+    for run_id in run_ids:
+        try:
+            audit = verify_run(run_id, journal_dir=root, cache=cache)
+        except JournalError as exc:
+            print(f"run {run_id}: UNREADABLE ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        print(audit.describe())
+        if not audit.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -37,7 +97,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parser.add_argument(
         "ids",
-        nargs="+",
+        nargs="*",
         help="experiment ids "
         f"({', '.join(sorted(EXPERIMENTS))}; extensions: "
         f"{', '.join(sorted(EXTENSIONS))}), 'all' (paper artifacts) or "
@@ -89,7 +149,41 @@ def main(argv: list[str] | None = None) -> int:
         help="ship the full job tuple to every parallel cell instead of the "
         "zero-copy digest dispatch (debugging/measurement aid)",
     )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        help="run-journal directory (default: <cache-dir>/runs)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="resume the journaled run with this id: completed cells are "
+        "skipped via the cache, only the remainder is re-dispatched",
+    )
+    parser.add_argument(
+        "--list-runs",
+        action="store_true",
+        help="list journaled runs (and prune the result cache), then exit",
+    )
+    parser.add_argument(
+        "--verify-run",
+        metavar="RUN_ID",
+        default=None,
+        help="audit a journaled run against the cache ('all' audits every "
+        "journal), then exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_runs:
+        return _cmd_list_runs(args)
+    if args.verify_run is not None:
+        return _cmd_verify_run(args)
+    if not args.ids:
+        parser.error("experiment ids are required (or --list-runs/--verify-run)")
+    if args.resume is not None and args.no_cache:
+        parser.error("--resume needs the cache; drop --no-cache")
 
     source_trace = None
     if args.swf is not None:
@@ -139,21 +233,44 @@ def main(argv: list[str] | None = None) -> int:
         if args.events is not None:
             append_events([event], args.events)
 
+    from repro.experiments.journal import (
+        ManifestMismatchError,
+        RunInterrupted,
+        UnknownRunError,
+    )
+
     for experiment_id in (i for i in ids if i in EXPERIMENTS):
         spec = EXPERIMENTS[experiment_id]
         scale = spec.paper_scale if args.full else args.scale
-        result = run_experiment(
-            experiment_id,
-            scale=scale,
-            seed=args.seed,
-            total_nodes=args.nodes,
-            progress=lambda msg: print(f"[{experiment_id}] {msg}", file=sys.stderr),
-            source_trace=source_trace,
-            workers=args.workers,
-            cache=cache,
-            on_event=on_event,
-            use_workload_store=not args.no_workload_store,
-        )
+        try:
+            result = run_experiment(
+                experiment_id,
+                scale=scale,
+                seed=args.seed,
+                total_nodes=args.nodes,
+                progress=lambda msg: print(f"[{experiment_id}] {msg}", file=sys.stderr),
+                source_trace=source_trace,
+                workers=args.workers,
+                cache=cache,
+                on_event=on_event,
+                use_workload_store=not args.no_workload_store,
+                journal_dir=args.journal_dir,
+                resume_run_id=args.resume,
+            )
+        except RunInterrupted as exc:
+            print(f"\ninterrupted by {exc.signal_name}: {exc}", file=sys.stderr)
+            if exc.run_id:
+                print(
+                    f"resume with: repro-experiments {experiment_id} --resume "
+                    f"{exc.run_id}",
+                    file=sys.stderr,
+                )
+            return 130
+        except (ManifestMismatchError, UnknownRunError) as exc:
+            print(f"cannot resume {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        for regime, run_id in result.run_ids.items():
+            print(f"[{experiment_id}] {regime} run id: {run_id}", file=sys.stderr)
         for regime, report in result.reports.items():
             banner = f"=== {experiment_id} ({regime}) — {spec.description} ==="
             print(banner)

@@ -39,7 +39,22 @@ compare the tables".  :class:`ExperimentEngine` executes that grid:
 * **failure scenarios** — grids can run under a
   :class:`~repro.failures.trace.FailureTrace` plus recovery-policy spec
   (one more cache-key dimension); :meth:`ExperimentEngine.run_failure_scenarios`
-  sweeps a set of named scenarios over one workload.
+  sweeps a set of named scenarios over one workload;
+* **run lifecycle** — every cached run keeps an append-only
+  :class:`~repro.experiments.journal.RunJournal` under the cache
+  directory, keyed by a deterministic run id: the manifest plus one
+  fsynced, checksummed record per cell state transition.  A killed
+  driver process leaves a resumable journal; :meth:`ExperimentEngine.resume`
+  (CLI ``--resume RUN_ID``) replays it, verifies the manifest still
+  matches the requested grid, skips completed cells via the cache and
+  re-dispatches only the remainder.  SIGINT/SIGTERM trigger a **graceful
+  shutdown** (stop dispatching, journal in-flight cells as
+  ``interrupted``, terminate the pool, raise
+  :class:`~repro.experiments.journal.RunInterrupted`), a driver-side
+  **watchdog** detects silently killed or stopped workers through
+  mtime-touched heartbeat sentinels and routes them into the retry path,
+  and :func:`~repro.experiments.journal.verify_run` audits a journal
+  against the cache after the fact.
 
 Determinism: the simulation is a pure function of (jobs, config,
 machine), so parallel and serial runs produce bit-identical objectives;
@@ -60,16 +75,30 @@ import math
 import multiprocessing
 import os
 import random
+import shutil
+import signal
+import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import count
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, NamedTuple, Sequence
 
 from repro.core.job import Job
 from repro.core.packing import job_record
+from repro.experiments.journal import (
+    ManifestMismatchError,
+    RunInterrupted,
+    RunJournal,
+    freshest_heartbeat,
+    journal_path,
+    manifest_diffs,
+    manifest_for,
+    read_journal,
+)
 from repro.experiments.runner import (
     CellResult,
     GridResult,
@@ -78,8 +107,8 @@ from repro.experiments.runner import (
 )
 from repro.experiments.workload_store import (
     WorkloadStore,
+    init_worker,
     resolve_worker_workload,
-    seed_worker_cache,
 )
 from repro.schedulers.registry import SchedulerConfig, paper_configurations
 
@@ -159,6 +188,24 @@ def cell_fingerprint(
 # -- the on-disk cache ---------------------------------------------------------
 
 
+@dataclass(frozen=True, slots=True)
+class CachePruneStats:
+    """Outcome of one :meth:`ResultCache.prune` sweep."""
+
+    scanned: int
+    stale_evicted: int
+    quarantined: int
+    tmp_removed: int
+
+    def describe(self) -> str:
+        return (
+            f"cache: scanned {self.scanned} entr(ies), "
+            f"evicted {self.stale_evicted} stale, "
+            f"quarantined {self.quarantined} corrupt, "
+            f"removed {self.tmp_removed} stray tmp file(s)"
+        )
+
+
 class ResultCache:
     """Content-addressed cell store: one JSON file per fingerprint.
 
@@ -169,12 +216,21 @@ class ResultCache:
     clobber each other's half-written files.
 
     Reads distinguish three failure modes: a missing file or I/O error is
-    a plain miss; a version-skewed entry is a plain miss too (it stays on
-    disk for whatever software version wrote it); an entry that *parses
-    wrong* — truncated JSON, malformed payload — is quarantined by
-    renaming it to ``<fingerprint>.corrupt`` so the corruption is visible
-    on disk instead of silently re-simulated forever.
+    a plain miss; a version-skewed entry is a miss that also **evicts**
+    the entry (fingerprints embed ``CACHE_VERSION``, so no current or
+    future key can ever hit it again — leaving it would accumulate dead
+    files forever); an entry that *parses wrong* — truncated JSON,
+    malformed payload — is quarantined by renaming it to
+    ``<fingerprint>.corrupt`` so the corruption is visible on disk
+    instead of silently re-simulated forever.  :meth:`prune` sweeps the
+    whole store the same way without needing the fingerprints, and
+    :meth:`status` classifies an entry without mutating anything (the
+    ``verify_run`` audit path).
     """
+
+    #: Orphaned ``.tmp`` files older than this are removed by ``prune``
+    #: (younger ones may belong to a concurrently running engine).
+    TMP_MAX_AGE = 3600.0
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -193,11 +249,87 @@ class ResultCache:
         try:
             payload = json.loads(text)
             if payload.get("version") != CACHE_VERSION:
-                return None  # other format version: miss, leave in place
+                # Version-skewed entries can never hit again (the version
+                # is part of every fingerprint): evict instead of letting
+                # them accumulate forever.
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+                return None
             return cell_from_dict(payload["cell"])
         except (AttributeError, KeyError, TypeError, ValueError):
             self._quarantine(path)
             return None
+
+    def status(self, fingerprint: str) -> str:
+        """Classify an entry without touching it.
+
+        Returns ``"hit"`` (readable, current version), ``"miss"`` (no
+        file), ``"stale"`` (version skew) or ``"corrupt"`` (unparseable)
+        — unlike :meth:`get`, nothing is evicted or quarantined, so
+        audits are repeatable.
+        """
+        try:
+            return self._classify(self.path(fingerprint).read_text(encoding="utf-8"))
+        except OSError:
+            return "miss"
+
+    @staticmethod
+    def _classify(text: str) -> str:
+        from repro.analysis.persistence import cell_from_dict
+
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return "corrupt"
+        if not isinstance(payload, dict):
+            return "corrupt"
+        if payload.get("version") != CACHE_VERSION:
+            return "stale"
+        try:
+            cell_from_dict(payload["cell"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return "corrupt"
+        return "hit"
+
+    def prune(self) -> "CachePruneStats":
+        """Sweep the store: evict stale entries, quarantine corrupt ones.
+
+        Version-skewed entries are unlinked (their fingerprints are
+        unreachable by construction), unparseable ones become
+        ``*.corrupt``, and orphaned temp files older than
+        :data:`TMP_MAX_AGE` — a crashed writer's leftovers — are removed.
+        Used by ``repro-experiments --list-runs`` so long-lived cache
+        directories stay honest about what they hold.
+        """
+        scanned = stale = quarantined = removed_tmp = 0
+        if not self.root.is_dir():
+            return CachePruneStats(0, 0, 0, 0)
+        now = time.time()
+        for path in self.root.glob("??/*.json"):
+            scanned += 1
+            try:
+                verdict = self._classify(path.read_text(encoding="utf-8"))
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+            if verdict == "stale":
+                try:
+                    path.unlink()
+                    stale += 1
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+            elif verdict == "corrupt":
+                if self._quarantine(path) is not None:
+                    quarantined += 1
+        for tmp in self.root.glob("??/.*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime > self.TMP_MAX_AGE:
+                    tmp.unlink()
+                    removed_tmp += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+        return CachePruneStats(scanned, stale, quarantined, removed_tmp)
 
     def _quarantine(self, path: Path) -> Path | None:
         """Move a corrupt entry aside as ``*.corrupt``; best effort."""
@@ -236,7 +368,9 @@ class ProgressEvent:
     finished unit (whole grid for grid-finished; the backoff pause for
     cell-retry); cache hits report the objective but no wall time.
     ``detail`` carries the human-readable reason for retry/degradation
-    events.
+    events.  Grid-level events of a journaled run carry its ``run_id``
+    (the ``--resume`` handle); it is ``None`` for journal-less runs and
+    for cell-level events.
     """
 
     kind: str
@@ -247,6 +381,7 @@ class ProgressEvent:
     objective: float | None = None
     cached: bool = False
     detail: str | None = None
+    run_id: str | None = None
 
 
 EventFn = Callable[[ProgressEvent], None]
@@ -266,6 +401,9 @@ class RunStats:
     pool_rebuilds: int = 0
     #: Cells that fell back to in-process serial execution.
     degraded_cells: int = 0
+    #: Deterministic run id of the journal backing this run (``None``
+    #: when the run was not journaled).
+    run_id: str | None = None
 
 
 # -- the engine ----------------------------------------------------------------
@@ -349,6 +487,19 @@ class FailureScenario:
     recovery: str | None = None
 
 
+class _PreparedRun(NamedTuple):
+    """One grid request, normalized: the inputs of run id and dispatch."""
+
+    jobs: list[Job]
+    chosen: list[SchedulerConfig]
+    digest: str
+    failures: "FailureTrace | None"
+    recovery: str | None
+    failures_digest: str
+    recovery_spec: str
+    manifest: dict
+
+
 class ExperimentEngine:
     """Runs scheduler grids in parallel with content-addressed caching.
 
@@ -386,6 +537,28 @@ class ExperimentEngine:
         pickles the full job tuple (the legacy behaviour, kept for the
         store-on/store-off equivalence test and as an escape hatch).
         Results are bit-identical either way.
+    journal_dir:
+        Directory for run journals.  ``None`` (the default) journals
+        under ``<cache root>/runs`` when a cache is configured, and not
+        at all otherwise — ``run_grid``'s cache-less serial path stays
+        journal-free.
+    heartbeat_interval:
+        Seconds between worker heartbeat touches (the watchdog's input).
+        ``None`` disables the watchdog entirely.
+    heartbeat_timeout:
+        Driver-side staleness budget: when no worker heartbeat is newer
+        than this while cells are in flight, the pool is presumed
+        silently dead (SIGKILLed, SIGSTOPped) and every in-flight cell
+        is charged a retry.  Defaults to
+        ``max(4 * heartbeat_interval, 30.0)`` so one missed touch never
+        trips it.
+    handle_signals:
+        When true (the default), journaled runs install SIGINT/SIGTERM
+        handlers for graceful shutdown: dispatch stops, in-flight cells
+        are journaled ``interrupted``, the pool is terminated and
+        :class:`~repro.experiments.journal.RunInterrupted` is raised with
+        the resumable run id.  Handlers are installed only in the main
+        thread and always restored afterwards.
 
     ``stats`` holds the :class:`RunStats` of the most recent :meth:`run`.
     """
@@ -401,6 +574,10 @@ class ExperimentEngine:
         retry_backoff: float = 0.5,
         max_pool_rebuilds: int = 2,
         use_workload_store: bool = True,
+        journal_dir: str | Path | None = None,
+        heartbeat_interval: float | None = 15.0,
+        heartbeat_timeout: float | None = None,
+        handle_signals: bool = True,
     ) -> None:
         self.workers = max(1, workers if workers is not None else 1)
         self.cache = ResultCache(cache) if isinstance(cache, (str, Path)) else cache
@@ -417,17 +594,49 @@ class ExperimentEngine:
             raise ValueError(
                 f"max_pool_rebuilds must be non-negative, got {max_pool_rebuilds}"
             )
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
         self.cell_timeout = cell_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.max_pool_rebuilds = max_pool_rebuilds
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.heartbeat_interval = heartbeat_interval
+        if heartbeat_timeout is None and heartbeat_interval is not None:
+            heartbeat_timeout = max(4.0 * heartbeat_interval, 30.0)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.handle_signals = handle_signals
         self.stats = RunStats()
+        #: Signal name ("SIGINT"/"SIGTERM") once a shutdown was requested.
+        self._interrupted: str | None = None
+        self._journal: RunJournal | None = None
+        self._run_id: str | None = None
+        self._handlers_active = False
 
     def _emit(self, event: ProgressEvent) -> None:
         if self.on_event is not None:
             self.on_event(event)
 
-    def run(
+    # -- run lifecycle plumbing -------------------------------------------
+
+    def _journal_root(self) -> Path | None:
+        if self.journal_dir is not None:
+            return self.journal_dir
+        if self.cache is not None:
+            return self.cache.root / "runs"
+        return None
+
+    def _journal_cell(self, key: str, state: str, **kwargs: object) -> None:
+        if self._journal is not None:
+            self._journal.record_cell(key, state, **kwargs)  # type: ignore[arg-type]
+
+    def _prepare(
         self,
         jobs: Sequence[Job],
         *,
@@ -436,24 +645,15 @@ class ExperimentEngine:
         weighted: bool = False,
         configs: Sequence[SchedulerConfig] | None = None,
         recompute_threshold: float = 2.0 / 3.0,
-        progress: ProgressFn | None = None,
         reference_key: str | None = None,
         failures: "FailureTrace | None" = None,
         recovery: str | None = None,
-    ) -> GridResult:
-        """Run one grid; the parallel, cached equivalent of ``run_grid``.
+    ) -> "_PreparedRun":
+        """Normalize one grid request into its manifest-defining form.
 
-        Cells are fingerprinted first; hits come from the cache, misses
-        are simulated (fanned out when ``workers > 1``) and written back
-        as they finish — so an interrupted run resumes where it stopped.
-        ``grid.cells`` is always in config order regardless of completion
-        order, and the ``progress`` callback (``run_grid`` compatible)
-        fires in that same order after all cells exist.
-
-        ``failures``/``recovery`` inject a node-failure scenario into
-        every cell (see :mod:`repro.failures`); both are folded into the
-        cache fingerprints.  ``recovery`` must be a spec string (workers
-        rebuild the policy from it).
+        Shared by :meth:`run`, :meth:`resume` and :meth:`run_id_for`, so
+        the deterministic run id is computed from exactly the inputs the
+        dispatch path will use.
         """
         jobs = list(jobs)
         failures_digest = ""
@@ -469,6 +669,144 @@ class ExperimentEngine:
             # spec reaches fingerprints or workers.
             recovery_spec = recovery = recovery_from_spec(recovery).spec
         chosen = list(configs) if configs is not None else list(paper_configurations())
+        digest = fingerprint_jobs(jobs)
+        manifest = manifest_for(
+            workload_digest=digest,
+            configs=[config.key for config in chosen],
+            total_nodes=total_nodes,
+            weighted=weighted,
+            recompute_threshold=recompute_threshold,
+            failures_digest=failures_digest,
+            recovery=recovery_spec,
+            cache_version=CACHE_VERSION,
+            workload_name=workload_name,
+            n_jobs=len(jobs),
+            reference_key=reference_key,
+        )
+        return _PreparedRun(
+            jobs=jobs,
+            chosen=chosen,
+            digest=digest,
+            failures=failures,
+            recovery=recovery,
+            failures_digest=failures_digest,
+            recovery_spec=recovery_spec,
+            manifest=manifest,
+        )
+
+    def run_id_for(self, jobs: Sequence[Job], **kwargs: object) -> str:
+        """The deterministic run id :meth:`run` would journal under.
+
+        Accepts the grid-shaping keyword arguments of :meth:`run`
+        (``workload_name``, ``total_nodes``, ``weighted``, ``configs``,
+        ``recompute_threshold``, ``reference_key``, ``failures``,
+        ``recovery``); drivers use it to print or predict the
+        ``--resume`` handle without running anything.
+        """
+        return str(self._prepare(jobs, **kwargs).manifest["run"])  # type: ignore[arg-type]
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        if self._interrupted is not None:
+            # Second signal: the operator is insistent — restore the
+            # default disposition so a third one kills us outright.
+            try:
+                signal.signal(signum, signal.SIG_DFL)
+            except (OSError, ValueError):  # pragma: no cover - exotic platform
+                pass
+            return
+        self._interrupted = signal.Signals(signum).name
+
+    def _install_signal_handlers(self) -> dict[int, object] | None:
+        """Install graceful-shutdown handlers (main thread only)."""
+        if (
+            not self.handle_signals
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return None
+        self._interrupted = None
+        previous: dict[int, object] = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, self._on_signal)
+            except (OSError, ValueError):  # pragma: no cover - exotic platform
+                pass
+        self._handlers_active = bool(previous)
+        return previous or None
+
+    def _restore_signal_handlers(self, previous: dict[int, object] | None) -> None:
+        self._handlers_active = False
+        if not previous:
+            return
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)  # type: ignore[arg-type]
+            except (OSError, ValueError):  # pragma: no cover - exotic platform
+                pass
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        workload_name: str = "workload",
+        total_nodes: int = 256,
+        weighted: bool = False,
+        configs: Sequence[SchedulerConfig] | None = None,
+        recompute_threshold: float = 2.0 / 3.0,
+        progress: ProgressFn | None = None,
+        reference_key: str | None = None,
+        failures: "FailureTrace | None" = None,
+        recovery: str | None = None,
+        resume_run_id: str | None = None,
+    ) -> GridResult:
+        """Run one grid; the parallel, cached equivalent of ``run_grid``.
+
+        Cells are fingerprinted first; hits come from the cache, misses
+        are simulated (fanned out when ``workers > 1``) and written back
+        as they finish — so an interrupted run resumes where it stopped.
+        ``grid.cells`` is always in config order regardless of completion
+        order, and the ``progress`` callback (``run_grid`` compatible)
+        fires in that same order after all cells exist.
+
+        ``failures``/``recovery`` inject a node-failure scenario into
+        every cell (see :mod:`repro.failures`); both are folded into the
+        cache fingerprints.  ``recovery`` must be a spec string (workers
+        rebuild the policy from it).
+
+        When a journal root is available (a cache or ``journal_dir``),
+        the run is journaled under its deterministic id: a fresh run
+        truncates any prior journal for the same grid, while
+        ``resume_run_id`` (usually via :meth:`resume`) appends to the
+        existing one after verifying the manifest still matches —
+        mismatches raise
+        :class:`~repro.experiments.journal.ManifestMismatchError`.
+        """
+        prep = self._prepare(
+            jobs,
+            workload_name=workload_name,
+            total_nodes=total_nodes,
+            weighted=weighted,
+            configs=configs,
+            recompute_threshold=recompute_threshold,
+            reference_key=reference_key,
+            failures=failures,
+            recovery=recovery,
+        )
+        jobs = prep.jobs
+        failures = prep.failures
+        recovery = prep.recovery
+        chosen = prep.chosen
+        run_id = str(prep.manifest["run"])
+        journal_root = self._journal_root()
+        if resume_run_id is not None:
+            if journal_root is None:
+                raise ValueError(
+                    "resume requires a journal: configure a cache or journal_dir"
+                )
+            path = journal_path(journal_root, resume_run_id)
+            diffs = manifest_diffs(read_journal(path).manifest, prep.manifest)
+            if diffs:
+                raise ManifestMismatchError(resume_run_id, diffs)
+
         grid = GridResult(
             workload_name=workload_name,
             weighted=weighted,
@@ -477,54 +815,91 @@ class ExperimentEngine:
             reference_key=reference_key,
         )
         stats = RunStats(total_cells=len(chosen))
+        stats.run_id = run_id if journal_root is not None else None
         self.stats = stats
+        self._run_id = stats.run_id
+
+        journal: RunJournal | None = None
+        already: set[str] = set()
+        if journal_root is not None:
+            path = journal_path(journal_root, run_id)
+            if resume_run_id is not None:
+                journal, replay = RunJournal.open_resume(path)
+                # Cells already terminal in the journal keep their original
+                # records; only genuinely new transitions are appended.
+                already = set(replay.completed)
+            else:
+                journal = RunJournal.create(path, prep.manifest)
+        self._journal = journal
+
         t_start = time.perf_counter()
         self._emit(
             ProgressEvent(
-                kind="grid-started", workload_name=workload_name, weighted=weighted
+                kind="grid-started",
+                workload_name=workload_name,
+                weighted=weighted,
+                run_id=stats.run_id,
             )
         )
 
-        digest = fingerprint_jobs(jobs)
-        results: dict[str, CellResult] = {}
-        pending: list[tuple[SchedulerConfig, str]] = []
-        for config in chosen:
-            fp = cell_fingerprint(
-                digest,
-                config,
-                total_nodes=total_nodes,
-                weighted=weighted,
-                recompute_threshold=recompute_threshold,
-                failures_digest=failures_digest,
-                recovery=recovery_spec,
-            )
-            cell = self.cache.get(fp) if self.cache is not None else None
-            if cell is not None:
-                results[config.key] = cell
-                stats.cache_hits += 1
-                self._emit(
-                    ProgressEvent(
-                        kind="cache-hit",
-                        workload_name=workload_name,
-                        weighted=weighted,
-                        key=config.key,
-                        objective=cell.objective,
-                        cached=True,
-                    )
+        try:
+            results: dict[str, CellResult] = {}
+            pending: list[tuple[SchedulerConfig, str]] = []
+            for config in chosen:
+                fp = cell_fingerprint(
+                    prep.digest,
+                    config,
+                    total_nodes=total_nodes,
+                    weighted=weighted,
+                    recompute_threshold=recompute_threshold,
+                    failures_digest=prep.failures_digest,
+                    recovery=prep.recovery_spec,
                 )
-            else:
-                pending.append((config, fp))
+                grid.fingerprints[config.key] = fp
+                cell = self.cache.get(fp) if self.cache is not None else None
+                if cell is not None:
+                    results[config.key] = cell
+                    stats.cache_hits += 1
+                    if config.key not in already:
+                        self._journal_cell(
+                            config.key,
+                            "completed",
+                            fingerprint=fp,
+                            objective=cell.objective,
+                            cached=True,
+                        )
+                    self._emit(
+                        ProgressEvent(
+                            kind="cache-hit",
+                            workload_name=workload_name,
+                            weighted=weighted,
+                            key=config.key,
+                            objective=cell.objective,
+                            cached=True,
+                        )
+                    )
+                else:
+                    self._journal_cell(config.key, "scheduled", fingerprint=fp)
+                    pending.append((config, fp))
 
-        if self.workers > 1 and len(pending) > 1:
-            self._run_parallel(
-                pending, jobs, grid, stats, recompute_threshold, results,
-                failures, recovery, digest,
-            )
-        else:
-            self._run_serial(
-                pending, jobs, grid, stats, recompute_threshold, results,
-                failures, recovery,
-            )
+            previous = self._install_signal_handlers() if journal is not None else None
+            try:
+                if self.workers > 1 and len(pending) > 1:
+                    self._run_parallel(
+                        pending, jobs, grid, stats, recompute_threshold, results,
+                        failures, recovery, prep.digest,
+                    )
+                else:
+                    self._run_serial(
+                        pending, jobs, grid, stats, recompute_threshold, results,
+                        failures, recovery,
+                    )
+            finally:
+                self._restore_signal_handlers(previous)
+        finally:
+            if journal is not None:
+                journal.close()
+            self._journal = None
 
         for config in chosen:
             grid.cells[config.key] = results[config.key]
@@ -537,9 +912,25 @@ class ExperimentEngine:
                 workload_name=workload_name,
                 weighted=weighted,
                 wall_time=stats.wall_time,
+                run_id=stats.run_id,
             )
         )
         return grid
+
+    def resume(
+        self, run_id: str, jobs: Sequence[Job], **kwargs: object
+    ) -> GridResult:
+        """Resume a journaled run from its deterministic ``run_id``.
+
+        The caller supplies the same job stream and grid-shaping keyword
+        arguments as the original :meth:`run`; the journal's manifest is
+        verified against them (:class:`~repro.experiments.journal.
+        ManifestMismatchError` on drift, :class:`~repro.experiments.
+        journal.UnknownRunError` when no journal exists).  Completed
+        cells are skipped via the cache, and only the remainder is
+        re-dispatched.
+        """
+        return self.run(jobs, resume_run_id=run_id, **kwargs)  # type: ignore[arg-type]
 
     def run_failure_scenarios(
         self,
@@ -583,7 +974,18 @@ class ExperimentEngine:
         failures: "FailureTrace | None",
         recovery: str | None,
     ) -> None:
-        for config, fp in pending:
+        for index, (config, fp) in enumerate(pending):
+            if self._interrupted is not None:
+                for later_config, later_fp in pending[index:]:
+                    self._journal_cell(
+                        later_config.key, "interrupted", fingerprint=later_fp
+                    )
+                raise RunInterrupted(
+                    self._run_id,
+                    signal_name=self._interrupted,
+                    completed=stats.cache_hits + stats.simulated,
+                    remaining=len(pending) - index,
+                )
             self._emit(
                 ProgressEvent(
                     kind="cell-started",
@@ -592,6 +994,7 @@ class ExperimentEngine:
                     key=config.key,
                 )
             )
+            self._journal_cell(config.key, "started", fingerprint=fp)
             t0 = time.perf_counter()
             cell = simulate_cell(
                 config,
@@ -634,6 +1037,25 @@ class ExperimentEngine:
             store_entries = None
             payload = tuple(jobs)
 
+        # Worker watchdog: each worker touches <hb_dir>/<pid>.hb from a
+        # daemon thread (see workload_store.init_worker); the dispatch
+        # loop treats a directory with no fresh touch while cells are in
+        # flight as a silently dead pool (SIGKILL leaves no
+        # BrokenProcessPool until the executor notices — sometimes never
+        # for a SIGSTOPped worker).  ``hb_epoch`` marks pool creation so
+        # a fresh pool gets the full budget before its first touch.
+        hb_dir = (
+            tempfile.mkdtemp(prefix="repro-hb-")
+            if self.heartbeat_interval is not None
+            else None
+        )
+        hb_budget = self.heartbeat_timeout or 0.0
+        hb_epoch = time.time()
+
+        def hb_freshest() -> float:
+            newest = freshest_heartbeat(hb_dir) if hb_dir is not None else None
+            return max(newest or 0.0, hb_epoch)
+
         def task_args(config: SchedulerConfig) -> tuple:
             return (
                 config.row,
@@ -647,12 +1069,19 @@ class ExperimentEngine:
             )
 
         def make_pool() -> ProcessPoolExecutor:
-            # A rebuilt pool re-seeds its workers from the store: the
-            # initializer runs again in every fresh worker process.
+            # A rebuilt pool re-seeds its workers from the store and
+            # re-arms their heartbeats: the initializer runs again in
+            # every fresh worker process.
+            nonlocal hb_epoch
             kwargs: dict = {}
-            if store_entries is not None:
-                kwargs["initializer"] = seed_worker_cache
-                kwargs["initargs"] = (store_entries,)
+            if store_entries is not None or hb_dir is not None:
+                kwargs["initializer"] = init_worker
+                kwargs["initargs"] = (
+                    store_entries,
+                    hb_dir,
+                    self.heartbeat_interval,
+                )
+            hb_epoch = time.time()
             return ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending)),
                 mp_context=_pool_context(),
@@ -676,6 +1105,7 @@ class ExperimentEngine:
         resubmit_at: dict[str, float] = {}
 
         def submit(fp: str) -> None:
+            self._journal_cell(config_by_fp[fp].key, "started", fingerprint=fp)
             future = pool.submit(_run_cell_task, task_args(config_by_fp[fp]))
             futures[future] = fp
             if self.cell_timeout is not None:
@@ -688,8 +1118,14 @@ class ExperimentEngine:
             it to the serial fallback once the budget is exhausted."""
             attempts[fp] = attempts.get(fp, 0) + 1
             if attempts[fp] > self.max_retries:
+                self._journal_cell(
+                    config_by_fp[fp].key, "abandoned", fingerprint=fp, detail=why
+                )
                 serial_fallback.append((config_by_fp[fp], fp))
                 return
+            self._journal_cell(
+                config_by_fp[fp].key, "failed", fingerprint=fp, detail=why
+            )
             stats.retries += 1
             pause = (
                 self.retry_backoff
@@ -709,25 +1145,31 @@ class ExperimentEngine:
             resubmit_at[fp] = time.perf_counter() + pause
 
         def next_wait_timeout() -> float | None:
-            """Seconds until the next cell or resubmit deadline (None: never).
+            """Seconds until the next dispatch-loop deadline (None: never).
 
-            Early-outs when no cell timeout is configured; otherwise peeks
-            the deadline heap, discarding entries whose future already
-            finished.
+            Folds together the cell-timeout heap (peeked with lazy
+            invalidation), the soonest retry resubmission, the watchdog's
+            heartbeat deadline, and — while signal handlers are active —
+            a 0.5 s responsiveness cap so a SIGINT/SIGTERM flag is
+            noticed promptly even though ``wait`` resumes after the
+            handler runs (PEP 475).
             """
-            next_at = math.inf
+            now = time.perf_counter()
+            candidates: list[float] = []
             if self.cell_timeout is not None:
                 while deadline_heap and deadline_heap[0][2] not in futures:
                     heapq.heappop(deadline_heap)
                 if deadline_heap:
-                    next_at = deadline_heap[0][0]
+                    candidates.append(deadline_heap[0][0] - now)
             if resubmit_at:
-                soonest = min(resubmit_at.values())
-                if soonest < next_at:
-                    next_at = soonest
-            if next_at is math.inf:
+                candidates.append(min(resubmit_at.values()) - now)
+            if hb_dir is not None and futures:
+                candidates.append((hb_freshest() + hb_budget) - time.time())
+            if self._handlers_active:
+                candidates.append(0.5)
+            if not candidates:
                 return None
-            return max(0.0, next_at - time.perf_counter())
+            return max(0.0, min(candidates))
 
         for config, fp in pending:
             self._emit(
@@ -742,6 +1184,24 @@ class ExperimentEngine:
 
         try:
             while futures or resubmit_at:
+                if self._interrupted is not None:
+                    # Graceful shutdown: journal everything unfinished as
+                    # interrupted, kill the pool, surface the resumable id.
+                    unfinished = (
+                        set(futures.values())
+                        | set(resubmit_at)
+                        | {fp for _, fp in serial_fallback}
+                    )
+                    for fp in sorted(unfinished):
+                        self._journal_cell(
+                            config_by_fp[fp].key, "interrupted", fingerprint=fp
+                        )
+                    raise RunInterrupted(
+                        self._run_id,
+                        signal_name=self._interrupted,
+                        completed=stats.cache_hits + stats.simulated,
+                        remaining=len(unfinished),
+                    )
                 if resubmit_at:
                     now = time.perf_counter()
                     due = [fp for fp, at in resubmit_at.items() if at <= now]
@@ -749,8 +1209,12 @@ class ExperimentEngine:
                         del resubmit_at[fp]
                         submit(fp)
                     if not futures:
-                        # Nothing in flight: idle until the next resubmit.
+                        # Nothing in flight: idle until the next resubmit
+                        # (capped for signal responsiveness while handlers
+                        # are active).
                         pause = min(resubmit_at.values()) - time.perf_counter()
+                        if self._handlers_active:
+                            pause = min(pause, 0.5)
                         if pause > 0:
                             time.sleep(pause)
                         continue
@@ -763,21 +1227,38 @@ class ExperimentEngine:
                 pool_broken = False
                 if not done:
                     now = time.perf_counter()
-                    overdue = [
+                    overdue = {
                         fp
                         for future, fp in futures.items()
                         if now >= deadlines.get(future, math.inf)
-                    ]
-                    if not overdue:
-                        # Woke for a resubmit deadline, not a hung cell.
+                    }
+                    # Watchdog: no worker heartbeat within the budget while
+                    # cells are in flight means the pool died without a
+                    # BrokenProcessPool (SIGKILL before first result,
+                    # SIGSTOP forever) — every in-flight cell is charged,
+                    # since a dead pool leaves no one to blame precisely.
+                    stalled = (
+                        hb_dir is not None
+                        and bool(futures)
+                        and time.time() - hb_freshest() > hb_budget
+                    )
+                    if not overdue and not stalled:
+                        # Woke for a resubmit/responsiveness deadline, not
+                        # a hung cell or dead pool.
                         continue
-                    # A cell blew its wall-clock budget: the pool has a hung
-                    # worker.  Kill the pool; overdue cells are charged a
+                    # A cell blew its wall-clock budget (or the pool lost
+                    # its pulse): kill the pool; charged cells take a
                     # retry, every other in-flight cell resubmits for free.
                     for future, fp in futures.items():
-                        if now >= deadlines.get(future, math.inf):
+                        if fp in overdue:
                             charge_retry(
                                 fp, f"exceeded cell_timeout={self.cell_timeout}s"
+                            )
+                        elif stalled:
+                            charge_retry(
+                                fp,
+                                f"lost worker heartbeat for more than "
+                                f"{hb_budget:.0f}s: pool presumed dead",
                             )
                         else:
                             retry_now.append(fp)
@@ -837,6 +1318,10 @@ class ExperimentEngine:
                     submit(fp)
         finally:
             _terminate_pool(pool)
+            if hb_dir is not None:
+                # Worker heartbeat threads exit on their next touch (the
+                # sentinel directory is gone).
+                shutil.rmtree(hb_dir, ignore_errors=True)
 
         if serial_fallback:
             # Deduplicate while preserving order (a cell can be queued for
@@ -879,6 +1364,12 @@ class ExperimentEngine:
         stats.simulated += 1
         if self.cache is not None:
             self.cache.put(fingerprint, cell)
+        # Cache write lands before the journal record: a crash between
+        # the two leaves an orphaned cache entry (healed on resume), never
+        # a journaled completion with no backing result.
+        self._journal_cell(
+            key, "completed", fingerprint=fingerprint, objective=cell.objective
+        )
         self._emit(
             ProgressEvent(
                 kind="cell-finished",

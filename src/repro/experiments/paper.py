@@ -16,7 +16,7 @@ cells are.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from pathlib import Path
@@ -182,6 +182,9 @@ class ExperimentResult:
     grids: dict[str, GridResult]
     reports: dict[str, str]
     agreement: dict[str, float]
+    #: Deterministic journal run id per regime (empty for journal-less
+    #: runs) — the ``--resume`` handles.
+    run_ids: dict[str, str] = field(default_factory=dict)
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
@@ -292,6 +295,8 @@ def run_experiment(
     cache: ResultCache | str | Path | None = None,
     on_event: EventFn | None = None,
     use_workload_store: bool = True,
+    journal_dir: str | Path | None = None,
+    resume_run_id: str | None = None,
 ) -> ExperimentResult:
     """Regenerate one paper artifact at the given scale.
 
@@ -312,6 +317,15 @@ def run_experiment(
     directory path suffices), and a structured progress-event callback.
     ``use_workload_store=False`` reverts parallel runs to pickling the job
     tuple per cell instead of the zero-copy digest dispatch.
+
+    ``journal_dir`` overrides where run journals land (default: under the
+    cache).  ``resume_run_id`` resumes the regime whose deterministic run
+    id matches (other regimes run normally — their completed cells come
+    out of the cache anyway); when it matches *no* regime the inputs
+    drifted since the run was journaled, and the call refuses with
+    :class:`~repro.experiments.journal.UnknownRunError` rather than
+    silently re-running everything fresh.  The per-regime ids are
+    returned in :attr:`ExperimentResult.run_ids`.
     """
     spec = EXPERIMENTS[experiment_id]
     n = spec.default_scale if scale is None else scale
@@ -322,20 +336,49 @@ def run_experiment(
         cache=cache,
         on_event=on_event,
         use_workload_store=use_workload_store,
+        journal_dir=journal_dir,
     )
 
-    grids: dict[str, GridResult] = {}
-    reports: dict[str, str] = {}
-    agreement: dict[str, float] = {}
-    for regime in wanted:
-        if progress is not None:
-            progress(f"{experiment_id}: running {regime} grid over {len(jobs)} jobs")
-        grid = engine.run(
-            jobs,
+    def _grid_kwargs(regime: str) -> dict:
+        return dict(
             workload_name=spec.description,
             total_nodes=total_nodes,
             weighted=(regime == "weighted"),
         )
+
+    if resume_run_id is not None:
+        regime_ids = {
+            regime: engine.run_id_for(jobs, **_grid_kwargs(regime))
+            for regime in wanted
+        }
+        if resume_run_id not in regime_ids.values():
+            from repro.experiments.journal import UnknownRunError
+
+            computed = ", ".join(f"{r}={i}" for r, i in regime_ids.items())
+            raise UnknownRunError(
+                f"run {resume_run_id} matches no regime of {experiment_id} "
+                f"with the requested inputs (computed: {computed}) — the "
+                f"workload, scale, seed, nodes or regime set drifted since "
+                f"the run was journaled"
+            )
+
+    grids: dict[str, GridResult] = {}
+    reports: dict[str, str] = {}
+    agreement: dict[str, float] = {}
+    run_ids: dict[str, str] = {}
+    for regime in wanted:
+        if progress is not None:
+            progress(f"{experiment_id}: running {regime} grid over {len(jobs)} jobs")
+        grid_kwargs = _grid_kwargs(regime)
+        if (
+            resume_run_id is not None
+            and engine.run_id_for(jobs, **grid_kwargs) == resume_run_id
+        ):
+            grid = engine.resume(resume_run_id, jobs, **grid_kwargs)
+        else:
+            grid = engine.run(jobs, **grid_kwargs)
+        if engine.stats.run_id is not None:
+            run_ids[regime] = engine.stats.run_id
         grids[regime] = grid
         if spec.kind == "compute":
             reports[regime] = format_compute_times(grid)
@@ -352,7 +395,9 @@ def run_experiment(
                 + format_comparison(grid, spec.paper[regime])
             )
             agreement[regime] = agreement_score(grid, spec.paper[regime])
-    return ExperimentResult(spec=spec, grids=grids, reports=reports, agreement=agreement)
+    return ExperimentResult(
+        spec=spec, grids=grids, reports=reports, agreement=agreement, run_ids=run_ids
+    )
 
 
 def _experiment_jobs(

@@ -30,12 +30,22 @@ finds the hydrated tuple without any per-task shipping.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.job import Job
 from repro.core.packing import PackedJobs, pack_jobs
 
-__all__ = ["WorkloadStore", "resolve_worker_workload", "seed_worker_cache"]
+__all__ = [
+    "WorkloadStore",
+    "init_worker",
+    "resolve_worker_workload",
+    "seed_worker_cache",
+    "start_worker_heartbeat",
+]
 
 
 #: Worker-process-global cache: digest -> hydrated job tuple.  Populated by
@@ -61,6 +71,65 @@ def seed_worker_cache(entries: tuple[tuple[str, PackedJobs], ...]) -> None:
         if digest not in _WORKER_WORKLOADS:
             _WORKER_WORKLOADS[digest] = unpack_jobs(packed)
             _WORKER_HYDRATIONS += 1
+
+
+#: Worker-process heartbeat thread, stamped with the pid it was started
+#: in: ``fork`` does not carry threads into children, so a pool worker
+#: inheriting this module's globals must start its own thread.
+_HEARTBEAT_THREAD: tuple[int, threading.Thread] | None = None
+
+
+def start_worker_heartbeat(heartbeat_dir: str, interval: float) -> None:
+    """Start (or adopt) this process's heartbeat thread.
+
+    A daemon thread touches ``<heartbeat_dir>/<pid>.hb`` every
+    ``interval`` seconds; the driver's watchdog reads the mtimes (see
+    :func:`repro.experiments.journal.freshest_heartbeat`).  The thread
+    heartbeats even while the worker is grinding through a simulation —
+    it proves the *process* is alive and scheduled, which is exactly the
+    signal that distinguishes a long cell (fine, ``cell_timeout``'s
+    business) from a SIGKILLed or SIGSTOPped worker (the watchdog's).
+    Idempotent per process; fork-safe via the pid stamp.
+    """
+    global _HEARTBEAT_THREAD
+    pid = os.getpid()
+    if _HEARTBEAT_THREAD is not None and _HEARTBEAT_THREAD[0] == pid:
+        return
+    sentinel = Path(heartbeat_dir) / f"{pid}.hb"
+
+    def beat() -> None:
+        while True:
+            try:
+                sentinel.touch()
+            except OSError:
+                return  # heartbeat dir removed: the run is over
+            time.sleep(interval)
+
+    thread = threading.Thread(
+        target=beat, name=f"repro-heartbeat-{pid}", daemon=True
+    )
+    thread.start()
+    _HEARTBEAT_THREAD = (pid, thread)
+
+
+def init_worker(
+    entries: tuple[tuple[str, PackedJobs], ...] | None,
+    heartbeat_dir: str | None,
+    heartbeat_interval: float | None,
+) -> None:
+    """Combined pool initializer: seed the workload cache, start heartbeats.
+
+    Either half is optional: legacy per-cell-pickle dispatch passes
+    ``entries=None`` (nothing to seed) and a watchdog-less engine passes
+    ``heartbeat_dir=None``.  Runs once per worker process per pool; a
+    rebuilt pool re-runs it in every fresh worker, which is what re-seeds
+    the store and re-arms the heartbeat after a crash — including on
+    resume, where the journal replay changes nothing about worker setup.
+    """
+    if entries is not None:
+        seed_worker_cache(entries)
+    if heartbeat_dir is not None and heartbeat_interval is not None:
+        start_worker_heartbeat(heartbeat_dir, heartbeat_interval)
 
 
 def resolve_worker_workload(digest: str) -> tuple[Job, ...]:

@@ -17,7 +17,14 @@ Parallel Workloads Archive) if you have it, and
 the same shape properties (see DESIGN.md, substitution 1).
 """
 
-from repro.workloads.swf import SWFField, parse_swf, read_swf, write_swf
+from repro.workloads.swf import (
+    ParseReport,
+    SWFField,
+    parse_swf,
+    read_swf,
+    read_swf_with_header,
+    write_swf,
+)
 from repro.workloads.ctc import CTCModel, ctc_like_workload
 from repro.workloads.probabilistic import ProbabilisticModel
 from repro.workloads.randomized import RandomizedModel, randomized_workload
@@ -47,6 +54,7 @@ __all__ = [
     "CTCModel",
     "ClosedLoopResult",
     "KSResult",
+    "ParseReport",
     "ProbabilisticModel",
     "RandomizedModel",
     "SWFField",
@@ -60,6 +68,7 @@ __all__ = [
     "parse_swf",
     "randomized_workload",
     "read_swf",
+    "read_swf_with_header",
     "renumber",
     "run_closed_loop",
     "scale_interarrival",

@@ -25,10 +25,17 @@ from repro.core.job import Job
 def _load(args: argparse.Namespace) -> list[Job]:
     from repro.workloads.ctc import ctc_like_workload
     from repro.workloads.randomized import randomized_workload
-    from repro.workloads.swf import read_swf
+    from repro.workloads.swf import ParseReport, read_swf
 
     if args.trace is not None:
-        return read_swf(args.trace)
+        report = ParseReport()
+        jobs = read_swf(args.trace, report=report)
+        # Surface what lenient parsing dropped before any statistics are
+        # computed over the (possibly shrunk) stream.
+        print(f"--- ingestion ({args.trace}) ---")
+        print(report.describe())
+        print()
+        return jobs
     if args.synthetic == "ctc":
         return ctc_like_workload(args.jobs, seed=args.seed)
     if args.synthetic == "randomized":

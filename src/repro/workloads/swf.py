@@ -28,7 +28,7 @@ preserves the trace.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, TextIO
 
@@ -76,6 +76,83 @@ _META_FIELDS = {
 
 class SWFParseError(ValueError):
     """Raised when a line is not valid SWF."""
+
+
+class _RowProblem(ValueError):
+    """Internal: one unusable data row, tagged with its report category."""
+
+    def __init__(self, category: str, message: str) -> None:
+        self.category = category
+        super().__init__(message)
+
+
+@dataclass(slots=True)
+class ParseReport:
+    """What lenient SWF parsing silently did to the trace.
+
+    Real archive traces carry cancelled-before-start jobs (negative
+    runtime), rows with unknown width on both processor fields, torn or
+    non-numeric lines, and submissions recorded out of order.  Lenient
+    parsing has always dropped the unusable ones; this report makes the
+    damage visible — counts per category plus the first
+    :data:`MAX_EXAMPLES` offending line numbers — so an operator can
+    decide whether a trace is trustworthy instead of discovering
+    silently-shrunk workloads downstream.
+
+    ``out_of_order_submit`` rows are *counted but kept*: the readers sort
+    by submission anyway, so ordering is an anomaly worth flagging, not a
+    reason to drop data.
+    """
+
+    #: Offending line numbers retained per category.
+    MAX_EXAMPLES = 5
+
+    #: Data lines seen (blank lines and ``;`` comments excluded).
+    total_lines: int = 0
+    #: Jobs successfully parsed (out-of-order rows included).
+    parsed: int = 0
+    #: Torn/non-numeric rows, or negative submit times.
+    malformed: int = 0
+    #: Rows with ``runtime < 0`` (cancelled before start).
+    negative_runtime: int = 0
+    #: Rows with no positive width on either processor field.
+    zero_width: int = 0
+    #: Rows submitted earlier than a preceding row (kept, not dropped).
+    out_of_order_submit: int = 0
+    #: First offending line numbers, per category.
+    examples: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        return self.malformed + self.negative_runtime + self.zero_width
+
+    @property
+    def clean(self) -> bool:
+        return self.dropped == 0 and self.out_of_order_submit == 0
+
+    def note(self, category: str, lineno: int) -> None:
+        setattr(self, category, getattr(self, category) + 1)
+        lines = self.examples.setdefault(category, [])
+        if len(lines) < self.MAX_EXAMPLES:
+            lines.append(lineno)
+
+    def describe(self) -> str:
+        lines = [
+            f"parsed {self.parsed}/{self.total_lines} data line(s)"
+            + ("" if self.dropped else ", nothing dropped")
+        ]
+        for category, label in (
+            ("malformed", "malformed (torn/non-numeric/negative submit)"),
+            ("negative_runtime", "negative runtime (cancelled before start)"),
+            ("zero_width", "zero width (no positive processor count)"),
+            ("out_of_order_submit", "out-of-order submit (kept, re-sorted)"),
+        ):
+            count = getattr(self, category)
+            if count:
+                where = ", ".join(str(n) for n in self.examples.get(category, []))
+                more = "..." if count > self.MAX_EXAMPLES else ""
+                lines.append(f"  {label}: {count}  (lines {where}{more})")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,41 +217,75 @@ def parse_swf_header(lines: Iterable[str]) -> SWFHeader:
 
 def read_swf_with_header(
     path: str | Path, *, strict: bool = False
-) -> tuple[list[Job], SWFHeader]:
-    """Read an SWF file returning both the jobs and the parsed header."""
+) -> tuple[list[Job], SWFHeader, ParseReport]:
+    """Read an SWF file returning the jobs, the header and a parse report.
+
+    The :class:`ParseReport` records what lenient parsing dropped (and
+    how many rows arrived out of submission order); ``repro-workload
+    describe`` prints it.
+    """
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
         lines = handle.readlines()
     header = parse_swf_header(line for line in lines if line.lstrip().startswith(";"))
+    report = ParseReport()
     jobs = sorted(
-        parse_swf(lines, strict=strict), key=lambda j: (j.submit_time, j.job_id)
+        parse_swf(lines, strict=strict, report=report),
+        key=lambda j: (j.submit_time, j.job_id),
     )
-    return jobs, header
+    return jobs, header, report
 
 
-def parse_swf(lines: Iterable[str], *, strict: bool = False) -> Iterator[Job]:
+def parse_swf(
+    lines: Iterable[str],
+    *,
+    strict: bool = False,
+    report: ParseReport | None = None,
+) -> Iterator[Job]:
     """Parse SWF text into jobs, skipping comments and malformed rows.
 
     With ``strict=True`` malformed rows raise :class:`SWFParseError` instead
     of being skipped.  Jobs with unknown width on both processor fields, or
     with negative runtimes (cancelled before start), are treated as
     malformed: the paper's rigid model cannot schedule them.
+
+    A caller-supplied :class:`ParseReport` is filled in as the stream is
+    consumed — counts of dropped rows per category, out-of-order
+    submissions (counted but kept), and the first offending line numbers.
     """
+    last_submit = float("-inf")
     for lineno, line in enumerate(lines, start=1):
         text = line.strip()
         if not text or text.startswith(";"):
             continue
+        if report is not None:
+            report.total_lines += 1
         fields = text.split()
         if len(fields) < 18:
             if strict:
                 raise SWFParseError(f"line {lineno}: expected 18 fields, got {len(fields)}")
+            if report is not None:
+                report.note("malformed", lineno)
             continue
         try:
             job = _job_from_fields(fields)
+        except _RowProblem as exc:
+            if strict:
+                raise SWFParseError(f"line {lineno}: {exc}") from exc
+            if report is not None:
+                report.note(exc.category, lineno)
+            continue
         except (ValueError, IndexError) as exc:
             if strict:
                 raise SWFParseError(f"line {lineno}: {exc}") from exc
+            if report is not None:
+                report.note("malformed", lineno)
             continue
         if job is not None:
+            if report is not None:
+                report.parsed += 1
+                if job.submit_time < last_submit:
+                    report.note("out_of_order_submit", lineno)
+                last_submit = max(last_submit, job.submit_time)
             yield job
 
 
@@ -185,10 +296,17 @@ def _job_from_fields(fields: list[str]) -> Job | None:
     requested = int(float(fields[SWFField.REQUESTED_PROCESSORS]))
     allocated = int(float(fields[SWFField.ALLOCATED_PROCESSORS]))
     nodes = requested if requested > 0 else allocated
-    if nodes <= 0 or runtime < 0 or submit < 0:
-        raise ValueError(
-            f"job {job_id}: unschedulable row (nodes={nodes}, runtime={runtime})"
+    if nodes <= 0:
+        raise _RowProblem(
+            "zero_width", f"job {job_id}: no positive processor count"
         )
+    if runtime < 0:
+        raise _RowProblem(
+            "negative_runtime",
+            f"job {job_id}: negative runtime {runtime} (cancelled before start)",
+        )
+    if submit < 0:
+        raise _RowProblem("malformed", f"job {job_id}: negative submit time {submit}")
     requested_time = float(fields[SWFField.REQUESTED_TIME])
     estimate = requested_time if requested_time >= 0 else None
     user = int(fields[SWFField.USER_ID])
@@ -204,10 +322,12 @@ def _job_from_fields(fields: list[str]) -> Job | None:
     )
 
 
-def read_swf(path: str | Path, *, strict: bool = False) -> list[Job]:
+def read_swf(
+    path: str | Path, *, strict: bool = False, report: ParseReport | None = None
+) -> list[Job]:
     """Read a whole SWF file into a job list sorted by submission."""
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        jobs = list(parse_swf(handle, strict=strict))
+        jobs = list(parse_swf(handle, strict=strict, report=report))
     jobs.sort(key=lambda j: (j.submit_time, j.job_id))
     return jobs
 

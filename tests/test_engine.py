@@ -112,9 +112,70 @@ class TestResultCache:
         )
         path.write_text(payload, encoding="utf-8")
         assert cache.get("ef" * 32) is None
-        # Version skew is an honest format difference, not corruption: the
-        # entry stays where a newer library version can still read it.
-        assert path.exists()
+        # Version skew means this library version can never serve the entry:
+        # the miss evicts it so the slot is rewritten instead of re-read and
+        # re-rejected on every run.
+        assert not path.exists()
+        assert not path.with_suffix(".corrupt").exists()
+
+    def test_status_is_nondestructive(self, tmp_path, workload):
+        cache = ResultCache(tmp_path)
+        grid = run_grid(workload[:20], total_nodes=256,
+                        configs=[SchedulerConfig("fcfs", "list")])
+        cache.put("aa" * 32, grid.cells["fcfs/list"])
+        stale = cache.path("bb" * 32)
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_text(
+            cache.path("aa" * 32).read_text(encoding="utf-8").replace(
+                f'"version": {CACHE_VERSION}', f'"version": {CACHE_VERSION + 1}'
+            ),
+            encoding="utf-8",
+        )
+        corrupt = cache.path("cc" * 32)
+        corrupt.parent.mkdir(parents=True, exist_ok=True)
+        corrupt.write_text("{not json", encoding="utf-8")
+        assert cache.status("aa" * 32) == "hit"
+        assert cache.status("bb" * 32) == "stale"
+        assert cache.status("cc" * 32) == "corrupt"
+        assert cache.status("dd" * 32) == "miss"
+        # status() inspects without evicting or quarantining anything.
+        assert stale.exists() and corrupt.exists()
+
+    def test_prune_sweeps_stale_corrupt_and_tmp(self, tmp_path, workload):
+        import os
+
+        cache = ResultCache(tmp_path)
+        grid = run_grid(workload[:20], total_nodes=256,
+                        configs=[SchedulerConfig("fcfs", "list")])
+        cache.put("aa" * 32, grid.cells["fcfs/list"])
+        stale = cache.path("bb" * 32)
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_text(
+            cache.path("aa" * 32).read_text(encoding="utf-8").replace(
+                f'"version": {CACHE_VERSION}', f'"version": {CACHE_VERSION + 1}'
+            ),
+            encoding="utf-8",
+        )
+        corrupt = cache.path("cc" * 32)
+        corrupt.parent.mkdir(parents=True, exist_ok=True)
+        corrupt.write_text("{not json", encoding="utf-8")
+        old_tmp = stale.parent / ".leftover.12345.tmp"
+        old_tmp.write_text("partial", encoding="utf-8")
+        ancient = 10_000.0
+        os.utime(old_tmp, (ancient, ancient))
+        fresh_tmp = stale.parent / ".inflight.12346.tmp"
+        fresh_tmp.write_text("partial", encoding="utf-8")
+
+        stats = cache.prune()
+        assert stats.stale_evicted == 1 and not stale.exists()
+        assert stats.quarantined == 1 and not corrupt.exists()
+        assert corrupt.with_suffix(".corrupt").exists()
+        assert stats.tmp_removed == 1 and not old_tmp.exists()
+        assert fresh_tmp.exists()  # an in-flight put must survive the sweep
+        assert stats.scanned >= 3
+        assert "stale" in stats.describe()
+        # The healthy entry is untouched and still serves.
+        assert cache.get("aa" * 32) is not None
 
     def test_corrupt_entry_quarantined_not_retried(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -48,14 +48,83 @@ class TestParse:
         bad_runtime = "1 10 -1 -1 16 -1 -1 16 7200 -1 0 42 7 -1 2 -1 -1 -1"
         bad_width = "2 10 5 3600 -1 -1 -1 -1 7200 -1 1 42 7 -1 2 -1 -1 -1"
         assert list(parse_swf([bad_runtime, bad_width])) == []
-        with pytest.raises(SWFParseError, match="unschedulable"):
+        with pytest.raises(SWFParseError, match="negative runtime"):
             list(parse_swf([bad_runtime], strict=True))
+        with pytest.raises(SWFParseError, match="processor count"):
+            list(parse_swf([bad_width], strict=True))
 
     def test_meta_preserved(self):
         (job,) = parse_swf([GOOD_LINE])
         assert job.meta["status"] == "1"
         assert job.meta["group_id"] == "7"
         assert job.meta["queue"] == "2"
+
+
+class TestParseReport:
+    BAD_RUNTIME = "7 10 -1 -1 16 -1 -1 16 7200 -1 0 42 7 -1 2 -1 -1 -1"
+    BAD_WIDTH = "8 10 5 3600 -1 -1 -1 -1 7200 -1 1 42 7 -1 2 -1 -1 -1"
+    NEG_SUBMIT = "9 -5 5 3600 16 -1 -1 16 7200 -1 1 42 7 -1 2 -1 -1 -1"
+    OUT_OF_ORDER = "10 3 5 3600 16 -1 -1 16 7200 -1 1 42 7 -1 2 -1 -1 -1"
+
+    def _report(self, lines):
+        from repro.workloads.swf import ParseReport
+
+        report = ParseReport()
+        jobs = list(parse_swf(lines, report=report))
+        return jobs, report
+
+    def test_clean_trace(self):
+        jobs, report = self._report(["; comment", "", GOOD_LINE])
+        assert len(jobs) == 1
+        assert report.total_lines == 1
+        assert report.parsed == 1
+        assert report.clean and report.dropped == 0
+        assert "nothing dropped" in report.describe()
+
+    def test_categories_counted_with_line_numbers(self):
+        lines = [
+            "; header",          # line 1: comment, not a data line
+            GOOD_LINE,           # line 2: fine
+            "1 2 3",             # line 3: torn
+            self.BAD_RUNTIME,    # line 4
+            self.BAD_WIDTH,      # line 5
+            self.NEG_SUBMIT,     # line 6
+            self.OUT_OF_ORDER,   # line 7: kept, but out of order vs line 2
+        ]
+        jobs, report = self._report(lines)
+        assert len(jobs) == 2  # GOOD_LINE + OUT_OF_ORDER both kept
+        assert report.total_lines == 6
+        assert report.parsed == 2
+        assert report.malformed == 2  # torn + negative submit
+        assert report.negative_runtime == 1
+        assert report.zero_width == 1
+        assert report.out_of_order_submit == 1
+        assert report.dropped == 4
+        assert not report.clean
+        assert report.examples["malformed"] == [3, 6]
+        assert report.examples["negative_runtime"] == [4]
+        assert report.examples["zero_width"] == [5]
+        assert report.examples["out_of_order_submit"] == [7]
+        text = report.describe()
+        assert "negative runtime" in text and "lines 4" in text
+
+    def test_example_lines_capped(self):
+        from repro.workloads.swf import ParseReport
+
+        torn = ["1 2 3"] * (ParseReport.MAX_EXAMPLES + 3)
+        _, report = self._report(torn)
+        assert report.malformed == len(torn)
+        assert len(report.examples["malformed"]) == ParseReport.MAX_EXAMPLES
+
+    def test_read_swf_accepts_report(self, tmp_path):
+        from repro.workloads.swf import ParseReport
+
+        path = tmp_path / "trace.swf"
+        path.write_text(GOOD_LINE + "\n" + "1 2 3\n")
+        report = ParseReport()
+        jobs = read_swf(path, report=report)
+        assert len(jobs) == 1
+        assert report.malformed == 1
 
 
 class TestRoundTrip:
@@ -144,9 +213,10 @@ class TestHeader:
 
         path = tmp_path / "trace.swf"
         path.write_text(self.HEADER + GOOD_LINE + "\n")
-        jobs, header = read_swf_with_header(path)
+        jobs, header, report = read_swf_with_header(path)
         assert len(jobs) == 1
         assert header.max_nodes == 430
+        assert report.parsed == 1 and report.clean
 
     def test_duplicate_keys_first_wins(self):
         from repro.workloads.swf import parse_swf_header
