@@ -18,8 +18,15 @@ import random
 import time
 from pathlib import Path
 
+from repro.core import vector
+from repro.core.job import Job
 from repro.core.profile import AvailabilityProfile
+from repro.core.schedule import ScheduledJob
 from repro.core.state import SchedulingState
+from repro.metrics.objectives import (
+    average_response_time,
+    average_weighted_response_time,
+)
 
 
 def build_profile(n_reservations: int, total_nodes: int = 256, seed: int = 0):
@@ -201,6 +208,138 @@ def test_incremental_beats_rebuild():
     )
 
 
+# -- vectorised kernels (backend="numpy") ----------------------------------------
+#
+# The numpy backend's committed wins and non-wins, measured honestly:
+#
+# * metric accumulation (ResultColumns + np.add.accumulate reductions) beats
+#   the scalar objective loops by well over an order of magnitude at grid
+#   scale — the acceptance bar below asserts >= 5x with a wide margin;
+# * the dense 2-D first-fit kernel answers a whole batch in one shot and is
+#   bit-identical, but the block-max-indexed scalar scan *wins* at
+#   simulation-sized profiles (tens to hundreds of segments) — the same
+#   NumPy-per-call-overhead finding recorded for PR 4, now extended to the
+#   batched form.  Its timing is tracked so either kernel regressing is
+#   caught; the simulator's per-decision scans stay scalar (see the
+#   decision record in docs/architecture.md).
+
+_METRIC_N = 100_000
+
+
+def _metric_fixture(n: int = _METRIC_N, seed: int = 5) -> list[ScheduledJob]:
+    """A synthetic finished schedule, large enough to time the reductions."""
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        submit = rng.uniform(0.0, 1e6)
+        start = submit + rng.uniform(0.0, 1e4)
+        runtime = rng.uniform(10.0, 1e4)
+        items.append(
+            ScheduledJob(
+                job=Job(
+                    job_id=i,
+                    submit_time=submit,
+                    nodes=rng.randint(1, 64),
+                    runtime=runtime,
+                ),
+                start_time=start,
+                end_time=start + runtime,
+            )
+        )
+    return items
+
+
+def _bench_jobs(n: int = 1000, seed: int = 42, total_nodes: int = 256) -> list[Job]:
+    """Deterministic stream with enough backlog to exercise the event loop."""
+    rng = random.Random(seed)
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += rng.uniform(0.0, 20.0)
+        runtime = rng.uniform(1.0, 3000.0)
+        jobs.append(
+            Job(
+                job_id=i,
+                submit_time=t,
+                nodes=rng.randint(1, total_nodes),
+                runtime=runtime,
+                estimate=runtime * rng.uniform(1.0, 4.0),
+            )
+        )
+    return jobs
+
+
+def test_metric_kernels_beat_scalar_5x():
+    """Acceptance bar: the columnar metric kernels are >= 5x the scalar
+    loops (and bit-identical).  Measured ~20-40x; 5x leaves CI headroom."""
+    items = _metric_fixture()
+    columns = vector.ResultColumns.from_schedule(items)
+
+    def best_of(fn, rounds=5):
+        fn()
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    assert vector.average_response_time_columns(columns) == (
+        average_response_time(items)
+    )
+    assert vector.average_weighted_response_time_columns(columns) == (
+        average_weighted_response_time(items)
+    )
+    scalar_art = best_of(lambda: average_response_time(items))
+    vector_art = best_of(lambda: vector.average_response_time_columns(columns))
+    scalar_awrt = best_of(lambda: average_weighted_response_time(items))
+    vector_awrt = best_of(
+        lambda: vector.average_weighted_response_time_columns(columns)
+    )
+    art_x = scalar_art / vector_art
+    awrt_x = scalar_awrt / vector_awrt
+    print(f"\nART {art_x:.1f}x  AWRT {awrt_x:.1f}x (vector vs scalar, n={len(items)})")
+    assert art_x >= 5.0, f"ART kernel only {art_x:.1f}x the scalar loop"
+    assert awrt_x >= 5.0, f"AWRT kernel only {awrt_x:.1f}x the scalar loop"
+
+
+def test_vector_first_fit_batch(benchmark):
+    """The 2-D numpy first-fit kernel: timed, and pinned to the oracle."""
+    profile = build_profile(300)
+    rng = random.Random(1)
+    requests = [
+        (rng.randint(1, 256), rng.uniform(10.0, 5000.0)) for _ in range(500)
+    ]
+    starts = benchmark(vector.earliest_start_batch, profile, requests)
+    assert starts == profile.earliest_start_batch(requests)
+
+
+def test_backend_end_to_end(benchmark):
+    """Whole-simulation wall clock on the numpy backend, pinned bit-identical
+    to the python oracle."""
+    from repro.core.machine import Machine
+    from repro.core.simulator import SimulationConfig, Simulator
+    from repro.schedulers.registry import build_scheduler, registered_configurations
+
+    jobs = _bench_jobs()
+    config = next(
+        c for c in registered_configurations() if c.key == "fcfs/easy"
+    )
+
+    def run(backend):
+        return Simulator(
+            Machine(256),
+            build_scheduler(config, 256),
+            SimulationConfig(backend=backend),
+        ).run(jobs)
+
+    fast = benchmark(run, "numpy")
+    oracle = run("python")
+    assert [
+        (i.job.job_id, i.start_time, i.end_time) for i in fast.schedule
+    ] == [(i.job.job_id, i.start_time, i.end_time) for i in oracle.schedule]
+
+
 # -- script mode: JSON baseline for the CI perf-smoke gate -----------------------
 
 
@@ -239,6 +378,31 @@ def collect_measurements(rounds: int = 5) -> dict[str, float]:
                 after=churn.uniform(0.0, 1e5),
             )
 
+    items = _metric_fixture()
+    columns = vector.ResultColumns.from_schedule(items)
+    jobs = _bench_jobs()
+
+    def end_to_end(backend):
+        from repro.core.machine import Machine
+        from repro.core.simulator import SimulationConfig, Simulator
+        from repro.schedulers.registry import (
+            build_scheduler,
+            registered_configurations,
+        )
+
+        config = next(
+            c for c in registered_configurations() if c.key == "fcfs/easy"
+        )
+        return lambda: Simulator(
+            Machine(256),
+            build_scheduler(config, 256),
+            SimulationConfig(backend=backend),
+        ).run(jobs)
+
+    scalar_awrt = _best_of(lambda: average_weighted_response_time(items), rounds)
+    vector_awrt = _best_of(
+        lambda: vector.average_weighted_response_time_columns(columns), rounds
+    )
     return {
         "earliest_start_500_queries": _best_of(scalar_queries, rounds),
         "earliest_start_batch_500": _best_of(
@@ -248,6 +412,18 @@ def collect_measurements(rounds: int = 5) -> dict[str, float]:
         "incremental_state_replay": _best_of(
             lambda: _replay_incremental(trace), rounds
         ),
+        # PR 6: the numpy backend's kernels.  The two *_100k timings are the
+        # columnar AWRT reduction vs the scalar objective loop on the same
+        # 100k-item schedule; their ratio is gated >= 10x (see the
+        # `_reduction_x` rule in check_regression.py — measured ~35x).
+        "metric_scalar_awrt_100k": scalar_awrt,
+        "metric_vector_awrt_100k": vector_awrt,
+        "metric_kernel_reduction_x": scalar_awrt / vector_awrt,
+        "vector_first_fit_batch_500": _best_of(
+            lambda: vector.earliest_start_batch(profile, requests), rounds
+        ),
+        "simulate_easy_1k_python": _best_of(end_to_end("python"), rounds),
+        "simulate_easy_1k_numpy": _best_of(end_to_end("numpy"), rounds),
     }
 
 
@@ -263,8 +439,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     measurements = collect_measurements(rounds=args.rounds)
-    for name, seconds in measurements.items():
-        print(f"{name}: {seconds * 1e3:.3f} ms")
+    for name, value in measurements.items():
+        if name.endswith("_x"):
+            print(f"{name}: {value:.1f}x")
+        else:
+            print(f"{name}: {value * 1e3:.3f} ms")
     if args.bench_json is not None:
         args.bench_json.write_text(
             json.dumps({"suite": "profile", "seconds": measurements}, indent=2)

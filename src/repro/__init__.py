@@ -18,24 +18,41 @@ The package provides, bottom-up:
 
 Quickstart::
 
-    from repro import simulate, FCFSScheduler
+    from repro import SimulationConfig, simulate, FCFSScheduler
     from repro.workloads import ctc_like_workload
+    from repro.workloads.transforms import cap_nodes
     from repro.metrics import average_response_time
 
-    jobs = ctc_like_workload(n_jobs=1000, seed=42)
-    result = simulate(jobs, FCFSScheduler.with_easy(), total_nodes=256)
+    jobs = cap_nodes(ctc_like_workload(n_jobs=1000, seed=42), 256)
+    # backend="auto" (the default) picks the numpy-vectorised kernels when
+    # numpy is importable; results are bit-identical to backend="python".
+    config = SimulationConfig(backend="auto")
+    result = simulate(jobs, FCFSScheduler.with_easy(), total_nodes=256,
+                      config=config)
     print(average_response_time(result.schedule))
+
+Fault-injection inputs bundle into a ``ScenarioInputs``::
+
+    from repro import ScenarioInputs, Simulator, Machine
+
+    scenario = ScenarioInputs(cancellations=[...], failures=trace,
+                              recovery="resubmit")
+    Simulator(Machine(256), scheduler, config).run(jobs, scenario=scenario)
 """
 
 from repro.core import (
     AvailabilityProfile,
     Job,
     Machine,
+    ScenarioInputs,
     Schedule,
     ScheduledJob,
+    SimulationConfig,
     SimulationResult,
     Simulator,
     ValidityError,
+    available_backends,
+    resolve_backend,
 )
 from repro.core.simulator import simulate
 from repro.schedulers import (
@@ -59,17 +76,21 @@ __all__ = [
     "Job",
     "Machine",
     "OrderedQueueScheduler",
+    "ScenarioInputs",
     "Schedule",
     "ScheduledJob",
     "SchedulerConfig",
+    "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "ValidityError",
     "__version__",
+    "available_backends",
     "build_scheduler",
     "paper_configurations",
     "register_discipline",
     "register_row",
     "registered_configurations",
+    "resolve_backend",
     "simulate",
 ]

@@ -23,8 +23,14 @@ from repro.core.machine import Machine
 from repro.core.schedule import Schedule, ScheduledJob, ValidityError
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.profile import AvailabilityProfile
-from repro.core.simulator import Simulator, SimulationResult
+from repro.core.simulator import (
+    ScenarioInputs,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+)
 from repro.core.state import SchedulingState, StateDivergenceError
+from repro.core.vector import available_backends, resolve_backend
 
 __all__ = [
     "AvailabilityProfile",
@@ -34,11 +40,15 @@ __all__ = [
     "Job",
     "JobState",
     "Machine",
+    "ScenarioInputs",
     "Schedule",
     "ScheduledJob",
     "SchedulingState",
+    "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "StateDivergenceError",
     "ValidityError",
+    "available_backends",
+    "resolve_backend",
 ]

@@ -60,13 +60,22 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    ``start_sequence`` offsets the insertion counter: the numpy backend
+    keeps the N original submissions *outside* the heap (pre-sorted
+    arrival arrays merged by :class:`repro.core.vector.MergedEventFeed`)
+    and reserves the virtual sequences ``0..N-1`` for them, so every
+    event actually pushed here — cancellations, completions, rerun
+    submissions — orders after a same-time, same-kind arrival exactly as
+    it would have in the oracle's all-heap ordering.
+    """
 
     __slots__ = ("_heap", "_sequence")
 
-    def __init__(self) -> None:
+    def __init__(self, start_sequence: int = 0) -> None:
         self._heap: list[Event] = []
-        self._sequence = 0
+        self._sequence = start_sequence
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event and return it."""
@@ -82,6 +91,20 @@ class EventQueue:
     def peek(self) -> Event:
         """Return the earliest event without removing it."""
         return self._heap[0]
+
+    def peek_time(self) -> float:
+        """Time of the earliest event.  Raises ``IndexError`` if empty."""
+        return self._heap[0].time
+
+    def pop_next(self) -> tuple[EventKind, Any]:
+        """Remove the earliest event, returning its ``(kind, payload)``.
+
+        The simulator's dispatch interface, shared with
+        :class:`repro.core.vector.MergedEventFeed` so both backends drive
+        one event loop.
+        """
+        event = heapq.heappop(self._heap)
+        return event.kind, event.payload
 
     def __len__(self) -> int:
         return len(self._heap)

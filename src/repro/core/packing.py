@@ -108,6 +108,7 @@ class PackedJobs:
         "weight",
         "has_weight",
         "metas",
+        "_views",
     )
 
     def __init__(
@@ -137,6 +138,7 @@ class PackedJobs:
         self.weight = weight
         self.has_weight = has_weight
         self.metas = metas
+        self._views: dict[str, Any] | None = None
 
     def __len__(self) -> int:
         return len(self.job_ids)
@@ -180,16 +182,22 @@ class PackedJobs:
 
         Returns ``{"job_ids": int64[:], "submit": float64[:], ...}``
         backed by the packed buffers — no copies, mutations are visible
-        both ways.  Raises :class:`RuntimeError` when NumPy is not
-        importable, so the core stays importable without it.
+        both ways.  The view objects are materialised once per instance
+        and cached (repeated kernel calls pay one dict copy, not nine
+        ``frombuffer`` constructions); the returned dict itself is a fresh
+        copy each call, so callers may add or drop keys freely.  Raises
+        :class:`RuntimeError` when NumPy is not importable, so the core
+        stays importable without it.
         """
+        if self._views is not None:
+            return dict(self._views)
         if not numpy_available():
             raise RuntimeError(
                 "PackedJobs.numpy_views requires numpy, which is not installed"
             )
         import numpy as np
 
-        return {
+        self._views = {
             "job_ids": np.frombuffer(self.job_ids, dtype=np.int64),
             "submit": np.frombuffer(self.submit, dtype=np.float64),
             "nodes": np.frombuffer(self.nodes, dtype=np.int64),
@@ -200,6 +208,7 @@ class PackedJobs:
             "weight": np.frombuffer(self.weight, dtype=np.float64),
             "has_weight": np.frombuffer(self.has_weight, dtype=np.uint8),
         }
+        return dict(self._views)
 
     def nbytes(self) -> int:
         """Total size of the column buffers in bytes (excludes metas)."""

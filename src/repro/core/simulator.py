@@ -38,15 +38,18 @@ so backfilling disciplines plan around it like any other commitment.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from repro.core import vector
 from repro.core.events import EventKind, EventQueue
 from repro.core.job import Job, validate_stream
 from repro.core.machine import Machine
 from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.scheduler import RunningJob, Scheduler, SchedulerContext
 from repro.core.state import SchedulingState, verify_every_from_env
+from repro.core.vector import resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (failures imports core)
     from repro.failures.recovery import RecoveryPolicy
@@ -65,6 +68,52 @@ class Cancellation:
 
     time: float
     job_id: int
+
+
+#: Sentinel distinguishing "keyword not passed" from every real value in the
+#: deprecated keyword shims below.
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """How a :class:`Simulator` runs — everything that is not an input.
+
+    Collapses the former keyword tail of ``Simulator(...)`` into one
+    picklable bundle (the old keywords survive as deprecated shims).  The
+    fields change *how* a result is computed, never *what* it is: every
+    backend/state combination is bit-identical (the equivalence suites'
+    contract), which is why none of them enters a cache fingerprint.
+
+    ``backend`` selects the simulation kernels: ``"python"`` (the oracle),
+    ``"numpy"`` (the vectorised fast path of :mod:`repro.core.vector`),
+    ``"auto"`` (numpy when importable, else python) or ``None`` (the
+    default — consult the ``REPRO_BACKEND`` environment variable, then
+    auto).  The remaining fields keep their historical meanings (see the
+    :class:`Simulator` docstring).
+    """
+
+    backend: str | None = None
+    cancel_over_limit: bool = False
+    collect_trace: bool = False
+    incremental_state: bool = True
+    verify_state: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioInputs:
+    """Fault-injection inputs of one run, bundled.
+
+    Collapses the former keyword tail of :meth:`Simulator.run` —
+    ``cancellations`` (user withdrawals), ``failures`` (a
+    :class:`~repro.failures.trace.FailureTrace`) and ``recovery`` (policy
+    object or spec string) — into one object that can be built once and
+    reused across runs, regimes and backends.
+    """
+
+    cancellations: Sequence[Cancellation] = ()
+    failures: "FailureTrace | None" = None
+    recovery: "RecoveryPolicy | str | None" = None
 
 
 @dataclass(slots=True)
@@ -107,6 +156,13 @@ class SimulationResult:
     #: Total seconds failure-killed jobs spent between the kill and the
     #: start of their recovery attempt (0 for abandoned jobs).
     requeue_delay: float = 0.0
+    #: Columnar numeric view of ``schedule`` (submit/start/end/area arrays
+    #: in completion order), accumulated by the numpy backend so objectives
+    #: reduce vectorised; ``None`` under the python backend.  Excluded from
+    #: equality — the backends' results compare equal without it.
+    columns: "vector.ResultColumns | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def job_count(self) -> int:
@@ -149,70 +205,171 @@ class Simulator:
         The target machine.  A fresh simulation resets it.
     scheduler:
         Any :class:`~repro.core.scheduler.Scheduler`.
-    cancel_over_limit:
-        If True, a job whose actual runtime exceeds its estimate is killed
-        at the estimate (recorded with ``cancelled=True``).
-    collect_trace:
-        If True, record queue length and free nodes at every decision point
-        (for the analysis plots); adds memory overhead on large runs.
-    incremental_state:
-        If True (the default), maintain a
-        :class:`~repro.core.state.SchedulingState` across events and hand
-        schedulers cheap snapshots through ``ctx.profile``.  ``False``
-        selects the reference rebuild-per-decision path — same schedules,
-        bit for bit (the equivalence test's oracle).
-    verify_state:
-        Cross-check the incremental state against a fresh rebuild every
-        N-th snapshot (0 disables).  ``None`` (the default) reads
-        ``REPRO_VERIFY_STATE`` from the environment.
+    config:
+        A :class:`SimulationConfig`; ``None`` means all defaults.  Its
+        fields keep their historical meanings:
+
+        * ``backend`` — simulation kernels (``"python"`` oracle /
+          ``"numpy"`` fast path / ``"auto"``; ``None`` consults
+          ``REPRO_BACKEND`` then auto-selects).  Resolved once at
+          construction, exposed as :attr:`backend`; both backends are
+          bit-identical (``tests/test_vector_equivalence.py``).
+        * ``cancel_over_limit`` — kill jobs at their estimate when the
+          actual runtime exceeds it (recorded ``cancelled=True``).
+        * ``collect_trace`` — record queue length and free nodes at every
+          decision point (for the analysis plots); adds memory overhead.
+        * ``incremental_state`` — maintain a
+          :class:`~repro.core.state.SchedulingState` across events
+          (default); ``False`` selects the reference rebuild-per-decision
+          path — same schedules, bit for bit (the equivalence oracle).
+        * ``verify_state`` — cross-check the incremental state against a
+          fresh rebuild every N-th snapshot (0 disables; ``None`` reads
+          ``REPRO_VERIFY_STATE``).
+    backend:
+        Convenience override for ``config.backend`` (the one config field
+        callers flip routinely); not deprecated.
+    cancel_over_limit, collect_trace, incremental_state, verify_state:
+        Deprecated keyword shims folding into ``config``; passing any of
+        them emits a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         machine: Machine,
         scheduler: Scheduler,
+        config: SimulationConfig | None = None,
         *,
-        cancel_over_limit: bool = False,
-        collect_trace: bool = False,
-        incremental_state: bool = True,
-        verify_state: int | None = None,
+        backend: str | None = None,
+        cancel_over_limit: bool = _UNSET,
+        collect_trace: bool = _UNSET,
+        incremental_state: bool = _UNSET,
+        verify_state: int | None = _UNSET,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("cancel_over_limit", cancel_over_limit),
+                ("collect_trace", collect_trace),
+                ("incremental_state", incremental_state),
+                ("verify_state", verify_state),
+            )
+            if value is not _UNSET
+        }
+        if config is None:
+            config = SimulationConfig()
+        if legacy:
+            warnings.warn(
+                f"Simulator keyword(s) {', '.join(sorted(legacy))} are "
+                "deprecated; pass SimulationConfig(...) as the config "
+                "argument instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config, **legacy)
+        if backend is not None:
+            config = replace(config, backend=backend)
         self.machine = machine
         self.scheduler = scheduler
-        self.cancel_over_limit = cancel_over_limit
-        self.collect_trace = collect_trace
-        self.incremental_state = incremental_state
-        self.verify_state = verify_state
-        self.trace = _Trace() if collect_trace else None
+        self.config = config
+        #: The concrete backend this simulator runs on ("python"/"numpy"),
+        #: resolved once (environment consulted, auto-fallback applied).
+        self.backend = resolve_backend(config.backend)
+        self.trace = _Trace() if config.collect_trace else None
+
+    # Read-only views of the config fields, for callers that inspected the
+    # former instance attributes.
+    @property
+    def cancel_over_limit(self) -> bool:
+        return self.config.cancel_over_limit
+
+    @property
+    def collect_trace(self) -> bool:
+        return self.config.collect_trace
+
+    @property
+    def incremental_state(self) -> bool:
+        return self.config.incremental_state
+
+    @property
+    def verify_state(self) -> int | None:
+        return self.config.verify_state
 
     def run(
         self,
         jobs: Iterable[Job],
-        cancellations: Sequence[Cancellation] = (),
+        cancellations: Sequence[Cancellation] = _UNSET,
         *,
-        failures: "FailureTrace | None" = None,
-        recovery: "RecoveryPolicy | str | None" = None,
+        failures: "FailureTrace | None" = _UNSET,
+        recovery: "RecoveryPolicy | str | None" = _UNSET,
+        scenario: ScenarioInputs | None = None,
     ) -> SimulationResult:
         """Simulate the whole stream and return the final schedule.
 
-        ``cancellations`` injects user withdrawals; each must reference a
-        job in the stream and fire no earlier than its submission.
+        ``scenario`` bundles the fault-injection inputs
+        (:class:`ScenarioInputs`):
 
-        ``failures`` injects a node failure/repair trace
-        (:class:`~repro.failures.trace.FailureTrace`); ``recovery`` decides
-        what happens to jobs killed by a failure — a
-        :class:`~repro.failures.recovery.RecoveryPolicy`, a spec string
-        such as ``"abandon"`` or ``"checkpoint:interval=3600,overhead=60"``,
-        or ``None`` for the default full resubmission.
+        * ``cancellations`` injects user withdrawals; each must reference
+          a job in the stream and fire no earlier than its submission.
+        * ``failures`` injects a node failure/repair trace
+          (:class:`~repro.failures.trace.FailureTrace`); ``recovery``
+          decides what happens to jobs killed by a failure — a
+          :class:`~repro.failures.recovery.RecoveryPolicy`, a spec string
+          such as ``"abandon"`` or
+          ``"checkpoint:interval=3600,overhead=60"``, or ``None`` for the
+          default full resubmission.
+
+        The loose ``cancellations``/``failures``/``recovery`` keywords are
+        deprecated shims for the same inputs.
         """
-        stream: Sequence[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        legacy = {
+            name: value
+            for name, value in (
+                ("cancellations", cancellations),
+                ("failures", failures),
+                ("recovery", recovery),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                f"Simulator.run keyword(s) {', '.join(sorted(legacy))} are "
+                "deprecated; pass ScenarioInputs(...) as scenario= instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if scenario is not None:
+                raise TypeError(
+                    "pass either scenario=ScenarioInputs(...) or the "
+                    "deprecated cancellations/failures/recovery keywords, "
+                    "not both"
+                )
+            scenario = ScenarioInputs(**legacy)
+        elif scenario is None:
+            scenario = ScenarioInputs()
+        cancellations = scenario.cancellations
+        failures = scenario.failures
+        recovery = scenario.recovery
+
+        backend = self.backend
+        stream: Sequence[Job]
+        if backend == "numpy":
+            # Pre-sorted arrival arrays: one lexsort instead of N heap
+            # pushes; duplicate ids fall back to the scalar validator for
+            # the canonical error.
+            stream, arrival_times, ids_unique = vector.sorted_stream(jobs)
+        else:
+            stream = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         if not stream:
             raise ValueError(
                 "cannot simulate an empty workload: no jobs, no events, no "
                 "schedule — use SimulationResult.empty() if a degenerate "
                 "stream is expected"
             )
-        validate_stream(list(stream))
+        if backend == "numpy":
+            if not ids_unique:
+                validate_stream(list(stream))
+        else:
+            validate_stream(list(stream))
         by_id = {job.job_id: job for job in stream}
         for job in stream:
             if not self.machine.can_ever_fit(job):
@@ -242,18 +399,34 @@ class Simulator:
 
         self.machine.reset()
         self.scheduler.reset()
-        events = EventQueue()
+        # The numpy backend keeps the N original submissions out of the
+        # heap entirely: the sorted arrival arrays hold the virtual
+        # sequences 0..N-1 and the queue counter starts above them, so the
+        # merged (time, kind, sequence) order equals the oracle's heap
+        # order event for event.
+        events = EventQueue(
+            start_sequence=len(stream) if backend == "numpy" else 0
+        )
+        feed: "EventQueue | vector.MergedEventFeed"
+        columns: "vector.ResultColumns | None" = None
+        if backend == "numpy":
+            feed = vector.MergedEventFeed(events, stream, arrival_times)
+            columns = vector.ResultColumns()
+        else:
+            feed = events
         pending_timers: set[float] = set()
         running: dict[int, RunningJob] = {}
         state: SchedulingState | None = None
-        if self.incremental_state:
+        if self.config.incremental_state:
             verify_every = (
-                self.verify_state
-                if self.verify_state is not None
+                self.config.verify_state
+                if self.config.verify_state is not None
                 else verify_every_from_env()
             )
             state = SchedulingState(
-                self.machine.total_nodes, verify_every=verify_every
+                self.machine.total_nodes,
+                verify_every=verify_every,
+                backend=backend,
             )
         active_outages: list[tuple[float, int]] = []
         ctx = SchedulerContext(
@@ -265,8 +438,9 @@ class Simulator:
         max_queue = 0
         now = 0.0
 
-        for job in stream:
-            events.push(job.submit_time, EventKind.SUBMISSION, job)
+        if backend != "numpy":
+            for job in stream:
+                events.push(job.submit_time, EventKind.SUBMISSION, job)
         for cancel in cancellations:
             events.push(cancel.time, EventKind.CANCELLATION, cancel.job_id)
         if failures is not None:
@@ -294,15 +468,15 @@ class Simulator:
         wasted_node_seconds = 0.0
         requeue_delay = 0.0
 
-        while events:
-            now = events.peek().time
+        while feed:
+            now = feed.peek_time()
             ctx.now = now
             # Batch every event at this instant; completions first by the
             # event-kind priority.
-            while events and events.peek().time == now:
-                event = events.pop()
-                if event.kind is EventKind.COMPLETION:
-                    item: ScheduledJob = event.payload
+            while feed and feed.peek_time() == now:
+                kind, payload = feed.pop_next()
+                if kind is EventKind.COMPLETION:
+                    item: ScheduledJob = payload
                     run_entry = running.get(item.job.job_id)
                     if run_entry is None or run_entry.start_time != item.start_time:
                         # Stale completion of a killed attempt.  Rerun
@@ -316,15 +490,17 @@ class Simulator:
                         state.on_release(item.job.job_id)
                     finished_ids.add(item.job.job_id)
                     completed.append(item)
+                    if columns is not None:
+                        columns.append(item)
                     self.scheduler.on_complete(item.job, ctx)
-                elif event.kind is EventKind.NODE_UP:
-                    fail = event.payload
+                elif kind is EventKind.NODE_UP:
+                    fail = payload
                     self.machine.repair_nodes(fail.nodes, now)
                     if state is not None:
                         state.on_capacity_up(fail.up_time, fail.nodes)
                     active_outages.remove((fail.up_time, fail.nodes))
-                elif event.kind is EventKind.NODE_DOWN:
-                    fail = event.payload
+                elif kind is EventKind.NODE_DOWN:
+                    fail = payload
                     needed = fail.nodes - self.machine.free_nodes
                     if needed > 0:
                         # Free nodes do not cover the failure: kill running
@@ -358,13 +534,14 @@ class Simulator:
                                 recovery_state=recovery_state,
                                 killed_at=killed_at,
                                 resubmit_pending=resubmit_pending,
+                                columns=columns,
                             )
                     self.machine.fail_nodes(fail.nodes, now)
                     if state is not None:
                         state.on_capacity_down(fail.up_time, fail.nodes)
                     active_outages.append((fail.up_time, fail.nodes))
-                elif event.kind is EventKind.SUBMISSION:
-                    job = event.payload
+                elif kind is EventKind.SUBMISSION:
+                    job = payload
                     if job.job_id in resubmit_pending:
                         resubmit_pending.discard(job.job_id)
                         if job.job_id in resubmit_cancelled:
@@ -377,8 +554,8 @@ class Simulator:
                     if state is not None:
                         state.note_enqueued(job.nodes)
                     self.scheduler.on_submit(job, ctx)
-                elif event.kind is EventKind.CANCELLATION:
-                    job_id: int = event.payload
+                elif kind is EventKind.CANCELLATION:
+                    job_id: int = payload
                     job = current.get(job_id, by_id[job_id])
                     if job_id in running:
                         # Kill mid-run: partial execution enters the record.
@@ -389,14 +566,15 @@ class Simulator:
                             state.on_release(job_id)
                         finished_ids.add(job_id)
                         killed_running.append(job_id)
-                        completed.append(
-                            ScheduledJob(
-                                job=job,
-                                start_time=start_time,
-                                end_time=now,
-                                cancelled=True,
-                            )
+                        item = ScheduledJob(
+                            job=job,
+                            start_time=start_time,
+                            end_time=now,
+                            cancelled=True,
                         )
+                        completed.append(item)
+                        if columns is not None:
+                            columns.append(item)
                         self.scheduler.on_complete(job, ctx)
                     elif job_id in resubmit_pending:
                         # Killed by a failure, recovery attempt not yet
@@ -414,8 +592,9 @@ class Simulator:
                     # else: already finished — the realistic no-op race.
                 else:
                     # TIMER events need no state change; they exist to
-                    # create a decision point.
-                    pending_timers.discard(event.time)
+                    # create a decision point.  Inside this batch the
+                    # event's time is ``now`` by construction.
+                    pending_timers.discard(now)
 
             decision_points += 1
             t_select = time.perf_counter()
@@ -497,6 +676,7 @@ class Simulator:
             ),
             wasted_node_seconds=wasted_node_seconds,
             requeue_delay=requeue_delay,
+            columns=columns,
         )
 
     def _kill_for_failure(
@@ -518,6 +698,7 @@ class Simulator:
         recovery_state: dict[int, tuple[float, float]],
         killed_at: dict[int, float],
         resubmit_pending: set[int],
+        columns: "vector.ResultColumns | None",
     ) -> float:
         """Kill ``victim`` for a node failure; returns wasted node-seconds.
 
@@ -555,6 +736,8 @@ class Simulator:
             # attempts, now useless) is wasted.
             finished_ids.add(job_id)
             completed.append(record)
+            if columns is not None:
+                columns.append(record)
             waste = (executed + saved) * nodes
         else:
             if outcome.resubmit_at < now:
@@ -581,12 +764,33 @@ def simulate(
     scheduler: Scheduler,
     total_nodes: int = Machine.PAPER_BATCH_NODES,
     *,
-    cancellations: Sequence[Cancellation] = (),
-    failures: "FailureTrace | None" = None,
-    recovery: "RecoveryPolicy | str | None" = None,
+    config: SimulationConfig | None = None,
+    scenario: ScenarioInputs | None = None,
+    backend: str | None = None,
+    cancellations: Sequence[Cancellation] = _UNSET,
+    failures: "FailureTrace | None" = _UNSET,
+    recovery: "RecoveryPolicy | str | None" = _UNSET,
     **kwargs: object,
 ) -> SimulationResult:
-    """One-call convenience wrapper: build a machine, run, return the result."""
-    return Simulator(Machine(total_nodes), scheduler, **kwargs).run(  # type: ignore[arg-type]
-        jobs, cancellations=cancellations, failures=failures, recovery=recovery
+    """One-call convenience wrapper: build a machine, run, return the result.
+
+    ``config``/``scenario``/``backend`` are the current surface; the loose
+    ``cancellations``/``failures``/``recovery`` keywords (and any legacy
+    ``Simulator`` keyword in ``**kwargs``) pass through to the deprecated
+    shims, which emit the ``DeprecationWarning``.
+    """
+    simulator = Simulator(
+        Machine(total_nodes), scheduler, config, backend=backend, **kwargs  # type: ignore[arg-type]
     )
+    legacy = {
+        name: value
+        for name, value in (
+            ("cancellations", cancellations),
+            ("failures", failures),
+            ("recovery", recovery),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        return simulator.run(jobs, scenario=scenario, **legacy)  # type: ignore[arg-type]
+    return simulator.run(jobs, scenario=scenario)

@@ -87,6 +87,10 @@ class SchedulingState:
     verify_every:
         Cross-check every N-th snapshot against a ``from_running`` rebuild
         (0 disables).
+    backend:
+        Resolved kernel backend (``"python"``/``"numpy"``) for batch
+        queries; threaded into
+        :meth:`~repro.core.profile.AvailabilityProfile.earliest_start_batch`.
 
     ``deltas``, ``snapshots`` and ``verifications`` count the respective
     operations for the cost benches (Tables 7–8 instrumentation).
@@ -94,6 +98,7 @@ class SchedulingState:
 
     __slots__ = (
         "total_nodes",
+        "backend",
         "now",
         "profile",
         "_ends",
@@ -110,9 +115,15 @@ class SchedulingState:
     )
 
     def __init__(
-        self, total_nodes: int, *, origin: float = 0.0, verify_every: int = 0
+        self,
+        total_nodes: int,
+        *,
+        origin: float = 0.0,
+        verify_every: int = 0,
+        backend: str = "python",
     ) -> None:
         self.total_nodes = total_nodes
+        self.backend = backend
         self.now = origin
         #: The persistent profile; schedulers must never mutate it directly —
         #: they receive copy-on-write clones from :meth:`snapshot`.
@@ -280,9 +291,11 @@ class SchedulingState:
         their own snapshot's :meth:`~repro.core.profile.AvailabilityProfile.
         allocate` kernel instead — that pair shares the same pruned
         first-fit scan, so every profile consumer benefits from the
-        block-max index without further wiring.
+        block-max index without further wiring.  Under the numpy backend
+        the whole batch runs through the vectorised 2-D kernel
+        (:func:`repro.core.vector.earliest_start_batch`).
         """
-        return self.snapshot().earliest_start_batch(requests)
+        return self.snapshot().earliest_start_batch(requests, backend=self.backend)
 
     # -- verification -------------------------------------------------------------
 

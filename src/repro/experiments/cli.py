@@ -127,6 +127,13 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for parallel grid-cell fan-out (default 1)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default=None,
+        help="simulation kernel backend (default: $REPRO_BACKEND, else auto "
+        "— numpy when importable); results are bit-identical either way",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=Path(".repro-cache"),
@@ -256,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
                 use_workload_store=not args.no_workload_store,
                 journal_dir=args.journal_dir,
                 resume_run_id=args.resume,
+                backend=args.backend,
             )
         except RunInterrupted as exc:
             print(f"\ninterrupted by {exc.signal_name}: {exc}", file=sys.stderr)

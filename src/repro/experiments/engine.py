@@ -410,7 +410,10 @@ class RunStats:
 
 
 def _run_cell_task(
-    args: tuple[str, str, "tuple[Job, ...] | str", int, bool, float, object, str | None],
+    args: tuple[
+        str, str, "tuple[Job, ...] | str", int, bool, float, object, str | None,
+        str | None,
+    ],
 ) -> tuple[str, CellResult, float]:
     """Pool worker: simulate one cell, returning (key, result, wall-clock).
 
@@ -421,7 +424,10 @@ def _run_cell_task(
     workload digest, resolved against the process-global cache the pool
     initializer seeded — the zero-copy path.  ``failures`` travels as a
     pickled :class:`FailureTrace` (plain data) and ``recovery`` as a spec
-    string, so nothing unpicklable crosses the process boundary.
+    string, so nothing unpicklable crosses the process boundary.  The
+    trailing ``backend`` slot selects the simulation kernels in the worker
+    (cell results are bit-identical either way, so it never enters a
+    fingerprint).
     """
     (
         row,
@@ -432,6 +438,7 @@ def _run_cell_task(
         recompute_threshold,
         failures,
         recovery,
+        backend,
     ) = args
     if isinstance(jobs, str):
         jobs = resolve_worker_workload(jobs)
@@ -445,6 +452,7 @@ def _run_cell_task(
         recompute_threshold=recompute_threshold,
         failures=failures,  # type: ignore[arg-type]
         recovery=recovery,
+        backend=backend,
     )
     return config.key, cell, time.perf_counter() - t0
 
@@ -559,6 +567,12 @@ class ExperimentEngine:
         :class:`~repro.experiments.journal.RunInterrupted` is raised with
         the resumable run id.  Handlers are installed only in the main
         thread and always restored afterwards.
+    backend:
+        Simulation kernel backend for every cell (``"python"`` /
+        ``"numpy"`` / ``"auto"``; ``None`` consults ``REPRO_BACKEND``).
+        Bit-identical results either way, so the backend is deliberately
+        absent from cell fingerprints and run manifests — caches and
+        journals written under one backend resume cleanly under the other.
 
     ``stats`` holds the :class:`RunStats` of the most recent :meth:`run`.
     """
@@ -578,8 +592,10 @@ class ExperimentEngine:
         heartbeat_interval: float | None = 15.0,
         heartbeat_timeout: float | None = None,
         handle_signals: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else 1)
+        self.backend = backend
         self.cache = ResultCache(cache) if isinstance(cache, (str, Path)) else cache
         self.on_event = on_event
         self.use_workload_store = use_workload_store
@@ -1004,6 +1020,7 @@ class ExperimentEngine:
                 recompute_threshold=recompute_threshold,
                 failures=failures,
                 recovery=recovery,
+                backend=self.backend,
             )
             wall = time.perf_counter() - t0
             self._record(config.key, fp, cell, wall, grid, stats, results)
@@ -1066,6 +1083,7 @@ class ExperimentEngine:
                 recompute_threshold,
                 failures,
                 recovery,
+                self.backend,
             )
 
         def make_pool() -> ProcessPoolExecutor:

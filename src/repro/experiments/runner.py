@@ -17,11 +17,12 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.core import vector
 from repro.core.job import Job
 from repro.core.machine import Machine
 from repro.core.packing import PackedJobs, unpack_jobs
 from repro.core.scheduler import Scheduler, SchedulerContext
-from repro.core.simulator import Simulator
+from repro.core.simulator import ScenarioInputs, SimulationConfig, Simulator
 from repro.metrics.objectives import (
     average_response_time,
     average_weighted_response_time,
@@ -172,6 +173,7 @@ def simulate_cell(
     recompute_threshold: float = 2.0 / 3.0,
     failures: "FailureTrace | None" = None,
     recovery: str | None = None,
+    backend: str | None = None,
 ) -> CellResult:
     """Simulate one grid cell and measure the paper's metrics.
 
@@ -189,6 +191,13 @@ def simulate_cell(
     :mod:`repro.failures`); the resilience metrics of the result are then
     populated.  ``recovery`` must be a spec string here (not a policy
     object) so the cell stays picklable and cache-fingerprintable.
+
+    ``backend`` selects the simulation kernels (see
+    :func:`repro.core.vector.resolve_backend`); both backends produce
+    bit-identical cells, which is why the backend is absent from the cache
+    fingerprint.  Under the numpy backend the objective reduces over the
+    run's columnar buffers (:class:`repro.core.vector.ResultColumns`) with
+    the exact-summation kernels — same bits as the scalar loops.
     """
     if isinstance(jobs, PackedJobs):
         jobs = unpack_jobs(jobs)
@@ -198,14 +207,22 @@ def simulate_cell(
             recompute_threshold=recompute_threshold,
         )
     )
-    result = Simulator(Machine(total_nodes), scheduler).run(
-        jobs, failures=failures, recovery=recovery
-    )
-    objective = (
-        average_weighted_response_time(result.schedule)
-        if weighted
-        else average_response_time(result.schedule)
-    )
+    scenario = ScenarioInputs(failures=failures, recovery=recovery)
+    result = Simulator(
+        Machine(total_nodes), scheduler, SimulationConfig(backend=backend)
+    ).run(jobs, scenario=scenario)
+    if result.columns is not None:
+        objective = (
+            vector.average_weighted_response_time_columns(result.columns)
+            if weighted
+            else vector.average_response_time_columns(result.columns)
+        )
+    else:
+        objective = (
+            average_weighted_response_time(result.schedule)
+            if weighted
+            else average_response_time(result.schedule)
+        )
     return CellResult(
         config=config,
         objective=objective,
@@ -229,12 +246,14 @@ def run_grid(
     configs: Sequence[SchedulerConfig] | None = None,
     progress: ProgressFn | None = None,
     reference_key: str | None = None,
+    backend: str | None = None,
 ) -> GridResult:
     """Run every configuration over ``jobs`` and collect the paper's metrics.
 
     ``weighted`` selects both the objective (ART vs AWRT) and the ordering
     weight SMART/PSRS use internally — matching the paper, which tunes and
-    evaluates each regime separately.
+    evaluates each regime separately.  ``backend`` selects the simulation
+    kernels per cell (bit-identical either way).
 
     This is a thin serial wrapper over
     :class:`repro.experiments.engine.ExperimentEngine` (one worker, no
@@ -243,7 +262,7 @@ def run_grid(
     """
     from repro.experiments.engine import ExperimentEngine
 
-    return ExperimentEngine(workers=1).run(
+    return ExperimentEngine(workers=1, backend=backend).run(
         jobs,
         workload_name=workload_name,
         total_nodes=total_nodes,

@@ -1,0 +1,207 @@
+"""The ``SimulationConfig`` / ``ScenarioInputs`` API and its deprecated shims.
+
+PR 6 collapsed the keyword tails of ``Simulator(...)`` and
+``Simulator.run(...)`` into two frozen bundles.  This file pins the
+contract:
+
+* the old loose keywords still work, emit ``DeprecationWarning``, and
+  produce bit-identical results to the bundled form;
+* the new surface is exported from ``repro`` / ``repro.core``;
+* the cache identity is untouched — ``CACHE_VERSION`` holds and the
+  fingerprint algorithm reproduces digests committed before the redesign,
+  with the backend deliberately absent from a cell's identity (caches
+  written under one backend serve the other).
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.simulator import (
+    Cancellation,
+    ScenarioInputs,
+    SimulationConfig,
+    Simulator,
+    simulate,
+)
+from repro.schedulers.registry import build_scheduler, registered_configurations
+from tests.conftest import make_jobs
+
+NODES = 64
+
+
+def signature(result):
+    return [
+        (item.job.job_id, item.start_time, item.end_time, item.cancelled)
+        for item in result.schedule
+    ]
+
+
+def _scheduler():
+    config = next(iter(registered_configurations()))
+    return build_scheduler(config, NODES)
+
+
+def test_config_bundle_equals_legacy_keywords():
+    jobs = make_jobs(80, seed=17, max_nodes=NODES, mean_gap=40.0)
+    bundled = Simulator(
+        Machine(NODES),
+        _scheduler(),
+        SimulationConfig(cancel_over_limit=True, incremental_state=False),
+    ).run(jobs)
+    with pytest.deprecated_call():
+        legacy = Simulator(
+            Machine(NODES),
+            _scheduler(),
+            cancel_over_limit=True,
+            incremental_state=False,
+        ).run(jobs)
+    assert signature(legacy) == signature(bundled)
+
+
+def test_scenario_bundle_equals_legacy_keywords():
+    jobs = make_jobs(80, seed=19, max_nodes=NODES, mean_gap=40.0)
+    cancellations = [
+        Cancellation(time=job.submit_time + 60.0, job_id=job.job_id)
+        for job in jobs
+        if job.job_id % 6 == 0
+    ]
+    bundled = Simulator(Machine(NODES), _scheduler()).run(
+        jobs, scenario=ScenarioInputs(cancellations=cancellations)
+    )
+    with pytest.deprecated_call():
+        legacy = Simulator(Machine(NODES), _scheduler()).run(
+            jobs, cancellations=cancellations
+        )
+    assert signature(legacy) == signature(bundled)
+    assert legacy.cancelled_queued == bundled.cancelled_queued
+    assert legacy.killed_running == bundled.killed_running
+
+
+def test_scenario_and_legacy_keywords_conflict():
+    jobs = make_jobs(10, seed=2, max_nodes=NODES, mean_gap=40.0)
+    with pytest.raises(TypeError, match="not both"), pytest.deprecated_call():
+        Simulator(Machine(NODES), _scheduler()).run(
+            jobs, cancellations=[], scenario=ScenarioInputs()
+        )
+
+
+def test_new_surface_emits_no_deprecation_warnings():
+    jobs = make_jobs(30, seed=29, max_nodes=NODES, mean_gap=40.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        Simulator(
+            Machine(NODES), _scheduler(), SimulationConfig(backend="python")
+        ).run(jobs, scenario=ScenarioInputs())
+        # The backend= convenience keyword is first-class, not deprecated.
+        Simulator(Machine(NODES), _scheduler(), backend="python").run(jobs)
+        simulate(jobs, _scheduler(), NODES, config=SimulationConfig())
+
+
+def test_config_properties_reflect_bundle():
+    sim = Simulator(
+        Machine(NODES),
+        _scheduler(),
+        SimulationConfig(
+            cancel_over_limit=True,
+            collect_trace=True,
+            incremental_state=False,
+            verify_state=3,
+        ),
+    )
+    assert sim.cancel_over_limit is True
+    assert sim.collect_trace is True
+    assert sim.incremental_state is False
+    assert sim.verify_state == 3
+    assert sim.trace is not None
+    assert sim.backend in ("python", "numpy")
+
+
+def test_exports():
+    import repro
+    import repro.core
+
+    for module in (repro, repro.core):
+        assert module.SimulationConfig is SimulationConfig
+        assert module.ScenarioInputs is ScenarioInputs
+        assert "python" in module.available_backends()
+        assert module.resolve_backend("python") == "python"
+
+
+# -- cache identity stability -----------------------------------------------------
+
+
+def test_cache_version_holds():
+    from repro.experiments.engine import CACHE_VERSION
+
+    assert CACHE_VERSION == 3, (
+        "the backend API redesign must not invalidate existing caches; "
+        "if a true semantic change forced this bump, update this test "
+        "alongside a changelog entry explaining the invalidation"
+    )
+
+
+def test_fingerprints_stable_across_redesign():
+    """Digests computed before the config/backend redesign still come out
+    byte-identical — proof the new parameters never entered the hash."""
+    from repro.core.job import Job
+    from repro.experiments.engine import cell_fingerprint, fingerprint_jobs
+    from repro.schedulers.registry import SchedulerConfig
+
+    jobs = [
+        Job(job_id=1, submit_time=0.0, nodes=4, runtime=100.0, estimate=120.0, user=1),
+        Job(job_id=2, submit_time=10.5, nodes=8, runtime=50.0, user=2, weight=2.0),
+    ]
+    digest = fingerprint_jobs(jobs)
+    assert digest == (
+        "6c9d47a44eaa168a1d602a256cdd1e513bb2f5d9c5a508f78300f430e6f07d02"
+    )
+    assert cell_fingerprint(
+        digest, SchedulerConfig(row="fcfs", column="easy"),
+        total_nodes=64, weighted=False,
+    ) == "4d0de0306dcd45793e139b51887937a11702f6de7dffd89025eb340f4bec0319"
+    assert cell_fingerprint(
+        digest, SchedulerConfig(row="fcfs", column="easy"),
+        total_nodes=64, weighted=True, recompute_threshold=0.5,
+        failures_digest="abc", recovery="resubmit",
+    ) == "62d31ce53deb8542874cb8d27bbd2881747c97ed9524b81618f7dc62fc010baa"
+
+
+def test_cache_hits_across_backends(tmp_path):
+    """A cache populated under one backend serves the other verbatim —
+    the backend is not part of a cell's identity."""
+    from repro.experiments.engine import ExperimentEngine
+
+    jobs = make_jobs(60, seed=31, max_nodes=NODES, mean_gap=40.0)
+    first = ExperimentEngine(cache=tmp_path / "cache", backend="python")
+    grid_py = first.run(jobs, total_nodes=NODES)
+    assert first.stats.simulated == len(grid_py.cells)
+    second = ExperimentEngine(cache=tmp_path / "cache", backend="numpy")
+    grid_np = second.run(jobs, total_nodes=NODES)
+    assert second.stats.simulated == 0
+    assert second.stats.cache_hits == len(grid_np.cells)
+    assert grid_np.fingerprints == grid_py.fingerprints
+    assert {k: v.objective for k, v in grid_np.cells.items()} == {
+        k: v.objective for k, v in grid_py.cells.items()
+    }
+
+
+def test_packed_numpy_views_cached_per_instance():
+    import pickle
+
+    from repro.core.packing import pack_jobs
+
+    jobs = make_jobs(50, seed=37, max_nodes=NODES, mean_gap=40.0)
+    packed = pack_jobs(jobs)
+    first = packed.numpy_views()
+    second = packed.numpy_views()
+    assert first is not second  # callers get their own dict...
+    for name, view in first.items():
+        assert second[name] is view  # ...over the same cached view objects
+    # Views stay zero-copy: a write through the view lands in the column.
+    first["submit"][0] = 123.5
+    assert packed.submit[0] == 123.5
+    # The cache is per-instance state that never rides the pickle wire.
+    clone = pickle.loads(pickle.dumps(packed))
+    assert clone.numpy_views()["submit"][0] == 123.5
