@@ -303,6 +303,60 @@ def test_metric_kernels_beat_scalar_5x():
     assert awrt_x >= 5.0, f"AWRT kernel only {awrt_x:.1f}x the scalar loop"
 
 
+def _bench_spec():
+    """A representative multi-phase scenario spec (no closed-loop users:
+    FeedbackUsers *generates* the workload, it is not compile overhead)."""
+    from repro.scenarios import (
+        CancellationModel,
+        FailureModel,
+        LoadSurge,
+        RuntimeVariability,
+        ScenarioSpec,
+    )
+
+    return ScenarioSpec(
+        (
+            LoadSurge(at=500.0, duration=2_000.0, count=50),
+            RuntimeVariability(estimate_sigma=0.3, enforce_limit=True),
+            CancellationModel(fraction=0.1),
+            FailureModel(mtbf=40_000.0, mttr=1_800.0, recovery="resubmit"),
+        ),
+        seed=7,
+    )
+
+
+def test_scenario_compile_overhead_under_5pct():
+    """Acceptance bar for the scenario algebra: compiling a full
+    multi-phase spec against a Table 3–8-scale stream costs < 5% of one
+    cell's simulation time (and the engine compiles once per *grid*, not
+    per cell, so the real overhead is a further ~13x smaller)."""
+    from repro.core.machine import Machine
+    from repro.core.simulator import SimulationConfig, Simulator
+    from repro.schedulers.registry import build_scheduler, registered_configurations
+
+    jobs = _bench_jobs()
+    spec = _bench_spec()
+    config = next(c for c in registered_configurations() if c.key == "fcfs/easy")
+
+    def cell():
+        return Simulator(
+            Machine(256),
+            build_scheduler(config, 256),
+            SimulationConfig(backend="python"),
+        ).run(jobs)
+
+    compile_time = _best_of(lambda: spec.compile(jobs))
+    cell_time = _best_of(cell)
+    ratio = compile_time / cell_time
+    print(
+        f"\ncompile={compile_time * 1e3:.2f}ms cell={cell_time * 1e3:.2f}ms "
+        f"({ratio * 100:.1f}% of cell runtime)"
+    )
+    assert ratio < 0.05, (
+        f"scenario compile is {ratio * 100:.1f}% of cell runtime (bar: 5%)"
+    )
+
+
 def test_vector_first_fit_batch(benchmark):
     """The 2-D numpy first-fit kernel: timed, and pinned to the oracle."""
     profile = build_profile(300)
@@ -421,6 +475,13 @@ def collect_measurements(rounds: int = 5) -> dict[str, float]:
         "metric_kernel_reduction_x": scalar_awrt / vector_awrt,
         "vector_first_fit_batch_500": _best_of(
             lambda: vector.earliest_start_batch(profile, requests), rounds
+        ),
+        # PR 7: the scenario algebra.  Compiling a full multi-phase spec
+        # (surge + variability + cancellations + MTBF failures) against a
+        # 1000-event stream; bounded < 5% of a cell's simulation time by
+        # test_scenario_compile_overhead_under_5pct.
+        "scenario_compile_per_1k_events": _best_of(
+            lambda: _bench_spec().compile(jobs), rounds
         ),
         "simulate_easy_1k_python": _best_of(end_to_end("python"), rounds),
         "simulate_easy_1k_numpy": _best_of(end_to_end("numpy"), rounds),

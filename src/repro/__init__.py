@@ -13,6 +13,9 @@ The package provides, bottom-up:
 * :mod:`repro.metrics` — the paper's objective functions and friends;
 * :mod:`repro.policy` — the Section 2 methodology: policy rules,
   Pareto-optimal schedule selection, objective synthesis;
+* :mod:`repro.scenarios` — the scenario algebra: seeded, composable
+  disturbance components (failures, cancellations, load surges, runtime
+  variability, closed-loop users) compiling to ``ScenarioInputs``;
 * :mod:`repro.experiments` — the harness regenerating Tables 3–8 and
   Figures 3–6.
 
@@ -31,13 +34,14 @@ Quickstart::
                       config=config)
     print(average_response_time(result.schedule))
 
-Fault-injection inputs bundle into a ``ScenarioInputs``::
+Disturbances compose declaratively in a ``ScenarioSpec`` (the compiled
+form is a ``ScenarioInputs`` bundle, which ``run`` also accepts raw)::
 
-    from repro import ScenarioInputs, Simulator, Machine
+    from repro import ScenarioSpec, FailureModel, LoadSurge, Simulator, Machine
 
-    scenario = ScenarioInputs(cancellations=[...], failures=trace,
-                              recovery="resubmit")
-    Simulator(Machine(256), scheduler, config).run(jobs, scenario=scenario)
+    spec = ScenarioSpec((FailureModel(mtbf=40_000.0, recovery="resubmit"),
+                         LoadSurge(at=3_600.0, count=80)), seed=7)
+    Simulator(Machine(256), scheduler, config).run(jobs, scenario=spec)
 """
 
 from repro.core import (
@@ -66,17 +70,31 @@ from repro.schedulers import (
     register_row,
     registered_configurations,
 )
+from repro.scenarios import (
+    CancellationModel,
+    FailureModel,
+    FeedbackUsers,
+    LoadSurge,
+    RuntimeVariability,
+    ScenarioSpec,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AvailabilityProfile",
+    "CancellationModel",
     "FCFSScheduler",
+    "FailureModel",
+    "FeedbackUsers",
     "GareyGrahamScheduler",
     "Job",
+    "LoadSurge",
     "Machine",
     "OrderedQueueScheduler",
+    "RuntimeVariability",
     "ScenarioInputs",
+    "ScenarioSpec",
     "Schedule",
     "ScheduledJob",
     "SchedulerConfig",

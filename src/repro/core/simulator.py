@@ -306,7 +306,11 @@ class Simulator:
         """Simulate the whole stream and return the final schedule.
 
         ``scenario`` bundles the fault-injection inputs
-        (:class:`ScenarioInputs`):
+        (:class:`ScenarioInputs`) — or a compilable
+        :class:`~repro.scenarios.spec.ScenarioSpec`, in which case the
+        spec is compiled against ``jobs`` first: ScenarioInputs is the
+        *compiled target* of the scenario algebra, and the compiled
+        stream replaces ``jobs`` (arrival components may rewrite it):
 
         * ``cancellations`` injects user withdrawals; each must reference
           a job in the stream and fire no earlier than its submission.
@@ -340,12 +344,27 @@ class Simulator:
             if scenario is not None:
                 raise TypeError(
                     "pass either scenario=ScenarioInputs(...) or the "
-                    "deprecated cancellations/failures/recovery keywords, "
+                    f"deprecated keyword(s) {', '.join(sorted(legacy))}, "
                     "not both"
                 )
             scenario = ScenarioInputs(**legacy)
-        elif scenario is None:
+        cancel_over_limit = self.cancel_over_limit
+        if scenario is None:
             scenario = ScenarioInputs()
+        elif not isinstance(scenario, ScenarioInputs):
+            # A ScenarioSpec (or anything spec-shaped): compile it against
+            # the stream.  Duck-typed so the core never imports the
+            # scenarios package.
+            compile_spec = getattr(scenario, "compile", None)
+            if compile_spec is None:
+                raise TypeError(
+                    "scenario must be ScenarioInputs or a compilable "
+                    f"ScenarioSpec, got {type(scenario).__name__}"
+                )
+            compiled = compile_spec(jobs)
+            jobs = compiled.jobs
+            scenario = compiled.inputs
+            cancel_over_limit = cancel_over_limit or compiled.cancel_over_limit
         cancellations = scenario.cancellations
         failures = scenario.failures
         recovery = scenario.recovery
@@ -605,7 +624,7 @@ class Simulator:
                 if job.job_id in killed_at:
                     requeue_delay += now - killed_at.pop(job.job_id)
                 cancelled = (
-                    self.cancel_over_limit
+                    cancel_over_limit
                     and job.estimate is not None
                     and job.runtime > job.estimate
                 )

@@ -28,21 +28,61 @@ Every cached run is journaled under ``<cache>/runs/<run_id>.jsonl``
 
 A run killed by SIGINT/SIGTERM exits cleanly (status 130) after printing
 the ``--resume`` handle.
+
+Scenario runs (see :mod:`repro.scenarios`) are driven either by a JSON
+spec file or by convenience flags that translate into spec components::
+
+    repro-experiments table3 --scenario spec.json
+    repro-experiments table3 --failure-mtbf 40000 --recovery resubmit
+    repro-experiments table3 --cancellation-rate 0.05 --scenario-seed 7
+
+Both styles meet in one :class:`~repro.scenarios.spec.ScenarioSpec`, so
+the canonical scenario digest — and with it caching, journaling and
+``--resume`` — is identical no matter how the scenario was spelled.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 from pathlib import Path
 
 from repro.experiments.paper import EXPERIMENTS, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.engine import ResultCache
+    from repro.experiments.journal import RunSummary
+    from repro.scenarios import ScenarioSpec
 
 
 def _journal_root(args: argparse.Namespace) -> Path:
     if args.journal_dir is not None:
         return args.journal_dir
     return args.cache_dir / "runs"
+
+
+def _evicted_cells(summary: "RunSummary", cache: "ResultCache") -> int:
+    """Completed cells of a journaled run whose cache entries are gone.
+
+    A CACHE_VERSION bump (or a prune after one) evicts every entry the
+    journal's fingerprints point at; ``--resume`` of such a run will
+    re-simulate those cells, so ``--list-runs`` says so out loud.
+    """
+    from repro.experiments.journal import JournalError, read_journal
+
+    if summary.path is None or summary.status == "corrupt":
+        return 0
+    try:
+        replay = read_journal(summary.path)
+    except JournalError:
+        return 0
+    missing = 0
+    for key in replay.completed:
+        fingerprint = replay.cells[key].fingerprint
+        if fingerprint and cache.status(fingerprint) != "hit":
+            missing += 1
+    return missing
 
 
 def _cmd_list_runs(args: argparse.Namespace) -> int:
@@ -55,10 +95,56 @@ def _cmd_list_runs(args: argparse.Namespace) -> int:
     for summary in summaries:
         print(summary.describe())
     if not args.no_cache and args.cache_dir.is_dir():
+        cache = ResultCache(args.cache_dir)
+        for summary in summaries:
+            evicted = _evicted_cells(summary, cache)
+            if evicted:
+                print(
+                    f"note: run {summary.run_id} references {evicted} "
+                    f"completed cell(s) whose cache entries were evicted "
+                    f"(version skew or prune); --resume will re-simulate them"
+                )
         # Listing runs is the natural moment to sweep the cache the
         # journals point into: stale entries out, corruption quarantined.
-        print(ResultCache(args.cache_dir).prune().describe())
+        print(cache.prune().describe())
     return 0
+
+
+def scenario_from_args(args: argparse.Namespace) -> "ScenarioSpec | None":
+    """Build the run's :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+    ``--scenario FILE`` loads a JSON spec; ``--cancellation-rate``,
+    ``--failure-mtbf``/``--failure-mttr``/``--recovery`` translate into
+    the equivalent components and are appended to it (component order
+    never matters).  ``--scenario-seed`` overrides the spec seed.
+    Returns ``None`` — the healthy baseline — when nothing was asked for.
+    """
+    from repro.scenarios import CancellationModel, FailureModel, ScenarioSpec
+
+    spec = ScenarioSpec()
+    if args.scenario is not None:
+        spec = ScenarioSpec.from_json(args.scenario.read_text(encoding="utf-8"))
+    extras: list = []
+    if args.cancellation_rate is not None:
+        extras.append(CancellationModel(fraction=args.cancellation_rate))
+    if args.failure_mtbf is not None:
+        extras.append(
+            FailureModel(
+                mtbf=args.failure_mtbf,
+                mttr=3600.0 if args.failure_mttr is None else args.failure_mttr,
+                recovery=args.recovery,
+                total_nodes=args.nodes,
+            )
+        )
+    if extras:
+        spec = spec.with_components(*extras)
+    if not spec.components:
+        return None
+    if args.scenario_seed is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, seed=args.scenario_seed)
+    return spec
 
 
 def _cmd_verify_run(args: argparse.Namespace) -> int:
@@ -170,6 +256,52 @@ def main(argv: list[str] | None = None) -> int:
         "skipped via the cache, only the remainder is re-dispatched",
     )
     parser.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        metavar="SPEC.json",
+        help="run every cell under this JSON scenario spec (see "
+        "repro.scenarios; the spec's canonical digest enters every cell "
+        "fingerprint and run id)",
+    )
+    parser.add_argument(
+        "--cancellation-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="scenario shorthand: cancel this fraction of jobs "
+        "(a CancellationModel component)",
+    )
+    parser.add_argument(
+        "--failure-mtbf",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="scenario shorthand: inject node failures with this "
+        "mean-time-between-failures (a FailureModel component)",
+    )
+    parser.add_argument(
+        "--failure-mttr",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="mean repair time for --failure-mtbf (default 3600)",
+    )
+    parser.add_argument(
+        "--recovery",
+        default=None,
+        metavar="SPEC",
+        help="recovery policy for injected failures: abandon, resubmit, "
+        "or checkpoint:interval=T,overhead=O (needs --failure-mtbf)",
+    )
+    parser.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=None,
+        help="override the scenario spec's seed (component sub-seeds "
+        "derive from it)",
+    )
+    parser.add_argument(
         "--list-runs",
         action="store_true",
         help="list journaled runs (and prune the result cache), then exit",
@@ -191,6 +323,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("experiment ids are required (or --list-runs/--verify-run)")
     if args.resume is not None and args.no_cache:
         parser.error("--resume needs the cache; drop --no-cache")
+    if args.recovery is not None and args.failure_mtbf is None:
+        parser.error("--recovery needs --failure-mtbf")
+    if args.failure_mttr is not None and args.failure_mtbf is None:
+        parser.error("--failure-mttr needs --failure-mtbf")
+    try:
+        scenario = scenario_from_args(args)
+    except (OSError, ValueError) as exc:
+        parser.error(f"bad scenario: {exc}")
 
     source_trace = None
     if args.swf is not None:
@@ -264,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
                 journal_dir=args.journal_dir,
                 resume_run_id=args.resume,
                 backend=args.backend,
+                scenario=scenario,
             )
         except RunInterrupted as exc:
             print(f"\ninterrupted by {exc.signal_name}: {exc}", file=sys.stderr)

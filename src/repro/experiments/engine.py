@@ -36,10 +36,15 @@ compare the tables".  :class:`ExperimentEngine` executes that grid:
   the dispatch loop: a retried cell receives a *resubmit deadline* folded
   into the ``wait`` timeout, so every other in-flight cell keeps being
   collected while the pause elapses;
-* **failure scenarios** — grids can run under a
-  :class:`~repro.failures.trace.FailureTrace` plus recovery-policy spec
-  (one more cache-key dimension); :meth:`ExperimentEngine.run_failure_scenarios`
-  sweeps a set of named scenarios over one workload;
+* **scenario algebra** — grids can run under a compiled
+  :class:`~repro.scenarios.spec.ScenarioSpec` (failures, cancellations,
+  flash crowds, runtime variability, closed-loop arrivals — any
+  registered component): the spec compiles once per run, its canonical
+  digest joins every cell fingerprint and the run manifest, and
+  :meth:`ExperimentEngine.run_scenarios` sweeps named specs over one
+  workload (:meth:`ExperimentEngine.run_failure_scenarios` is a
+  compatibility veneer translating the old
+  :class:`~repro.failures.trace.FailureTrace` + recovery pairs);
 * **run lifecycle** — every cached run keeps an append-only
   :class:`~repro.experiments.journal.RunJournal` under the cache
   directory, keyed by a deterministic run id: the manifest plus one
@@ -89,6 +94,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, NamedTuple, Sequence
 
 from repro.core.job import Job
 from repro.core.packing import job_record
+from repro.core.simulator import Cancellation
 from repro.experiments.journal import (
     ManifestMismatchError,
     RunInterrupted,
@@ -110,14 +116,18 @@ from repro.experiments.workload_store import (
     init_worker,
     resolve_worker_workload,
 )
+from repro.scenarios import ScenarioSpec, spec_from_legacy
 from repro.schedulers.registry import SchedulerConfig, paper_configurations
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.failures.trace import FailureTrace
 
 #: Bump when the cached payload or the simulation semantics change; old
-#: entries then miss instead of replaying stale results.
-CACHE_VERSION = 3
+#: entries then miss instead of replaying stale results.  v4: cell
+#: fingerprints gained the canonical ``scenario`` digest (the unified
+#: scenario algebra of :mod:`repro.scenarios` — see docs/architecture.md,
+#: "Scenario algebra", for the decision record).
+CACHE_VERSION = 4
 
 
 # -- fingerprints --------------------------------------------------------------
@@ -160,13 +170,19 @@ def cell_fingerprint(
     recompute_threshold: float = 2.0 / 3.0,
     failures_digest: str = "",
     recovery: str = "",
+    scenario: str = "",
 ) -> str:
     """Content address of one grid cell result.
 
-    ``failures_digest`` is :meth:`FailureTrace.fingerprint` (empty for a
-    failure-free cell) and ``recovery`` the canonical recovery-policy spec
-    — both are part of the cell's identity, so scenario sweeps never
-    collide in the cache.
+    ``scenario`` is the canonical :meth:`ScenarioSpec.digest` of the
+    scenario the cell ran under (``""`` for the healthy baseline) —
+    because compilation is a pure function of ``(spec, jobs, seed)``, the
+    pair ``(jobs digest, scenario digest)`` fully determines the compiled
+    stream and every disturbance event.  ``failures_digest``
+    (:meth:`FailureTrace.fingerprint`) and ``recovery`` (the canonical
+    recovery-policy spec) additionally pin the *realized* failure inputs,
+    so direct engine calls that bypass the spec layer still never collide
+    in the cache.
     """
     payload = json.dumps(
         {
@@ -179,6 +195,7 @@ def cell_fingerprint(
             "recompute_threshold": repr(recompute_threshold),
             "failures": failures_digest,
             "recovery": recovery,
+            "scenario": scenario,
         },
         sort_keys=True,
     )
@@ -412,7 +429,7 @@ class RunStats:
 def _run_cell_task(
     args: tuple[
         str, str, "tuple[Job, ...] | str", int, bool, float, object, str | None,
-        str | None,
+        tuple, bool, str | None,
     ],
 ) -> tuple[str, CellResult, float]:
     """Pool worker: simulate one cell, returning (key, result, wall-clock).
@@ -422,12 +439,15 @@ def _run_cell_task(
     inherits user registrations made before the run.  The jobs slot is
     either the job tuple itself (legacy per-cell-pickle path) or the
     workload digest, resolved against the process-global cache the pool
-    initializer seeded — the zero-copy path.  ``failures`` travels as a
-    pickled :class:`FailureTrace` (plain data) and ``recovery`` as a spec
-    string, so nothing unpicklable crosses the process boundary.  The
-    trailing ``backend`` slot selects the simulation kernels in the worker
-    (cell results are bit-identical either way, so it never enters a
-    fingerprint).
+    initializer seeded — the zero-copy path.  Scenario inputs travel
+    *compiled* (the driver compiles the spec exactly once per run):
+    ``failures`` as a pickled :class:`FailureTrace`, ``recovery`` as a
+    spec string, ``cancellations`` as a tuple of plain
+    :class:`~repro.core.simulator.Cancellation` events and the
+    estimate-limit kill policy as a bool — nothing unpicklable crosses
+    the process boundary.  The trailing ``backend`` slot selects the
+    simulation kernels in the worker (cell results are bit-identical
+    either way, so it never enters a fingerprint).
     """
     (
         row,
@@ -438,6 +458,8 @@ def _run_cell_task(
         recompute_threshold,
         failures,
         recovery,
+        cancellations,
+        cancel_over_limit,
         backend,
     ) = args
     if isinstance(jobs, str):
@@ -452,6 +474,8 @@ def _run_cell_task(
         recompute_threshold=recompute_threshold,
         failures=failures,  # type: ignore[arg-type]
         recovery=recovery,
+        cancellations=cancellations,
+        cancel_over_limit=cancel_over_limit,
         backend=backend,
     )
     return config.key, cell, time.perf_counter() - t0
@@ -487,7 +511,11 @@ class FailureScenario:
 
     ``failures=None`` (with any ``recovery``) is the healthy baseline;
     ``recovery`` is a canonical spec string (see
-    :func:`repro.failures.recovery.recovery_from_spec`).
+    :func:`repro.failures.recovery.recovery_from_spec`).  Kept as the
+    stable surface of :meth:`ExperimentEngine.run_failure_scenarios`;
+    internally each one is translated into a
+    :class:`~repro.scenarios.spec.ScenarioSpec` and swept through
+    :meth:`ExperimentEngine.run_scenarios`.
     """
 
     name: str
@@ -496,7 +524,14 @@ class FailureScenario:
 
 
 class _PreparedRun(NamedTuple):
-    """One grid request, normalized: the inputs of run id and dispatch."""
+    """One grid request, normalized: the inputs of run id and dispatch.
+
+    ``jobs`` and ``digest`` are the *compiled* stream (arrival/transform
+    components folded in); ``cancellations``, ``failures``, ``recovery``
+    and ``cancel_over_limit`` are the compiled disturbance inputs; and
+    ``scenario_digest`` is the canonical spec digest (``""`` for the
+    healthy baseline) that joins every cell fingerprint.
+    """
 
     jobs: list[Job]
     chosen: list[SchedulerConfig]
@@ -505,6 +540,9 @@ class _PreparedRun(NamedTuple):
     recovery: str | None
     failures_digest: str
     recovery_spec: str
+    cancellations: "tuple[Cancellation, ...]"
+    cancel_over_limit: bool
+    scenario_digest: str
     manifest: dict
 
 
@@ -664,14 +702,42 @@ class ExperimentEngine:
         reference_key: str | None = None,
         failures: "FailureTrace | None" = None,
         recovery: str | None = None,
+        scenario: "ScenarioSpec | None" = None,
     ) -> "_PreparedRun":
         """Normalize one grid request into its manifest-defining form.
 
         Shared by :meth:`run`, :meth:`resume` and :meth:`run_id_for`, so
         the deterministic run id is computed from exactly the inputs the
         dispatch path will use.
+
+        The legacy ``failures``/``recovery`` keywords are translated into
+        an equivalent single-``FailureModel`` spec, so both call styles
+        compile through one path and share one cache identity (the
+        translated trace is byte-identical, see
+        :func:`repro.scenarios.spec.spec_from_legacy`).
         """
-        jobs = list(jobs)
+        if scenario is not None and (failures is not None or recovery is not None):
+            raise TypeError(
+                "pass either scenario=ScenarioSpec(...) or the legacy "
+                "failures=/recovery= keywords, not both"
+            )
+        if scenario is None:
+            scenario = spec_from_legacy(failures=failures, recovery=recovery)
+        if scenario is not None and not scenario.components:
+            scenario = None  # the empty spec is the healthy baseline
+        cancellations: "tuple[Cancellation, ...]" = ()
+        cancel_over_limit = False
+        scenario_digest = ""
+        if scenario is not None:
+            compiled = scenario.compile(jobs)
+            jobs = list(compiled.jobs)
+            cancellations = compiled.inputs.cancellations
+            failures = compiled.inputs.failures
+            recovery = compiled.inputs.recovery
+            cancel_over_limit = compiled.cancel_over_limit
+            scenario_digest = compiled.digest
+        else:
+            jobs = list(jobs)
         failures_digest = ""
         recovery_spec = ""
         if failures is not None and failures:
@@ -698,6 +764,7 @@ class ExperimentEngine:
             workload_name=workload_name,
             n_jobs=len(jobs),
             reference_key=reference_key,
+            scenario=scenario_digest,
         )
         return _PreparedRun(
             jobs=jobs,
@@ -707,6 +774,9 @@ class ExperimentEngine:
             recovery=recovery,
             failures_digest=failures_digest,
             recovery_spec=recovery_spec,
+            cancellations=cancellations,
+            cancel_over_limit=cancel_over_limit,
+            scenario_digest=scenario_digest,
             manifest=manifest,
         )
 
@@ -716,8 +786,8 @@ class ExperimentEngine:
         Accepts the grid-shaping keyword arguments of :meth:`run`
         (``workload_name``, ``total_nodes``, ``weighted``, ``configs``,
         ``recompute_threshold``, ``reference_key``, ``failures``,
-        ``recovery``); drivers use it to print or predict the
-        ``--resume`` handle without running anything.
+        ``recovery``, ``scenario``); drivers use it to print or predict
+        the ``--resume`` handle without running anything.
         """
         return str(self._prepare(jobs, **kwargs).manifest["run"])  # type: ignore[arg-type]
 
@@ -772,6 +842,7 @@ class ExperimentEngine:
         reference_key: str | None = None,
         failures: "FailureTrace | None" = None,
         recovery: str | None = None,
+        scenario: "ScenarioSpec | None" = None,
         resume_run_id: str | None = None,
     ) -> GridResult:
         """Run one grid; the parallel, cached equivalent of ``run_grid``.
@@ -783,10 +854,16 @@ class ExperimentEngine:
         order, and the ``progress`` callback (``run_grid`` compatible)
         fires in that same order after all cells exist.
 
-        ``failures``/``recovery`` inject a node-failure scenario into
-        every cell (see :mod:`repro.failures`); both are folded into the
-        cache fingerprints.  ``recovery`` must be a spec string (workers
-        rebuild the policy from it).
+        ``scenario`` runs every cell under a compiled
+        :class:`~repro.scenarios.spec.ScenarioSpec`: the spec is compiled
+        once against ``jobs`` (arrival components may rewrite the
+        stream), its canonical digest joins every cell fingerprint and
+        the run manifest, and the compiled disturbance inputs ship to the
+        workers — no per-component wiring anywhere in the engine.  The
+        legacy ``failures``/``recovery`` keywords still work (mutually
+        exclusive with ``scenario``) and are translated into an
+        equivalent spec, sharing one cache identity.  ``recovery`` must
+        be a spec string (workers rebuild the policy from it).
 
         When a journal root is available (a cache or ``journal_dir``),
         the run is journaled under its deterministic id: a fresh run
@@ -806,6 +883,7 @@ class ExperimentEngine:
             reference_key=reference_key,
             failures=failures,
             recovery=recovery,
+            scenario=scenario,
         )
         jobs = prep.jobs
         failures = prep.failures
@@ -870,6 +948,7 @@ class ExperimentEngine:
                     recompute_threshold=recompute_threshold,
                     failures_digest=prep.failures_digest,
                     recovery=prep.recovery_spec,
+                    scenario=prep.scenario_digest,
                 )
                 grid.fingerprints[config.key] = fp
                 cell = self.cache.get(fp) if self.cache is not None else None
@@ -903,12 +982,14 @@ class ExperimentEngine:
                 if self.workers > 1 and len(pending) > 1:
                     self._run_parallel(
                         pending, jobs, grid, stats, recompute_threshold, results,
-                        failures, recovery, prep.digest,
+                        failures, recovery, prep.cancellations,
+                        prep.cancel_over_limit, prep.digest,
                     )
                 else:
                     self._run_serial(
                         pending, jobs, grid, stats, recompute_threshold, results,
-                        failures, recovery,
+                        failures, recovery, prep.cancellations,
+                        prep.cancel_over_limit,
                     )
             finally:
                 self._restore_signal_handlers(previous)
@@ -948,6 +1029,34 @@ class ExperimentEngine:
         """
         return self.run(jobs, resume_run_id=run_id, **kwargs)  # type: ignore[arg-type]
 
+    def run_scenarios(
+        self,
+        jobs: Sequence[Job],
+        scenarios: "Mapping[str, ScenarioSpec | None]",
+        *,
+        workload_name: str = "workload",
+        **kwargs: object,
+    ) -> Mapping[str, GridResult]:
+        """Sweep named :class:`~repro.scenarios.spec.ScenarioSpec`s.
+
+        Runs one full grid per spec (the scenario name is appended to
+        ``workload_name`` for progress events) and returns
+        ``{scenario_name: GridResult}`` in mapping order.  ``None`` (or
+        the empty spec) is the healthy baseline.  Cells are cached per
+        scenario — the canonical spec digest is part of every fingerprint
+        — so re-sweeping with one extra scenario only simulates the new
+        cells.
+        """
+        out: dict[str, GridResult] = {}
+        for name, spec in scenarios.items():
+            out[name] = self.run(
+                jobs,
+                workload_name=f"{workload_name}[{name}]",
+                scenario=spec,
+                **kwargs,  # type: ignore[arg-type]
+            )
+        return out
+
     def run_failure_scenarios(
         self,
         jobs: Sequence[Job],
@@ -958,26 +1067,23 @@ class ExperimentEngine:
     ) -> Mapping[str, GridResult]:
         """Sweep named failure scenarios over one workload.
 
-        Runs one full grid per :class:`FailureScenario` (the scenario name
-        is appended to ``workload_name`` for progress events) and returns
-        ``{scenario_name: GridResult}`` in scenario order.  Cells are
-        cached per scenario — the failure trace and recovery spec are part
-        of the fingerprint — so re-sweeping with one extra scenario only
-        simulates the new cells.
+        A compatibility veneer over :meth:`run_scenarios`: each
+        :class:`FailureScenario` is translated into an equivalent
+        single-``FailureModel`` spec (byte-identical trace, same cache
+        identity), so failure sweeps and spec sweeps share one path.
         """
         names = [s.name for s in scenarios]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate scenario names: {names}")
-        out: dict[str, GridResult] = {}
-        for scenario in scenarios:
-            out[scenario.name] = self.run(
-                jobs,
-                workload_name=f"{workload_name}[{scenario.name}]",
-                failures=scenario.failures,
-                recovery=scenario.recovery,
-                **kwargs,  # type: ignore[arg-type]
-            )
-        return out
+        return self.run_scenarios(
+            jobs,
+            {
+                s.name: spec_from_legacy(failures=s.failures, recovery=s.recovery)
+                for s in scenarios
+            },
+            workload_name=workload_name,
+            **kwargs,  # type: ignore[arg-type]
+        )
 
     def _run_serial(
         self,
@@ -989,6 +1095,8 @@ class ExperimentEngine:
         results: dict[str, CellResult],
         failures: "FailureTrace | None",
         recovery: str | None,
+        cancellations: "tuple[Cancellation, ...]" = (),
+        cancel_over_limit: bool = False,
     ) -> None:
         for index, (config, fp) in enumerate(pending):
             if self._interrupted is not None:
@@ -1020,6 +1128,8 @@ class ExperimentEngine:
                 recompute_threshold=recompute_threshold,
                 failures=failures,
                 recovery=recovery,
+                cancellations=cancellations,
+                cancel_over_limit=cancel_over_limit,
                 backend=self.backend,
             )
             wall = time.perf_counter() - t0
@@ -1035,6 +1145,8 @@ class ExperimentEngine:
         results: dict[str, CellResult],
         failures: "FailureTrace | None",
         recovery: str | None,
+        cancellations: "tuple[Cancellation, ...]",
+        cancel_over_limit: bool,
         digest: str,
     ) -> None:
         config_by_fp = {fp: config for config, fp in pending}
@@ -1083,6 +1195,8 @@ class ExperimentEngine:
                 recompute_threshold,
                 failures,
                 recovery,
+                cancellations,
+                cancel_over_limit,
                 self.backend,
             )
 
@@ -1365,7 +1479,7 @@ class ExperimentEngine:
             )
             self._run_serial(
                 unique, jobs, grid, stats, recompute_threshold, results,
-                failures, recovery,
+                failures, recovery, cancellations, cancel_over_limit,
             )
 
     def _record(

@@ -81,6 +81,7 @@ IDENTITY_FIELDS = (
     "recompute_threshold",
     "failures_digest",
     "recovery",
+    "scenario",
     "configs",
 )
 
@@ -689,8 +690,14 @@ def manifest_for(
     workload_name: str = "workload",
     n_jobs: int = 0,
     reference_key: str | None = None,
+    scenario: str = "",
 ) -> dict:
-    """Build a run manifest; identity fields feed :func:`compute_run_id`."""
+    """Build a run manifest; identity fields feed :func:`compute_run_id`.
+
+    ``scenario`` is the canonical scenario-spec digest (``""`` for the
+    healthy baseline) — an identity field, like every other input of
+    :func:`repro.experiments.engine.cell_fingerprint`.
+    """
     manifest = {
         "kind": "manifest",
         "cache_version": cache_version,
@@ -700,6 +707,7 @@ def manifest_for(
         "recompute_threshold": repr(recompute_threshold),
         "failures_digest": failures_digest,
         "recovery": recovery,
+        "scenario": scenario,
         "configs": list(configs),
         "workload_name": workload_name,
         "n_jobs": n_jobs,

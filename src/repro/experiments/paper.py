@@ -17,7 +17,7 @@ cells are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from pathlib import Path
 
@@ -40,6 +40,9 @@ from repro.workloads.transforms import (
     take_prefix,
     with_exact_estimates,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios import ScenarioSpec
 
 # -- published numbers (Tables 3–6) --------------------------------------------------
 
@@ -298,6 +301,7 @@ def run_experiment(
     journal_dir: str | Path | None = None,
     resume_run_id: str | None = None,
     backend: str | None = None,
+    scenario: "ScenarioSpec | None" = None,
 ) -> ExperimentResult:
     """Regenerate one paper artifact at the given scale.
 
@@ -330,6 +334,12 @@ def run_experiment(
     :class:`~repro.experiments.journal.UnknownRunError` rather than
     silently re-running everything fresh.  The per-regime ids are
     returned in :attr:`ExperimentResult.run_ids`.
+
+    ``scenario`` runs every regime under a compiled
+    :class:`~repro.scenarios.spec.ScenarioSpec` (failures, cancellations,
+    load surges, …): its canonical digest joins every cell fingerprint
+    and each regime's run id, so scenario runs cache and resume
+    independently of the healthy baseline.
     """
     spec = EXPERIMENTS[experiment_id]
     n = spec.default_scale if scale is None else scale
@@ -349,6 +359,7 @@ def run_experiment(
             workload_name=spec.description,
             total_nodes=total_nodes,
             weighted=(regime == "weighted"),
+            scenario=scenario,
         )
 
     if resume_run_id is not None:

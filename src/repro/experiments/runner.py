@@ -22,7 +22,12 @@ from repro.core.job import Job
 from repro.core.machine import Machine
 from repro.core.packing import PackedJobs, unpack_jobs
 from repro.core.scheduler import Scheduler, SchedulerContext
-from repro.core.simulator import ScenarioInputs, SimulationConfig, Simulator
+from repro.core.simulator import (
+    Cancellation,
+    ScenarioInputs,
+    SimulationConfig,
+    Simulator,
+)
 from repro.metrics.objectives import (
     average_response_time,
     average_weighted_response_time,
@@ -173,6 +178,8 @@ def simulate_cell(
     recompute_threshold: float = 2.0 / 3.0,
     failures: "FailureTrace | None" = None,
     recovery: str | None = None,
+    cancellations: "Sequence[Cancellation]" = (),
+    cancel_over_limit: bool = False,
     backend: str | None = None,
 ) -> CellResult:
     """Simulate one grid cell and measure the paper's metrics.
@@ -187,10 +194,13 @@ def simulate_cell(
     ``Job`` tuple the caller would have shipped, so results are identical
     either way.
 
-    ``failures``/``recovery`` inject a node-failure scenario (see
-    :mod:`repro.failures`); the resilience metrics of the result are then
-    populated.  ``recovery`` must be a spec string here (not a policy
-    object) so the cell stays picklable and cache-fingerprintable.
+    ``failures``/``recovery``/``cancellations``/``cancel_over_limit`` are
+    the *compiled* scenario inputs (see :mod:`repro.scenarios`): a failure
+    trace plus recovery spec, user-withdrawal events, and the
+    estimate-limit kill flag.  The resilience metrics of the result are
+    populated when failures are injected.  ``recovery`` must be a spec
+    string here (not a policy object) so the cell stays picklable and
+    cache-fingerprintable.
 
     ``backend`` selects the simulation kernels (see
     :func:`repro.core.vector.resolve_backend`); both backends produce
@@ -207,9 +217,13 @@ def simulate_cell(
             recompute_threshold=recompute_threshold,
         )
     )
-    scenario = ScenarioInputs(failures=failures, recovery=recovery)
+    scenario = ScenarioInputs(
+        cancellations=tuple(cancellations), failures=failures, recovery=recovery
+    )
     result = Simulator(
-        Machine(total_nodes), scheduler, SimulationConfig(backend=backend)
+        Machine(total_nodes),
+        scheduler,
+        SimulationConfig(backend=backend, cancel_over_limit=cancel_over_limit),
     ).run(jobs, scenario=scenario)
     if result.columns is not None:
         objective = (

@@ -1,0 +1,200 @@
+"""Component contract of the scenario algebra.
+
+A scenario is an *algebra of seeded event-stream components*: each
+component is a small frozen dataclass that declares
+
+* a unique ``kind`` string (the JSON discriminator and registry key),
+* a ``phase`` — the fixed pipeline stage it runs in — and
+* a pure ``apply(state)`` that folds the component into the
+  :class:`CompileState`.
+
+Order independence is structural, not accidental: components execute in
+*canonical* order (phase first, then the sorted canonical form), never in
+the order the user listed them, so ``ScenarioSpec((a, b))`` and
+``ScenarioSpec((b, a))`` compile byte-identically and share one cache
+digest.  Seeds follow the same rule — a component without an explicit
+``seed`` derives one from ``(spec seed, kind, occurrence index in
+canonical order)``, so permuting the component list never reshuffles any
+random stream.
+
+The registry is open: registering a new component kind (one dataclass
+with ``kind``, ``phase`` and ``apply``) is all it takes for a new
+disturbance to flow through the simulator, the engine, the cache and the
+CLI — none of those layers branch on component types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+    from repro.core.simulator import Cancellation
+    from repro.failures.trace import FailureTrace
+
+#: Pipeline stages, in execution order.  ``arrive`` components replace
+#: the base stream (closed-loop populations), ``augment`` ones add jobs
+#: to it (flash crowds), ``transform`` ones rewrite job fields (runtime
+#: variability), ``disturb`` ones attach external events to the final
+#: stream (cancellations, failures).  Disturbances therefore always see
+#: the fully-assembled stream, whatever order the user wrote the spec in.
+PHASES = ("arrive", "augment", "transform", "disturb")
+
+_PHASE_INDEX = {name: index for index, name in enumerate(PHASES)}
+
+#: kind -> component class; populated by :func:`register_component`.
+COMPONENT_KINDS: dict[str, type["ScenarioComponent"]] = {}
+
+
+def register_component(cls: type["ScenarioComponent"]) -> type["ScenarioComponent"]:
+    """Class decorator: enter ``cls`` into the kind registry."""
+    kind = getattr(cls, "kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise TypeError(f"{cls.__name__} must declare a non-empty 'kind' string")
+    if cls.phase not in _PHASE_INDEX:
+        raise TypeError(
+            f"{cls.__name__}.phase must be one of {PHASES}, got {cls.phase!r}"
+        )
+    if kind in COMPONENT_KINDS and COMPONENT_KINDS[kind] is not cls:
+        raise ValueError(f"component kind {kind!r} is already registered")
+    COMPONENT_KINDS[kind] = cls
+    return cls
+
+
+def component_seed(spec_seed: int, kind: str, occurrence: int) -> int:
+    """Deterministic sub-seed for one component instance.
+
+    A function of the spec seed, the component *kind* and its occurrence
+    index among same-kind components in canonical order — never of the
+    position in the user's component list, so reordering a spec cannot
+    reshuffle any component's random stream.
+    """
+    material = f"{spec_seed}:{kind}:{occurrence}".encode("ascii")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass
+class CompileState:
+    """Mutable accumulator a spec folds its components into.
+
+    ``component_seed`` is refreshed by :meth:`ScenarioSpec.compile` before
+    each ``apply`` call — the derived (or explicit) seed of the component
+    currently executing.
+    """
+
+    jobs: list["Job"]
+    seed: int
+    component_seed: int = 0
+    cancellations: list["Cancellation"] = dataclasses.field(default_factory=list)
+    failures: "FailureTrace | None" = None
+    recovery: str | None = None
+    cancel_over_limit: bool = False
+
+
+class ScenarioComponent:
+    """Base of every scenario component (frozen dataclasses only).
+
+    Subclasses declare ``kind``/``phase`` class vars and implement
+    ``apply``.  ``FLOAT_FIELDS`` names fields normalized to float on
+    construction so JSON integers (``"at": 100``) and Python floats
+    (``at=100.0``) canonicalize — and digest — identically.
+    """
+
+    kind: ClassVar[str] = ""
+    phase: ClassVar[str] = ""
+    FLOAT_FIELDS: ClassVar[tuple[str, ...]] = ()
+
+    def __post_init__(self) -> None:
+        for name in self.FLOAT_FIELDS:
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, float):
+                object.__setattr__(self, name, float(value))
+
+    def apply(self, state: CompileState) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- canonical form --------------------------------------------------
+
+    def params(self) -> dict[str, Any]:
+        """Every field, as JSON-serializable values."""
+        out: dict[str, Any] = {}
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            out[field.name] = _jsonable(getattr(self, field.name))
+        return out
+
+    def canonical(self) -> dict[str, Any]:
+        """``{"kind": ..., **non-default params}`` — the digest form.
+
+        Default-valued fields are dropped, so explicitly spelling out a
+        default (``CancellationModel(fraction=0.1, seed=None)`` vs
+        ``CancellationModel(fraction=0.1)``) never changes a digest.
+        """
+        out: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, field.name)
+            if field.default is not dataclasses.MISSING and value == field.default:
+                continue
+            if (
+                field.default_factory is not dataclasses.MISSING  # type: ignore[misc]
+                and value == field.default_factory()  # type: ignore[misc]
+            ):
+                continue
+            out[field.name] = _jsonable(value)
+        return out
+
+    def sort_key(self) -> tuple[int, str]:
+        return (
+            _PHASE_INDEX[self.phase],
+            json.dumps(self.canonical(), sort_keys=True),
+        )
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.canonical()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioComponent":
+        fields = {f.name for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
+        kwargs = {}
+        for name, value in payload.items():
+            if name == "kind":
+                continue
+            if name not in fields:
+                raise ValueError(
+                    f"unknown field {name!r} for scenario component "
+                    f"{cls.kind!r}; known fields: {', '.join(sorted(fields))}"
+                )
+            kwargs[name] = value
+        return cls(**kwargs)  # type: ignore[call-arg]
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuples become lists so canonical forms survive a JSON round trip."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def component_from_dict(payload: Mapping[str, Any]) -> ScenarioComponent:
+    """Rebuild one component from its JSON form (``kind`` discriminates)."""
+    kind = payload.get("kind")
+    try:
+        cls = COMPONENT_KINDS[kind]  # type: ignore[index]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario component kind {kind!r}; registered kinds: "
+            f"{', '.join(sorted(COMPONENT_KINDS))}"
+        ) from None
+    return cls.from_dict(payload)
+
+
+def canonical_components(
+    components: Iterator[ScenarioComponent] | tuple[ScenarioComponent, ...],
+) -> tuple[ScenarioComponent, ...]:
+    """Components in execution order: phase first, canonical form second."""
+    return tuple(sorted(components, key=lambda c: c.sort_key()))

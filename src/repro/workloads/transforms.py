@@ -68,8 +68,20 @@ def with_noisy_estimates(
 
     rng = np.random.default_rng(seed)
     factors = np.exp(np.abs(rng.normal(0.0, sigma, size=len(jobs))))
+    # Direct construction instead of dataclasses.replace: this runs once
+    # per job on every scenario compile, and replace()'s field
+    # introspection dominates the whole compile at trace scale.
     return [
-        replace(job, estimate=job.runtime * float(f))
+        Job(
+            job.job_id,
+            job.submit_time,
+            job.nodes,
+            job.runtime,
+            job.runtime * float(f),
+            job.user,
+            job.weight,
+            job.meta,
+        )
         for job, f in zip(jobs, factors)
     ]
 

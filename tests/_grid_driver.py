@@ -5,8 +5,9 @@ factory) through a journaled, cached :class:`ExperimentEngine`, printing
 the run id first so the parent test can SIGKILL it mid-run and resume
 the same journal afterwards::
 
-    python -m tests._grid_driver CACHE_DIR run     # plain run, handlers off
-    python -m tests._grid_driver CACHE_DIR sigint  # graceful-shutdown mode
+    python -m tests._grid_driver CACHE_DIR run       # plain run, handlers off
+    python -m tests._grid_driver CACHE_DIR sigint    # graceful-shutdown mode
+    python -m tests._grid_driver CACHE_DIR scenario  # spec-driven sweep
 
 In ``sigint`` mode the engine installs its signal handlers; on SIGINT it
 journals the remainder as ``interrupted``, prints ``INTERRUPTED <run_id>``
@@ -43,6 +44,24 @@ N_SLOW_ROWS = 9
 GRID_KWARGS = dict(total_nodes=256, workload_name="slow-grid")
 
 
+def make_scenario():
+    """The spec of the ``scenario`` mode; the resuming test rebuilds it.
+
+    Built in a function (not a module constant) so importing the driver
+    stays side-effect free; equal specs digest equally, so both
+    processes compute the identical run id.
+    """
+    from repro.scenarios import CancellationModel, LoadSurge, ScenarioSpec
+
+    return ScenarioSpec(
+        (
+            LoadSurge(at=200.0, duration=800.0, count=12, max_nodes=16),
+            CancellationModel(fraction=0.1),
+        ),
+        seed=13,
+    )
+
+
 def _slow_order(total_nodes, weight, threshold):
     time.sleep(CELL_DELAY)
     return KeyOrderPolicy(lambda job: job.submit_time, "slow")
@@ -70,6 +89,8 @@ def main(argv: list[str]) -> int:
         workers=1, cache=cache_dir, handle_signals=(mode == "sigint")
     )
     kwargs = dict(GRID_KWARGS, configs=configs)
+    if mode == "scenario":
+        kwargs["scenario"] = make_scenario()
     print(f"RUN_ID {engine.run_id_for(jobs, **kwargs)}", flush=True)
     try:
         engine.run(jobs, **kwargs)

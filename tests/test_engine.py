@@ -118,6 +118,29 @@ class TestResultCache:
         assert not path.exists()
         assert not path.with_suffix(".corrupt").exists()
 
+    def test_older_version_entries_are_evicted(self, tmp_path, workload):
+        """Entries written before a CACHE_VERSION bump (e.g. the v3 → v4
+        scenario-digest bump) read as misses and are evicted — both
+        through get() and through prune()."""
+        cache = ResultCache(tmp_path)
+        grid = run_grid(workload[:20], total_nodes=256,
+                        configs=[SchedulerConfig("fcfs", "list")])
+        for key, old_version in (("ab" * 32, CACHE_VERSION - 1), ("ba" * 32, 1)):
+            cache.put(key, grid.cells["fcfs/list"])
+            path = cache.path(key)
+            path.write_text(
+                path.read_text(encoding="utf-8").replace(
+                    f'"version": {CACHE_VERSION}', f'"version": {old_version}'
+                ),
+                encoding="utf-8",
+            )
+            assert cache.status(key) == "stale"
+        assert cache.get("ab" * 32) is None
+        assert not cache.path("ab" * 32).exists()
+        stats = cache.prune()
+        assert stats.stale_evicted == 1  # the one get() had not evicted yet
+        assert not cache.path("ba" * 32).exists()
+
     def test_status_is_nondestructive(self, tmp_path, workload):
         cache = ResultCache(tmp_path)
         grid = run_grid(workload[:20], total_nodes=256,
@@ -340,7 +363,7 @@ class TestWorkloadStore:
             )
             hasher.update(record.encode("ascii"))
         assert fingerprint_jobs(workload) == hasher.hexdigest()
-        assert CACHE_VERSION == 3
+        assert CACHE_VERSION == 4  # v4: scenario digest joined the fingerprint
 
 
 class TestProgressEvents:

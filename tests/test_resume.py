@@ -33,6 +33,7 @@ from tests._grid_driver import (
     N_SLOW_ROWS,
     build_configs,
     make_jobs,
+    make_scenario,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -154,6 +155,55 @@ class TestSigkillResume:
         assert summary.run_id == run_id
         assert summary.status == "complete"
         assert summary.completed == total
+
+    def test_sigkill_midrun_resume_of_scenario_sweep(self, tmp_path, slow_rows):
+        """A spec-driven sweep survives SIGKILL: the resuming process
+        rebuilds an equal spec, computes the identical run id (the
+        canonical scenario digest is an identity field) and stitches a
+        grid bit-identical to an uninterrupted scenario run."""
+        total = N_SLOW_ROWS + 1
+        cache_dir = tmp_path / "cache"
+        proc, run_id = _spawn_driver(cache_dir, "scenario")
+        journal = journal_path(cache_dir / "runs", run_id)
+        try:
+            done_at_kill = _wait_for_completions(journal, total // 2, proc)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        replay = read_journal(journal)
+        assert not replay.complete
+        assert replay.manifest["scenario"] == make_scenario().digest()
+
+        engine = ExperimentEngine(
+            workers=1, cache=cache_dir, handle_signals=False
+        )
+        resumed = engine.resume(
+            run_id,
+            make_jobs(),
+            configs=slow_rows,
+            scenario=make_scenario(),
+            **GRID_KWARGS,
+        )
+        assert engine.stats.run_id == run_id
+        assert engine.stats.cache_hits >= done_at_kill
+        assert engine.stats.simulated < total
+
+        fresh_engine = ExperimentEngine(
+            workers=1, cache=tmp_path / "fresh-cache", handle_signals=False
+        )
+        fresh = fresh_engine.run(
+            make_jobs(), configs=slow_rows, scenario=make_scenario(), **GRID_KWARGS
+        )
+        _assert_grids_identical(resumed, fresh)
+        assert read_journal(journal).complete
+        audit = verify_run(
+            run_id,
+            journal_dir=cache_dir / "runs",
+            cache=ResultCache(cache_dir),
+            grid=resumed,
+        )
+        assert audit.ok and audit.inconsistencies == 0
 
     def test_resume_with_wrong_run_id_is_unknown(self, tmp_path, slow_rows):
         engine = ExperimentEngine(

@@ -7,10 +7,11 @@ contract:
 * the old loose keywords still work, emit ``DeprecationWarning``, and
   produce bit-identical results to the bundled form;
 * the new surface is exported from ``repro`` / ``repro.core``;
-* the cache identity is untouched — ``CACHE_VERSION`` holds and the
-  fingerprint algorithm reproduces digests committed before the redesign,
-  with the backend deliberately absent from a cell's identity (caches
-  written under one backend serve the other).
+* the cache identity is pinned — ``CACHE_VERSION`` (bumped 3 → 4 when the
+  scenario digest entered every fingerprint) and the fingerprint
+  algorithm reproduce committed digests byte-for-byte, with the backend
+  deliberately absent from a cell's identity (caches written under one
+  backend serve the other).
 """
 
 import warnings
@@ -135,16 +136,23 @@ def test_exports():
 def test_cache_version_holds():
     from repro.experiments.engine import CACHE_VERSION
 
-    assert CACHE_VERSION == 3, (
-        "the backend API redesign must not invalidate existing caches; "
-        "if a true semantic change forced this bump, update this test "
-        "alongside a changelog entry explaining the invalidation"
+    assert CACHE_VERSION == 4, (
+        "v4 is the scenario-algebra bump: cell fingerprints gained the "
+        "canonical scenario digest (see docs/architecture.md, 'Scenario "
+        "algebra').  If a true semantic change forces another bump, "
+        "update this test alongside a changelog entry explaining the "
+        "invalidation"
     )
 
 
 def test_fingerprints_stable_across_redesign():
-    """Digests computed before the config/backend redesign still come out
-    byte-identical — proof the new parameters never entered the hash."""
+    """Fingerprints are pinned byte-for-byte under CACHE_VERSION 4.
+
+    The jobs digest predates every redesign and must never move.  The
+    cell digests were re-pinned exactly once, when the ``scenario`` key
+    (the canonical scenario-spec digest) entered the fingerprint payload
+    and CACHE_VERSION went 3 → 4; any further drift is an accidental
+    cache invalidation."""
     from repro.core.job import Job
     from repro.experiments.engine import cell_fingerprint, fingerprint_jobs
     from repro.schedulers.registry import SchedulerConfig
@@ -160,12 +168,16 @@ def test_fingerprints_stable_across_redesign():
     assert cell_fingerprint(
         digest, SchedulerConfig(row="fcfs", column="easy"),
         total_nodes=64, weighted=False,
-    ) == "4d0de0306dcd45793e139b51887937a11702f6de7dffd89025eb340f4bec0319"
+    ) == "f6dfb42884338fda728cf818693e7ba7b60c9e8eb48b32325eafd5204643fc6d"
     assert cell_fingerprint(
         digest, SchedulerConfig(row="fcfs", column="easy"),
         total_nodes=64, weighted=True, recompute_threshold=0.5,
         failures_digest="abc", recovery="resubmit",
-    ) == "62d31ce53deb8542874cb8d27bbd2881747c97ed9524b81618f7dc62fc010baa"
+    ) == "e2613fe6e35cfac7a832fcad8ef6a43bf8979dbece7f1f7c6f898d0048c7c4af"
+    assert cell_fingerprint(
+        digest, SchedulerConfig(row="fcfs", column="easy"),
+        total_nodes=64, weighted=False, scenario="d" * 64,
+    ) == "dad68d40b61ab61df707e60c42ae4ca2962e6b005710c4d36c81e37c4d472c65"
 
 
 def test_cache_hits_across_backends(tmp_path):
