@@ -12,7 +12,10 @@ These benchmarks measure what the zero-copy path saves:
 * **cold pool vs warm store dispatch** (script mode) — wall clock of a
   real pool round-trip with and without the store;
 * **journal append** — the fsynced per-cell cost of the run journal, the
-  price every journaled cell pays for crash tolerance.
+  price every journaled cell pays for crash tolerance;
+* **remote dispatch latency** — one length-prefixed, checksummed frame
+  round trip to an in-thread worker server: the pure per-cell tax of the
+  remote execution backend's wire protocol.
 
 Run under pytest-benchmark for statistics, or as a script for the CI
 perf-smoke baseline::
@@ -207,7 +210,7 @@ def measure_pool_dispatch(jobs: list[Job], use_store: bool, workers: int = 2) ->
     """
     from concurrent.futures import ProcessPoolExecutor
 
-    from repro.experiments.engine import _pool_context
+    from repro.experiments.backends.pool import pool_context
     from repro.experiments.workload_store import WorkloadStore, seed_worker_cache
 
     kwargs = {}
@@ -222,12 +225,50 @@ def measure_pool_dispatch(jobs: list[Job], use_store: bool, workers: int = 2) ->
 
     t0 = time.perf_counter()
     with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_pool_context(), **kwargs
+        max_workers=workers, mp_context=pool_context(), **kwargs
     ) as pool:
         counts = list(pool.map(task, [payload] * N_CELLS))
     elapsed = time.perf_counter() - t0
     assert counts == [len(jobs)] * N_CELLS
     return elapsed
+
+
+def measure_remote_dispatch(frames: int = 200) -> float:
+    """Seconds per remote protocol round trip (the per-cell fleet tax).
+
+    An in-thread :class:`WorkerServer` answers CACHE_GET probes over a
+    real TCP socket: each round trip pays the full frame cost — pickle,
+    checksum, send, recv, verify — without any simulation time, so this
+    is the pure dispatch latency a remote cell adds over a local one.
+    """
+    import threading
+
+    from repro.experiments.backends import protocol as proto
+    from repro.experiments.backends.worker import WorkerServer
+
+    server = WorkerServer("127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        import socket
+
+        sock = socket.create_connection((server.host, server.port), timeout=5.0)
+        try:
+            proto.send_frame(sock, proto.Kind.HELLO, {
+                "version": proto.PROTOCOL_VERSION, "heartbeat_interval": None,
+            })
+            assert proto.recv_frame(sock).kind is proto.Kind.WELCOME
+            t0 = time.perf_counter()
+            for _ in range(frames):
+                proto.send_frame(sock, proto.Kind.CACHE_GET, "ab" * 32)
+                assert proto.recv_frame(sock).kind is proto.Kind.CACHE_MISS
+            elapsed = time.perf_counter() - t0
+            proto.send_frame(sock, proto.Kind.BYE, None)
+        finally:
+            sock.close()
+    finally:
+        server.close()
+    return elapsed / frames
 
 
 def collect_measurements(rounds: int = 3) -> dict[str, float]:
@@ -251,6 +292,7 @@ def collect_measurements(rounds: int = 3) -> dict[str, float]:
         "pool_dispatch_legacy": measure_pool_dispatch(jobs, use_store=False),
         "pool_dispatch_store": measure_pool_dispatch(jobs, use_store=True),
         "journal_append_per_record": measure_journal_append(),
+        "remote_dispatch_per_frame": measure_remote_dispatch(),
     }
     measurements.update(payload_bytes(jobs))
     return measurements

@@ -1,0 +1,203 @@
+"""Pluggable byte-level stores behind :class:`~repro.experiments.engine.ResultCache`.
+
+A :class:`CacheStore` moves *raw JSON text* keyed by cell fingerprint;
+all semantics — version eviction, ``.corrupt`` quarantine, payload
+validation — stay in :class:`~repro.experiments.engine.ResultCache`,
+which composes one mandatory :class:`LocalDirStore` with an optional
+remote store in read-through/write-back fashion.  Keeping validation
+out of the stores is the poisoning defense: a remote entry is parsed
+and classified *before* it is trusted, so a corrupt or stale payload
+served by a fleet cache can never enter a ``GridResult`` (and is never
+written into the local store either).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+__all__ = ["CacheStore", "LocalDirStore", "RemoteCacheStore"]
+
+
+class CacheStore(ABC):
+    """Raw fingerprint -> JSON-text transport; no validation here."""
+
+    @abstractmethod
+    def load(self, fingerprint: str) -> str | None:
+        """The stored text, or ``None`` on miss or store failure."""
+
+    @abstractmethod
+    def save(self, fingerprint: str, text: str) -> None:
+        """Store ``text``; best effort (failures must not raise)."""
+
+
+class LocalDirStore(CacheStore):
+    """One ``<fp[:2]>/<fp>.json`` file per entry under a root directory.
+
+    Writes are crash-safe *and* race-safe: the payload goes to a
+    temporary file whose name carries the pid **and** a random token, so
+    two engines (or two threads) filling the same cache directory can
+    never collide on the temp name, and the ``os.replace`` finalization
+    means the loser of the rename race simply overwrites the winner's
+    identical bytes — first-writer-wins, same digest, no torn entry.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> str | None:
+        try:
+            return self.path(fingerprint).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def save(self, fingerprint: str, text: str) -> None:
+        path = self.path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f".{fingerprint}.{os.getpid()}.{secrets.token_hex(4)}.tmp"
+        )
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+
+class RemoteCacheStore(CacheStore):
+    """Client half of the CACHE_GET/CACHE_PUT protocol verbs.
+
+    Points at any :class:`~repro.experiments.backends.worker.WorkerServer`
+    started with a cache directory (a dedicated cache server is just a
+    worker nobody sends TASK frames to).  The connection is dialed
+    lazily and re-dialed after failures; while the server is unreachable
+    the store answers misses and drops writes for ``cooldown`` seconds
+    instead of stalling every cell on a dead socket — an unreachable
+    fleet cache degrades a run to local-only caching, never blocks it.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        timeout: float = 5.0,
+        cooldown: float = 30.0,
+    ) -> None:
+        from repro.experiments.backends.protocol import parse_address
+
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self.cooldown = cooldown
+        self._sock: socket.socket | None = None
+        self._retry_at = 0.0
+        #: Round trips that failed (connection or protocol); observable
+        #: so tests and audits can tell "miss" from "unreachable".
+        self.errors = 0
+
+    @property
+    def connected(self) -> bool:
+        """True while a handshaken connection is open (a ``None`` answer
+        with ``connected`` still true is a genuine miss, not an outage)."""
+        return self._sock is not None
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> socket.socket | None:
+        from repro.experiments.backends import protocol as proto
+
+        if self._sock is not None:
+            return self._sock
+        if time.monotonic() < self._retry_at:
+            return None
+        try:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+            sock.settimeout(self.timeout)
+            proto.send_frame(
+                sock,
+                proto.Kind.HELLO,
+                {"version": proto.PROTOCOL_VERSION, "heartbeat_interval": None},
+            )
+            frame = self._recv_meaningful(sock)
+            if frame.kind is not proto.Kind.WELCOME:
+                raise proto.ProtocolError(
+                    f"expected WELCOME, got {frame.kind.name}"
+                )
+        except (OSError, proto.ProtocolError):
+            self._drop()
+            return None
+        self._sock = sock
+        return sock
+
+    @staticmethod
+    def _recv_meaningful(sock: socket.socket):
+        """Next non-PING frame (the server heartbeats on every connection)."""
+        from repro.experiments.backends import protocol as proto
+
+        while True:
+            frame = proto.recv_frame(sock)
+            if frame.kind is not proto.Kind.PING:
+                return frame
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._sock = None
+        self.errors += 1
+        self._retry_at = time.monotonic() + self.cooldown
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._sock = None
+
+    # -- the store interface ----------------------------------------------
+
+    def load(self, fingerprint: str) -> str | None:
+        from repro.experiments.backends import protocol as proto
+
+        sock = self._connect()
+        if sock is None:
+            return None
+        try:
+            proto.send_frame(sock, proto.Kind.CACHE_GET, fingerprint)
+            frame = self._recv_meaningful(sock)
+        except (OSError, proto.ProtocolError):
+            self._drop()
+            return None
+        if frame.kind is proto.Kind.CACHE_VALUE:
+            fp, text = frame.payload
+            if fp == fingerprint and isinstance(text, str):
+                return text
+            self._drop()  # answered for the wrong key: distrust the peer
+            return None
+        if frame.kind is proto.Kind.CACHE_MISS:
+            return None
+        self._drop()
+        return None
+
+    def save(self, fingerprint: str, text: str) -> None:
+        from repro.experiments.backends import protocol as proto
+
+        sock = self._connect()
+        if sock is None:
+            return
+        try:
+            proto.send_frame(sock, proto.Kind.CACHE_PUT, (fingerprint, text))
+            frame = self._recv_meaningful(sock)
+            if frame.kind is not proto.Kind.CACHE_OK:
+                self._drop()
+        except (OSError, proto.ProtocolError):
+            self._drop()

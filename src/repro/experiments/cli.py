@@ -29,6 +29,20 @@ Every cached run is journaled under ``<cache>/runs/<run_id>.jsonl``
 A run killed by SIGINT/SIGTERM exits cleanly (status 130) after printing
 the ``--resume`` handle.
 
+A fleet of remote workers turns the same grid into a distributed run
+(trusted networks only — the wire protocol ships pickles)::
+
+    repro-experiments --serve-worker 9100            # on each worker host
+    repro-experiments all --backend-exec remote \\
+        --connect hostA:9100 --connect hostB:9100 \\
+        --remote-cache hostA:9100
+
+Execution backends never change results: grids, per-cell fingerprints
+and run ids are bit-identical whether cells ran serially, in a local
+pool, in sharded pools, or on a remote fleet that crashed halfway
+through (lease expiry, retries and the remote -> sharded -> local ->
+serial degradation ladder guarantee completion).
+
 Scenario runs (see :mod:`repro.scenarios`) are driven either by a JSON
 spec file or by convenience flags that translate into spec components::
 
@@ -220,6 +234,45 @@ def main(argv: list[str] | None = None) -> int:
         "— numpy when importable); results are bit-identical either way",
     )
     parser.add_argument(
+        "--backend-exec",
+        choices=["local", "sharded", "remote"],
+        default=None,
+        help="where grid cells execute: local (single process pool, "
+        "default), sharded (independent pool groups so one crash only "
+        "costs its own shard), or remote (TCP workers from --connect); "
+        "results are bit-identical across execution backends",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="pool groups for --backend-exec sharded (default 2)",
+    )
+    parser.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="remote worker address for --backend-exec remote (repeat "
+        "for a fleet); start workers with --serve-worker",
+    )
+    parser.add_argument(
+        "--serve-worker",
+        metavar="[HOST:]PORT",
+        default=None,
+        help="run a remote worker serving cells (and the shared cache, "
+        "unless --no-cache) on this address until killed, then exit; "
+        "trusted networks only — the protocol ships pickles",
+    )
+    parser.add_argument(
+        "--remote-cache",
+        metavar="HOST:PORT",
+        default=None,
+        help="shared fleet result cache: read through to this worker's "
+        "cache on local misses, write computed cells back (validated "
+        "before trust; unreachable degrades to local-only caching)",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=Path(".repro-cache"),
@@ -315,6 +368,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.serve_worker is not None:
+        from repro.experiments.backends.worker import serve_worker
+
+        cache_dir = None if args.no_cache else args.cache_dir
+        try:
+            serve_worker(args.serve_worker, cache_dir=cache_dir)
+        except KeyboardInterrupt:
+            return 130
+        return 0
     if args.list_runs:
         return _cmd_list_runs(args)
     if args.verify_run is not None:
@@ -323,6 +385,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("experiment ids are required (or --list-runs/--verify-run)")
     if args.resume is not None and args.no_cache:
         parser.error("--resume needs the cache; drop --no-cache")
+    if args.backend_exec == "remote" and not args.connect:
+        parser.error("--backend-exec remote needs at least one --connect")
+    if args.connect and args.backend_exec != "remote":
+        parser.error("--connect needs --backend-exec remote")
+    if args.remote_cache is not None and args.no_cache:
+        parser.error("--remote-cache needs the local cache; drop --no-cache")
     if args.recovery is not None and args.failure_mtbf is None:
         parser.error("--recovery needs --failure-mtbf")
     if args.failure_mttr is not None and args.failure_mtbf is None:
@@ -405,6 +473,10 @@ def main(argv: list[str] | None = None) -> int:
                 resume_run_id=args.resume,
                 backend=args.backend,
                 scenario=scenario,
+                execution_backend=args.backend_exec,
+                shards=args.shards,
+                connect=tuple(args.connect or ()),
+                remote_cache=args.remote_cache,
             )
         except RunInterrupted as exc:
             print(f"\ninterrupted by {exc.signal_name}: {exc}", file=sys.stderr)

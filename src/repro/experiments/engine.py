@@ -26,16 +26,26 @@ compare the tables".  :class:`ExperimentEngine` executes that grid:
   objective; the CLI renders them and
   :func:`repro.analysis.persistence.append_events` archives them as JSON
   lines;
+* **pluggable execution backends** — the dispatch loop drives an
+  abstract :class:`~repro.experiments.backends.base.ExecutionBackend`:
+  the default local process pool, a sharded multi-pool variant that
+  contains crashes to one shard, and a remote backend speaking a
+  length-prefixed checksummed socket protocol to
+  ``repro.experiments.backends.worker`` processes (see
+  docs/architecture.md, "Execution backends").  Work is assigned under
+  *leases*: an expired lease re-enters the retry ladder and a late
+  duplicate result is deduplicated idempotently by fingerprint;
 * **crash tolerance** — a worker crash (or a cell exceeding
   ``cell_timeout``) does not lose the grid: the affected cells are retried
-  with jittered exponential backoff, the pool is rebuilt when it breaks
-  (re-seeding the workload store), and once the retry/rebuild budgets are
-  exhausted the surviving cells degrade gracefully to in-process serial
-  execution, so the grid always completes (deterministic cell errors then
-  surface from the serial run, where they belong).  Backoff never blocks
-  the dispatch loop: a retried cell receives a *resubmit deadline* folded
-  into the ``wait`` timeout, so every other in-flight cell keeps being
-  collected while the pause elapses;
+  with jittered exponential backoff, the backend is reset when it breaks
+  (re-seeding the workload store), and once the retry/reset budgets are
+  exhausted the surviving cells degrade gracefully down the backend
+  ladder — remote -> sharded -> local pool -> in-process serial — so the
+  grid always completes (deterministic cell errors then surface from the
+  serial run, where they belong).  Backoff never blocks the dispatch
+  loop: a retried cell receives a *resubmit deadline* folded into the
+  collect timeout, so every other in-flight cell keeps being collected
+  while the pause elapses;
 * **scenario algebra** — grids can run under a compiled
   :class:`~repro.scenarios.spec.ScenarioSpec` (failures, cancellations,
   flash crowds, runtime variability, closed-loop arrivals — any
@@ -74,32 +84,40 @@ over this engine, so all existing callers share the same execution path.
 from __future__ import annotations
 
 import hashlib
-import heapq
 import json
 import math
-import multiprocessing
 import os
 import random
-import shutil
 import signal
-import tempfile
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from itertools import count
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Mapping, NamedTuple, Sequence
 
 from repro.core.job import Job
 from repro.core.packing import job_record
 from repro.core.simulator import Cancellation
+from repro.experiments.backends.base import (
+    BackendUnavailable,
+    CellTask,
+    ExecutionBackend,
+)
+from repro.experiments.backends.cache import (
+    CacheStore,
+    LocalDirStore,
+    RemoteCacheStore,
+)
+from repro.experiments.backends.pool import (
+    PoolBackend,
+    pool_context,
+    terminate_pool,
+)
+from repro.experiments.backends.remote import RemoteWorkerBackend
 from repro.experiments.journal import (
     ManifestMismatchError,
     RunInterrupted,
     RunJournal,
-    freshest_heartbeat,
     journal_path,
     manifest_diffs,
     manifest_for,
@@ -113,7 +131,6 @@ from repro.experiments.runner import (
 )
 from repro.experiments.workload_store import (
     WorkloadStore,
-    init_worker,
     resolve_worker_workload,
 )
 from repro.scenarios import ScenarioSpec, spec_from_legacy
@@ -227,10 +244,23 @@ class ResultCache:
     """Content-addressed cell store: one JSON file per fingerprint.
 
     Keys are the hex digests from :func:`cell_fingerprint`; values are
-    :class:`CellResult` payloads.  Writes are crash-safe: the payload goes
-    to a process-unique temporary file finalized with ``os.replace``, so a
-    killed run never leaves a truncated entry and concurrent engines never
-    clobber each other's half-written files.
+    :class:`CellResult` payloads.  Writes are crash-safe *and* race-safe
+    (see :class:`~repro.experiments.backends.cache.LocalDirStore`): the
+    payload goes to a temporary file whose name carries the pid and a
+    random token, finalized with ``os.replace``, so a killed run never
+    leaves a truncated entry and concurrent engines filling the same
+    directory never collide on the temp name.
+
+    An optional ``remote`` :class:`~repro.experiments.backends.cache.
+    CacheStore` turns the cache into a fleet-shared one, read-through /
+    write-back: a local miss consults the remote store, and every local
+    write is mirrored best-effort.  Remote payloads are **validated
+    before they are trusted** — only an entry that parses as a current-
+    version cell is returned or written back locally, so a corrupt,
+    stale or truncated entry served by a remote cache can never enter a
+    ``GridResult`` (``remote_rejected`` counts such refusals,
+    ``remote_hits`` the accepted ones).  An unreachable remote store
+    degrades the run to local-only caching; it never blocks or fails it.
 
     Reads distinguish three failure modes: a missing file or I/O error is
     a plain miss; a version-skewed entry is a miss that also **evicts**
@@ -249,11 +279,24 @@ class ResultCache:
     #: (younger ones may belong to a concurrently running engine).
     TMP_MAX_AGE = 3600.0
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        remote: "CacheStore | str | None" = None,
+    ) -> None:
         self.root = Path(root)
+        self._local = LocalDirStore(self.root)
+        if isinstance(remote, str):
+            remote = RemoteCacheStore(remote)
+        self.remote: "CacheStore | None" = remote
+        #: Local misses served by the remote store (validated payloads).
+        self.remote_hits = 0
+        #: Remote payloads refused on validation (corrupt/stale/skewed).
+        self.remote_rejected = 0
 
     def path(self, fingerprint: str) -> Path:
-        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+        return self._local.path(fingerprint)
 
     def get(self, fingerprint: str) -> CellResult | None:
         from repro.analysis.persistence import cell_from_dict
@@ -262,7 +305,7 @@ class ResultCache:
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
-            return None  # missing or unreadable device: plain miss
+            return self._get_remote(fingerprint)  # plain local miss
         try:
             payload = json.loads(text)
             if payload.get("version") != CACHE_VERSION:
@@ -273,11 +316,29 @@ class ResultCache:
                     path.unlink()
                 except OSError:  # pragma: no cover - racing cleanup
                     pass
-                return None
+                return self._get_remote(fingerprint)
             return cell_from_dict(payload["cell"])
         except (AttributeError, KeyError, TypeError, ValueError):
             self._quarantine(path)
+            return self._get_remote(fingerprint)
+
+    def _get_remote(self, fingerprint: str) -> CellResult | None:
+        """Read-through: validate a remote payload before trusting it."""
+        from repro.analysis.persistence import cell_from_dict
+
+        if self.remote is None:
             return None
+        text = self.remote.load(fingerprint)
+        if text is None:
+            return None
+        if self._classify(text) != "hit":
+            # Never quarantined or written locally: a poisoned fleet
+            # cache entry stays on the remote side, visibly counted.
+            self.remote_rejected += 1
+            return None
+        self.remote_hits += 1
+        self._local.save(fingerprint, text)  # write-back for next time
+        return cell_from_dict(json.loads(text)["cell"])
 
     def status(self, fingerprint: str) -> str:
         """Classify an entry without touching it.
@@ -360,15 +421,10 @@ class ResultCache:
     def put(self, fingerprint: str, cell: CellResult) -> None:
         from repro.analysis.persistence import cell_to_dict
 
-        path = self.path(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"version": CACHE_VERSION, "cell": cell_to_dict(cell)}
-        tmp = path.parent / f".{fingerprint}.{os.getpid()}.tmp"
-        try:
-            tmp.write_text(json.dumps(payload), encoding="utf-8")
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        text = json.dumps({"version": CACHE_VERSION, "cell": cell_to_dict(cell)})
+        self._local.save(fingerprint, text)
+        if self.remote is not None:
+            self.remote.save(fingerprint, text)  # write-back, best effort
 
 
 # -- progress events -----------------------------------------------------------
@@ -379,7 +435,8 @@ class ProgressEvent:
     """One structured engine event.
 
     ``kind`` is ``grid-started``, ``cell-started``, ``cache-hit``,
-    ``cell-finished``, ``cell-retry``, ``engine-degraded`` or
+    ``cell-finished``, ``cell-retry``, ``cell-duplicate`` (a late result
+    for an already-completed cell, deduplicated), ``engine-degraded`` or
     ``grid-finished``; ``key`` is the cell key for cell-level events and
     ``None`` for grid-level ones.  ``wall_time`` is the wall-clock of the
     finished unit (whole grid for grid-finished; the backoff pause for
@@ -414,10 +471,17 @@ class RunStats:
     wall_time: float = 0.0
     #: Worker-side retries (crashes or timeouts) during this run.
     retries: int = 0
-    #: Pool rebuilds forced by broken or hung pools.
+    #: Backend resets (pool rebuilds, remote reconnect sweeps) forced by
+    #: broken or hung backends.
     pool_rebuilds: int = 0
     #: Cells that fell back to in-process serial execution.
     degraded_cells: int = 0
+    #: Late results for already-completed cells, dropped idempotently
+    #: (a revoked lease whose worker answered anyway).
+    duplicate_results: int = 0
+    #: Name of the execution backend that dispatched this run
+    #: ("serial" when no backend was started).
+    backend: str = "serial"
     #: Deterministic run id of the journal backing this run (``None``
     #: when the run was not journaled).
     run_id: str | None = None
@@ -481,28 +545,51 @@ def _run_cell_task(
     return config.key, cell, time.perf_counter() - t0
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork so in-process registry registrations reach the workers."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+# The pool primitives moved to repro.experiments.backends.pool with the
+# ExecutionBackend split; the private names stay importable for callers
+# that reached into them (benchmarks, notebooks).
+_pool_context = pool_context
+_terminate_pool = terminate_pool
 
 
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a (possibly hung) pool down without waiting for its workers.
+def _watchdog_defaults() -> "tuple[float | None, float | None]":
+    """Watchdog ``(interval, timeout)`` from ``REPRO_WATCHDOG_*`` env vars.
 
-    The process table must be captured *before* ``shutdown`` — it nulls
-    ``_processes``, and a worker stuck in a simulation never notices a mere
-    shutdown request.  Unterminated hung workers would keep the executor's
-    manager thread alive, which ``concurrent.futures`` joins at interpreter
-    exit: the whole process would hang long after the grid finished.
+    ``REPRO_WATCHDOG_INTERVAL`` overrides the 15 s heartbeat default
+    (``0``/``off``/``none``/``disabled`` turns the watchdog off);
+    ``REPRO_WATCHDOG_TIMEOUT`` overrides the staleness budget that
+    otherwise defaults to ``max(4 * interval, 30.0)``.  Explicit engine
+    kwargs always win over the environment.
     """
-    procs = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for proc in procs:
+    interval: float | None = 15.0
+    raw = os.environ.get("REPRO_WATCHDOG_INTERVAL", "").strip()
+    if raw:
+        if raw.lower() in ("0", "off", "none", "disabled"):
+            interval = None
+        else:
+            try:
+                interval = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WATCHDOG_INTERVAL must be a number of seconds "
+                    f"or 'off', got {raw!r}"
+                ) from None
+    timeout: float | None = None
+    raw = os.environ.get("REPRO_WATCHDOG_TIMEOUT", "").strip()
+    if raw:
         try:
-            proc.terminate()
-        except (OSError, ValueError):  # pragma: no cover - already dead
-            pass
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WATCHDOG_TIMEOUT must be a number of seconds, "
+                f"got {raw!r}"
+            ) from None
+    return interval, timeout
+
+
+#: Sentinel distinguishing "kwarg not passed" (environment default
+#: applies) from an explicit ``heartbeat_interval=None`` (watchdog off).
+_WATCHDOG_UNSET: object = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -590,14 +677,36 @@ class ExperimentEngine:
         journal-free.
     heartbeat_interval:
         Seconds between worker heartbeat touches (the watchdog's input).
-        ``None`` disables the watchdog entirely.
+        ``None`` disables the watchdog entirely.  When not passed, the
+        ``REPRO_WATCHDOG_INTERVAL`` environment variable overrides the
+        15 s default (``off`` disables).
     heartbeat_timeout:
         Driver-side staleness budget: when no worker heartbeat is newer
-        than this while cells are in flight, the pool is presumed
+        than this while cells are in flight, the backend is presumed
         silently dead (SIGKILLed, SIGSTOPped) and every in-flight cell
-        is charged a retry.  Defaults to
+        is charged a retry.  Defaults to the ``REPRO_WATCHDOG_TIMEOUT``
+        environment variable when set, else
         ``max(4 * heartbeat_interval, 30.0)`` so one missed touch never
         trips it.
+    execution_backend:
+        ``"local"`` (the default) dispatches to one process pool —
+        exactly the historical behaviour; ``"sharded"`` splits the same
+        worker budget across ``shards`` independent pools so one
+        crashing or hung cell only takes its own shard's in-flight cells
+        with it; ``"remote"`` dispatches over TCP to
+        ``repro.experiments.backends.worker`` processes named by
+        ``connect``.  Every mode degrades down the ladder
+        remote -> sharded -> local pool -> serial, so the grid completes
+        regardless of backend health.
+    shards:
+        Pool groups for the sharded backend (also the sharded rung of
+        the remote ladder).
+    connect:
+        ``HOST:PORT`` worker addresses for ``execution_backend="remote"``.
+    remote_cache:
+        ``HOST:PORT`` of a fleet cache server (any worker started with a
+        cache directory).  The local cache becomes read-through /
+        write-back against it; requires a local cache.
     handle_signals:
         When true (the default), journaled runs install SIGINT/SIGTERM
         handlers for graceful shutdown: dispatch stops, in-flight cells
@@ -627,14 +736,47 @@ class ExperimentEngine:
         max_pool_rebuilds: int = 2,
         use_workload_store: bool = True,
         journal_dir: str | Path | None = None,
-        heartbeat_interval: float | None = 15.0,
+        heartbeat_interval: float | None = _WATCHDOG_UNSET,  # type: ignore[assignment]
         heartbeat_timeout: float | None = None,
         handle_signals: bool = True,
         backend: str | None = None,
+        execution_backend: str | None = None,
+        shards: int = 2,
+        connect: Sequence[str] = (),
+        remote_cache: str | None = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else 1)
         self.backend = backend
-        self.cache = ResultCache(cache) if isinstance(cache, (str, Path)) else cache
+        self.cache = (
+            ResultCache(cache, remote=remote_cache)
+            if isinstance(cache, (str, Path))
+            else cache
+        )
+        if remote_cache is not None:
+            if self.cache is None:
+                raise ValueError(
+                    "remote_cache requires a local cache directory "
+                    "(remote entries are validated and written back locally)"
+                )
+            if self.cache.remote is None:
+                self.cache.remote = RemoteCacheStore(remote_cache)
+        self.remote_cache = remote_cache
+        mode = execution_backend or "local"
+        if mode not in ("local", "sharded", "remote"):
+            raise ValueError(
+                f"execution_backend must be 'local', 'sharded' or 'remote', "
+                f"got {execution_backend!r}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.connect = tuple(connect)
+        if mode == "remote" and not self.connect:
+            raise ValueError(
+                "execution_backend='remote' needs at least one "
+                "connect='HOST:PORT' worker address"
+            )
+        self.execution_backend = mode
+        self.shards = shards
         self.on_event = on_event
         self.use_workload_store = use_workload_store
         self.workload_store = WorkloadStore()
@@ -648,6 +790,11 @@ class ExperimentEngine:
             raise ValueError(
                 f"max_pool_rebuilds must be non-negative, got {max_pool_rebuilds}"
             )
+        env_interval, env_timeout = _watchdog_defaults()
+        if heartbeat_interval is _WATCHDOG_UNSET:
+            heartbeat_interval = env_interval
+        if heartbeat_timeout is None:
+            heartbeat_timeout = env_timeout
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError(
                 f"heartbeat_interval must be positive, got {heartbeat_interval}"
@@ -765,6 +912,8 @@ class ExperimentEngine:
             n_jobs=len(jobs),
             reference_key=reference_key,
             scenario=scenario_digest,
+            execution_backend=self.execution_backend,
+            remote_cache=self.remote_cache or "",
         )
         return _PreparedRun(
             jobs=jobs,
@@ -979,8 +1128,10 @@ class ExperimentEngine:
 
             previous = self._install_signal_handlers() if journal is not None else None
             try:
-                if self.workers > 1 and len(pending) > 1:
-                    self._run_parallel(
+                if (
+                    self.workers > 1 or self.execution_backend != "local"
+                ) and len(pending) > 1:
+                    self._run_distributed(
                         pending, jobs, grid, stats, recompute_threshold, results,
                         failures, recovery, prep.cancellations,
                         prep.cancel_over_limit, prep.digest,
@@ -1135,7 +1286,43 @@ class ExperimentEngine:
             wall = time.perf_counter() - t0
             self._record(config.key, fp, cell, wall, grid, stats, results)
 
-    def _run_parallel(
+    def _backend_ladder(
+        self,
+        store_entries: "tuple | None",
+        n_cells: int,
+    ) -> "list[Callable[[], ExecutionBackend]]":
+        """Backend factories, best first: remote -> sharded -> local pool.
+
+        In-process serial execution (the unconditional last resort) is
+        not a rung: :meth:`_run_distributed` hands any leftovers straight
+        to :meth:`_run_serial`.
+        """
+
+        def pool_rung(groups: int) -> "Callable[[], ExecutionBackend]":
+            return lambda: PoolBackend(
+                workers=self.workers,
+                n_cells=n_cells,
+                groups=groups,
+                store_entries=store_entries,
+                heartbeat_interval=self.heartbeat_interval,
+            )
+
+        factories: "list[Callable[[], ExecutionBackend]]" = []
+        if self.execution_backend == "remote":
+            factories.append(
+                lambda: RemoteWorkerBackend(
+                    self.connect,
+                    store_entries=store_entries,
+                    heartbeat_interval=self.heartbeat_interval,
+                    reconnect_backoff=max(self.retry_backoff, 0.05),
+                )
+            )
+        if self.execution_backend in ("remote", "sharded") and self.shards > 1:
+            factories.append(pool_rung(self.shards))
+        factories.append(pool_rung(1))
+        return factories
+
+    def _run_distributed(
         self,
         pending: list[tuple[SchedulerConfig, str]],
         jobs: list[Job],
@@ -1149,15 +1336,29 @@ class ExperimentEngine:
         cancel_over_limit: bool,
         digest: str,
     ) -> None:
+        """Drive the grid down the execution-backend ladder.
+
+        One backend at a time: cells are leased out (``cell_timeout``
+        stamps the deadline at submit), an expired lease is revoked and
+        charged into the retry/backoff ladder, a late duplicate result is
+        dropped idempotently by fingerprint, and a backend that cannot
+        start — or breaks more than ``max_pool_rebuilds`` times on one
+        rung — hands its leftovers to the next rung.  In-process serial
+        execution is the unconditional last resort, so the grid always
+        completes.
+        """
         config_by_fp = {fp: config for config, fp in pending}
+        order = [fp for _, fp in pending]
         attempts: dict[str, int] = {}
-        serial_fallback: list[tuple[SchedulerConfig, str]] = []
+        completed: set[str] = set()
+        serial_fallback: list[str] = []
         rng = random.Random()
-        rebuilds = 0
+        hb_budget = self.heartbeat_timeout or 0.0
 
         # Zero-copy dispatch: register the packed stream once, ship only
-        # the digest per cell; workers hydrate via the pool initializer.
-        # The legacy path (store off) pickles the job tuple per cell.
+        # the digest per cell; pool workers hydrate via the initializer,
+        # remote workers via a one-time SEED frame per connection.  The
+        # legacy path (store off) pickles the job tuple per cell.
         if self.use_workload_store:
             self.workload_store.register(digest, jobs)
             store_entries = self.workload_store.entries(digest)
@@ -1166,84 +1367,161 @@ class ExperimentEngine:
             store_entries = None
             payload = tuple(jobs)
 
-        # Worker watchdog: each worker touches <hb_dir>/<pid>.hb from a
-        # daemon thread (see workload_store.init_worker); the dispatch
-        # loop treats a directory with no fresh touch while cells are in
-        # flight as a silently dead pool (SIGKILL leaves no
-        # BrokenProcessPool until the executor notices — sometimes never
-        # for a SIGSTOPped worker).  ``hb_epoch`` marks pool creation so
-        # a fresh pool gets the full budget before its first touch.
-        hb_dir = (
-            tempfile.mkdtemp(prefix="repro-hb-")
-            if self.heartbeat_interval is not None
-            else None
-        )
-        hb_budget = self.heartbeat_timeout or 0.0
-        hb_epoch = time.time()
-
-        def hb_freshest() -> float:
-            newest = freshest_heartbeat(hb_dir) if hb_dir is not None else None
-            return max(newest or 0.0, hb_epoch)
-
-        def task_args(config: SchedulerConfig) -> tuple:
-            return (
-                config.row,
-                config.column,
-                payload,
-                grid.total_nodes,
-                grid.weighted,
-                recompute_threshold,
-                failures,
-                recovery,
-                cancellations,
-                cancel_over_limit,
-                self.backend,
+        def make_task(fp: str) -> CellTask:
+            config = config_by_fp[fp]
+            return CellTask(
+                fingerprint=fp,
+                key=config.key,
+                args=(
+                    config.row,
+                    config.column,
+                    payload,
+                    grid.total_nodes,
+                    grid.weighted,
+                    recompute_threshold,
+                    failures,
+                    recovery,
+                    cancellations,
+                    cancel_over_limit,
+                    self.backend,
+                ),
             )
 
-        def make_pool() -> ProcessPoolExecutor:
-            # A rebuilt pool re-seeds its workers from the store and
-            # re-arms their heartbeats: the initializer runs again in
-            # every fresh worker process.
-            nonlocal hb_epoch
-            kwargs: dict = {}
-            if store_entries is not None or hb_dir is not None:
-                kwargs["initializer"] = init_worker
-                kwargs["initargs"] = (
-                    store_entries,
-                    hb_dir,
-                    self.heartbeat_interval,
+        def record_done(fp: str, value: tuple) -> None:
+            if fp in completed:
+                # A revoked lease answered after all: the cell already
+                # counted once; the duplicate is dropped, visibly.
+                stats.duplicate_results += 1
+                self._emit(
+                    ProgressEvent(
+                        kind="cell-duplicate",
+                        workload_name=grid.workload_name,
+                        weighted=grid.weighted,
+                        key=config_by_fp[fp].key,
+                        detail="late duplicate result dropped",
+                    )
                 )
-            hb_epoch = time.time()
-            return ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending)),
-                mp_context=_pool_context(),
-                **kwargs,
+                return
+            completed.add(fp)
+            key, cell, wall = value
+            self._record(key, fp, cell, wall, grid, stats, results)
+
+        def emit_degraded(detail: str) -> None:
+            self._emit(
+                ProgressEvent(
+                    kind="engine-degraded",
+                    workload_name=grid.workload_name,
+                    weighted=grid.weighted,
+                    detail=detail,
+                )
             )
 
-        pool = make_pool()
-        futures: dict[Future, str] = {}
-        deadlines: dict[Future, float] = {}
-        #: Min-heap of (deadline, seq, future) mirroring ``deadlines`` —
-        #: the next-deadline lookup is O(log n) with lazy invalidation
-        #: instead of min(deadlines.values()) on every wakeup.  Unused
-        #: (and unmaintained) when no cell timeout is configured.
-        deadline_heap: list[tuple[float, int, Future]] = []
-        heap_seq = count()
-        #: Cells waiting out a retry backoff: fp -> perf_counter instant at
-        #: which they go back to the pool.  Folding these deadlines into
-        #: the wait timeout (instead of time.sleep in the monitor loop)
-        #: keeps every other in-flight future being collected during the
-        #: pause.
-        resubmit_at: dict[str, float] = {}
+        queue: list[str] = []
+        for config, fp in pending:
+            self._emit(
+                ProgressEvent(
+                    kind="cell-started",
+                    workload_name=grid.workload_name,
+                    weighted=grid.weighted,
+                    key=config.key,
+                )
+            )
+            queue.append(fp)
 
-        def submit(fp: str) -> None:
+        ladder = self._backend_ladder(store_entries, len(pending))
+        for rung, factory in enumerate(ladder):
+            if not queue:
+                break
+            backend = factory()
+            leftovers: list[str] = list(queue)
+            try:
+                try:
+                    backend.start()
+                except BackendUnavailable as exc:
+                    if rung + 1 < len(ladder):
+                        emit_degraded(
+                            f"{backend.name} backend unavailable ({exc}); "
+                            f"falling back to the next execution backend"
+                        )
+                    continue
+                if stats.backend == "serial":
+                    stats.backend = backend.name
+                leftovers = self._drive_backend(
+                    backend, queue, grid, config_by_fp, attempts, completed,
+                    serial_fallback, make_task, record_done, rng, stats,
+                    hb_budget,
+                )
+            finally:
+                backend.close()
+                queue = leftovers
+            if queue and rung + 1 < len(ladder):
+                emit_degraded(
+                    f"{backend.name} backend gave up with {len(queue)} "
+                    f"cell(s) unfinished; falling back to the next "
+                    f"execution backend"
+                )
+        serial_fallback.extend(queue)
+
+        if serial_fallback:
+            # Deduplicate while preserving grid order (a cell can be
+            # queued for fallback once via retries and once via the reset
+            # budget), and drop anything a late duplicate already
+            # completed.
+            chosen = set(serial_fallback) - completed
+            unique = [(config_by_fp[fp], fp) for fp in order if fp in chosen]
+            if not unique:
+                return
+            stats.degraded_cells += len(unique)
+            emit_degraded(
+                f"{len(unique)} cell(s) fell back to in-process serial "
+                f"execution after {stats.retries} retries and "
+                f"{stats.pool_rebuilds} pool rebuilds"
+            )
+            self._run_serial(
+                unique, jobs, grid, stats, recompute_threshold, results,
+                failures, recovery, cancellations, cancel_over_limit,
+            )
+
+    def _drive_backend(
+        self,
+        backend: ExecutionBackend,
+        queue: list[str],
+        grid: GridResult,
+        config_by_fp: "dict[str, SchedulerConfig]",
+        attempts: dict[str, int],
+        completed: set[str],
+        serial_fallback: list[str],
+        make_task: "Callable[[str], CellTask]",
+        record_done: "Callable[[str, tuple], None]",
+        rng: random.Random,
+        stats: RunStats,
+        hb_budget: float,
+    ) -> list[str]:
+        """Run ``queue`` on one started backend; return its leftovers.
+
+        An empty return means the rung finished (or charged into the
+        serial fallback) every cell it was given; a non-empty one means
+        the rung's reset budget is exhausted and the remainder belongs to
+        the next rung down the ladder.
+        """
+        queue = list(queue)
+        #: fp -> perf_counter deadline of the cell's lease, stamped at
+        #: submit — exactly the historical per-future timeout deadline.
+        leases: dict[str, float] = {}
+        #: Cells waiting out a retry backoff: fp -> perf_counter instant
+        #: at which they go back to the backend.  Folding these deadlines
+        #: into the collect timeout (instead of sleeping in the loop)
+        #: keeps every other in-flight cell being collected meanwhile.
+        resubmit_at: dict[str, float] = {}
+        resets = 0
+
+        def submit_one(fp: str) -> bool:
+            if not backend.submit(make_task(fp)):
+                return False
             self._journal_cell(config_by_fp[fp].key, "started", fingerprint=fp)
-            future = pool.submit(_run_cell_task, task_args(config_by_fp[fp]))
-            futures[future] = fp
             if self.cell_timeout is not None:
-                deadline = time.perf_counter() + self.cell_timeout
-                deadlines[future] = deadline
-                heapq.heappush(deadline_heap, (deadline, next(heap_seq), future))
+                leases[fp] = time.perf_counter() + self.cell_timeout
+            return True
 
         def charge_retry(fp: str, why: str) -> None:
             """Charge a retry for ``fp``: schedule its resubmission, or send
@@ -1253,7 +1531,7 @@ class ExperimentEngine:
                 self._journal_cell(
                     config_by_fp[fp].key, "abandoned", fingerprint=fp, detail=why
                 )
-                serial_fallback.append((config_by_fp[fp], fp))
+                serial_fallback.append(fp)
                 return
             self._journal_cell(
                 config_by_fp[fp].key, "failed", fingerprint=fp, detail=why
@@ -1276,211 +1554,169 @@ class ExperimentEngine:
             )
             resubmit_at[fp] = time.perf_counter() + pause
 
+        def spend_reset() -> bool:
+            """Count one backend reset; False once the rung is beyond help."""
+            nonlocal resets
+            stats.pool_rebuilds += 1
+            resets += 1
+            if resets > self.max_pool_rebuilds:
+                return False
+            return backend.reset(lambda: self._interrupted is not None)
+
+        def leftovers() -> list[str]:
+            seen: set[str] = set()
+            out: list[str] = []
+            for fp in [*queue, *resubmit_at, *sorted(backend.in_flight())]:
+                if fp not in completed and fp not in seen:
+                    seen.add(fp)
+                    out.append(fp)
+            return out
+
         def next_wait_timeout() -> float | None:
             """Seconds until the next dispatch-loop deadline (None: never).
 
-            Folds together the cell-timeout heap (peeked with lazy
-            invalidation), the soonest retry resubmission, the watchdog's
-            heartbeat deadline, and — while signal handlers are active —
-            a 0.5 s responsiveness cap so a SIGINT/SIGTERM flag is
-            noticed promptly even though ``wait`` resumes after the
-            handler runs (PEP 475).
+            Folds together the soonest lease expiry, the soonest retry
+            resubmission, the watchdog's heartbeat deadline, and — while
+            signal handlers are active — a 0.5 s responsiveness cap so a
+            SIGINT/SIGTERM flag is noticed promptly even though blocking
+            waits resume after the handler runs (PEP 475).
             """
             now = time.perf_counter()
             candidates: list[float] = []
-            if self.cell_timeout is not None:
-                while deadline_heap and deadline_heap[0][2] not in futures:
-                    heapq.heappop(deadline_heap)
-                if deadline_heap:
-                    candidates.append(deadline_heap[0][0] - now)
+            if leases:
+                candidates.append(min(leases.values()) - now)
             if resubmit_at:
                 candidates.append(min(resubmit_at.values()) - now)
-            if hb_dir is not None and futures:
-                candidates.append((hb_freshest() + hb_budget) - time.time())
+            live = backend.liveness()
+            if live is not None and hb_budget and backend.in_flight():
+                candidates.append((live + hb_budget) - time.time())
             if self._handlers_active:
                 candidates.append(0.5)
             if not candidates:
                 return None
             return max(0.0, min(candidates))
 
-        for config, fp in pending:
-            self._emit(
-                ProgressEvent(
-                    kind="cell-started",
-                    workload_name=grid.workload_name,
-                    weighted=grid.weighted,
-                    key=config.key,
+        while queue or backend.in_flight() or resubmit_at:
+            if self._interrupted is not None:
+                # Graceful shutdown: journal everything unfinished as
+                # interrupted, drop the backend, surface the resumable id.
+                unfinished = (
+                    set(queue)
+                    | backend.in_flight()
+                    | set(resubmit_at)
+                    | set(serial_fallback)
+                ) - completed
+                for fp in sorted(unfinished):
+                    self._journal_cell(
+                        config_by_fp[fp].key, "interrupted", fingerprint=fp
+                    )
+                raise RunInterrupted(
+                    self._run_id,
+                    signal_name=self._interrupted,
+                    completed=stats.cache_hits + stats.simulated,
+                    remaining=len(unfinished),
                 )
-            )
-            submit(fp)
-
-        try:
-            while futures or resubmit_at:
-                if self._interrupted is not None:
-                    # Graceful shutdown: journal everything unfinished as
-                    # interrupted, kill the pool, surface the resumable id.
-                    unfinished = (
-                        set(futures.values())
-                        | set(resubmit_at)
-                        | {fp for _, fp in serial_fallback}
-                    )
-                    for fp in sorted(unfinished):
-                        self._journal_cell(
-                            config_by_fp[fp].key, "interrupted", fingerprint=fp
-                        )
-                    raise RunInterrupted(
-                        self._run_id,
-                        signal_name=self._interrupted,
-                        completed=stats.cache_hits + stats.simulated,
-                        remaining=len(unfinished),
-                    )
+            now = time.perf_counter()
+            for fp in [f for f, at in resubmit_at.items() if at <= now]:
+                del resubmit_at[fp]
+                queue.append(fp)
+            while queue and backend.can_accept():
+                fp = queue.pop(0)
+                if submit_one(fp):
+                    continue
+                queue.insert(0, fp)
+                break
+            if not backend.in_flight():
+                if queue:
+                    # Wedged: work waiting, nothing running, no capacity
+                    # — spend a reset (for a remote backend this is the
+                    # blocking reconnect sweep) or yield to the next rung.
+                    if not spend_reset():
+                        return leftovers()
+                    continue
                 if resubmit_at:
-                    now = time.perf_counter()
-                    due = [fp for fp, at in resubmit_at.items() if at <= now]
-                    for fp in due:
-                        del resubmit_at[fp]
-                        submit(fp)
-                    if not futures:
-                        # Nothing in flight: idle until the next resubmit
-                        # (capped for signal responsiveness while handlers
-                        # are active).
-                        pause = min(resubmit_at.values()) - time.perf_counter()
-                        if self._handlers_active:
-                            pause = min(pause, 0.5)
-                        if pause > 0:
-                            time.sleep(pause)
-                        continue
-                done, _ = wait(
-                    set(futures),
-                    timeout=next_wait_timeout(),
-                    return_when=FIRST_COMPLETED,
-                )
-                retry_now: list[str] = []
-                pool_broken = False
-                if not done:
-                    now = time.perf_counter()
-                    overdue = {
-                        fp
-                        for future, fp in futures.items()
-                        if now >= deadlines.get(future, math.inf)
-                    }
-                    # Watchdog: no worker heartbeat within the budget while
-                    # cells are in flight means the pool died without a
-                    # BrokenProcessPool (SIGKILL before first result,
-                    # SIGSTOP forever) — every in-flight cell is charged,
-                    # since a dead pool leaves no one to blame precisely.
-                    stalled = (
-                        hb_dir is not None
-                        and bool(futures)
-                        and time.time() - hb_freshest() > hb_budget
-                    )
-                    if not overdue and not stalled:
-                        # Woke for a resubmit/responsiveness deadline, not
-                        # a hung cell or dead pool.
-                        continue
-                    # A cell blew its wall-clock budget (or the pool lost
-                    # its pulse): kill the pool; charged cells take a
-                    # retry, every other in-flight cell resubmits for free.
-                    for future, fp in futures.items():
-                        if fp in overdue:
-                            charge_retry(
-                                fp, f"exceeded cell_timeout={self.cell_timeout}s"
-                            )
-                        elif stalled:
-                            charge_retry(
-                                fp,
-                                f"lost worker heartbeat for more than "
-                                f"{hb_budget:.0f}s: pool presumed dead",
-                            )
-                        else:
-                            retry_now.append(fp)
-                    futures.clear()
-                    deadlines.clear()
-                    deadline_heap.clear()
-                    pool_broken = True
-                else:
-                    for future in done:
-                        fp = futures.pop(future)
-                        deadlines.pop(future, None)
-                        try:
-                            key, cell, wall = future.result()
-                        except BrokenProcessPool as exc:
-                            pool_broken = True
-                            charge_retry(fp, f"worker crashed: {exc!r}")
-                        except Exception as exc:
-                            # The task itself raised inside a healthy
-                            # worker: retry (flaky crashes recover), then
-                            # surface deterministic errors via the serial
-                            # fallback where the traceback is direct.
-                            charge_retry(fp, f"cell raised: {exc!r}")
-                        else:
-                            self._record(
-                                key, fp, cell, wall, grid, stats, results
-                            )
-                    if pool_broken:
-                        # A broken executor dooms every in-flight future;
-                        # resubmit them to the next pool uncharged.
-                        retry_now.extend(futures.values())
-                        futures.clear()
-                        deadlines.clear()
-                        deadline_heap.clear()
-                if pool_broken:
-                    _terminate_pool(pool)
-                    rebuilds += 1
-                    stats.pool_rebuilds += 1
-                    if rebuilds > self.max_pool_rebuilds:
-                        # Give up on parallelism entirely: everything still
-                        # in flight or waiting out a backoff goes serial.
-                        serial_fallback.extend(
-                            (config_by_fp[fp], fp) for fp in retry_now
-                        )
-                        serial_fallback.extend(
-                            (config_by_fp[fp], fp) for fp in futures.values()
-                        )
-                        serial_fallback.extend(
-                            (config_by_fp[fp], fp) for fp in resubmit_at
-                        )
-                        futures.clear()
-                        deadlines.clear()
-                        deadline_heap.clear()
-                        resubmit_at.clear()
-                        break
-                    pool = make_pool()
-                for fp in retry_now:
-                    submit(fp)
-        finally:
-            _terminate_pool(pool)
-            if hb_dir is not None:
-                # Worker heartbeat threads exit on their next touch (the
-                # sentinel directory is gone).
-                shutil.rmtree(hb_dir, ignore_errors=True)
+                    # Nothing in flight: idle until the next resubmit
+                    # (capped for signal responsiveness while handlers
+                    # are active).
+                    pause = min(resubmit_at.values()) - time.perf_counter()
+                    if self._handlers_active:
+                        pause = min(pause, 0.5)
+                    if pause > 0:
+                        time.sleep(pause)
+                continue
+            outcomes = backend.collect(next_wait_timeout())
+            broke = False
+            for outcome in outcomes:
+                fp = outcome.fingerprint
+                leases.pop(fp, None)
+                if outcome.kind == "done":
+                    # A late answer may beat its own retry: cancel the
+                    # cell's other copies wherever they are queued.
+                    resubmit_at.pop(fp, None)
+                    if fp in queue:
+                        queue.remove(fp)
+                    if fp in serial_fallback:
+                        serial_fallback.remove(fp)
+                    record_done(fp, outcome.value)
+                    continue
+                if outcome.kind == "broken":
+                    broke = True
+                if fp in completed:
+                    continue  # stale failure for an already-answered cell
+                charge_retry(fp, outcome.detail)
+            if broke:
+                # Broken backend parts doom their other in-flight cells;
+                # requeue them uncharged for the healed backend.
+                for fp in backend.drain_broken():
+                    leases.pop(fp, None)
+                    queue.append(fp)
+                if not spend_reset():
+                    return leftovers()
+                continue
+            if outcomes:
+                continue
+            # collect() timed out: check leases and the watchdog.
+            now = time.perf_counter()
+            in_flight = backend.in_flight()
+            overdue = {
+                fp for fp in in_flight if leases.get(fp, math.inf) <= now
+            }
+            live = backend.liveness()
+            stalled = bool(
+                live is not None
+                and hb_budget
+                and in_flight
+                and time.time() - live > hb_budget
+            )
+            if not overdue and not stalled:
+                # Woke for a resubmit/responsiveness deadline, not a hung
+                # cell or dead backend.
+                continue
+            # Watchdog: no proof of life within the budget while cells
+            # are in flight means the backend died without telling us
+            # (SIGKILL before first result, SIGSTOP forever) — every
+            # in-flight cell is charged, since a dead backend leaves no
+            # one to blame precisely.  Otherwise only the overdue leases
+            # are revoked and charged; collateral the backend had to
+            # abandon with them resubmits for free.
+            charged = set(in_flight) if stalled else overdue
+            reason = (
+                f"lost worker heartbeat for more than {hb_budget:.0f}s: "
+                f"pool presumed dead"
+                if stalled
+                else f"exceeded cell_timeout={self.cell_timeout}s"
+            )
+            report = backend.release(charged, reason)
+            for fp in sorted(charged):
+                leases.pop(fp, None)
+                charge_retry(fp, reason)
+            for fp in report.requeue:
+                leases.pop(fp, None)
+                queue.append(fp)
+            if report.broke and not spend_reset():
+                return leftovers()
+        return []
 
-        if serial_fallback:
-            # Deduplicate while preserving order (a cell can be queued for
-            # fallback once via retries and once via the rebuild budget).
-            seen: set[str] = set()
-            unique = [
-                (config, fp)
-                for config, fp in serial_fallback
-                if not (fp in seen or seen.add(fp))
-            ]
-            stats.degraded_cells += len(unique)
-            self._emit(
-                ProgressEvent(
-                    kind="engine-degraded",
-                    workload_name=grid.workload_name,
-                    weighted=grid.weighted,
-                    detail=(
-                        f"{len(unique)} cell(s) fell back to in-process serial "
-                        f"execution after {stats.retries} retries and "
-                        f"{stats.pool_rebuilds} pool rebuilds"
-                    ),
-                )
-            )
-            self._run_serial(
-                unique, jobs, grid, stats, recompute_threshold, results,
-                failures, recovery, cancellations, cancel_over_limit,
-            )
 
     def _record(
         self,

@@ -452,14 +452,23 @@ class RunSummary:
     resumes: int = 0
     torn_tail: bool = False
     path: Path | None = None
+    #: Execution backend recorded in the manifest ("local" for journals
+    #: written before backends existed).
+    backend: str = "local"
+    #: Fleet cache address the run wrote through to ("" for none).
+    remote_cache: str = ""
 
     def describe(self) -> str:
         when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.created))
         extra = f", {self.resumes} resume(s)" if self.resumes else ""
         torn = ", torn tail dropped" if self.torn_tail else ""
+        tags = [] if self.backend == "local" else [self.backend]
+        if self.remote_cache:
+            tags.append(f"remote-cache={self.remote_cache}")
+        tagged = f"  [{', '.join(tags)}]" if tags else ""
         return (
             f"{self.run_id}  {self.status:<11}  {self.completed}/{self.total} cells"
-            f"  {when}  {self.workload_name}{extra}{torn}"
+            f"  {when}  {self.workload_name}{extra}{torn}{tagged}"
         )
 
 
@@ -508,6 +517,8 @@ def list_runs(journal_dir: str | Path) -> list[RunSummary]:
                 resumes=replay.resumes,
                 torn_tail=replay.torn_tail,
                 path=path,
+                backend=str(replay.manifest.get("execution_backend") or "local"),
+                remote_cache=str(replay.manifest.get("remote_cache") or ""),
             )
         )
     summaries.sort(key=lambda s: s.created, reverse=True)
@@ -547,6 +558,18 @@ class RunAudit:
     grid_mismatched: list[str] = field(default_factory=list)
     torn_tail: bool = False
     cache_checked: bool = False
+    #: Execution backend recorded in the manifest ("local" for journals
+    #: written before backends existed).
+    backend: str = "local"
+    #: Fleet cache address the run wrote through to ("" for none).
+    remote_cache: str = ""
+    #: Completed cells missing locally but served (validated) by the
+    #: manifest's remote cache — consistent, just not local.
+    remote_backed: int = 0
+    #: Completed cells missing locally whose only possible backing is a
+    #: remote cache that could not be reached: unverifiable, not
+    #: (yet) inconsistent.
+    remote_only: list[str] = field(default_factory=list)
 
     @property
     def inconsistencies(self) -> int:
@@ -576,6 +599,20 @@ class RunAudit:
         ):
             if keys:
                 lines.append(f"  INCONSISTENT ({label}): {', '.join(sorted(keys))}")
+        if self.backend != "local" or self.remote_cache:
+            extras = (
+                f", remote cache {self.remote_cache}" if self.remote_cache else ""
+            )
+            lines.append(f"  executed on: {self.backend}{extras}")
+        if self.remote_backed:
+            lines.append(
+                f"  {self.remote_backed} cell(s) served from the remote cache"
+            )
+        if self.remote_only:
+            lines.append(
+                f"  UNVERIFIABLE (only in unreachable remote cache "
+                f"{self.remote_cache}): {', '.join(sorted(self.remote_only))}"
+            )
         if self.remaining:
             lines.append(f"  remaining (resumable): {', '.join(sorted(self.remaining))}")
         if self.orphaned:
@@ -597,6 +634,7 @@ def verify_run(
     journal_dir: str | Path,
     cache: "ResultCache | None" = None,
     grid: "GridResult | None" = None,
+    check_remote: bool = True,
 ) -> RunAudit:
     """Audit one run: does the cache (and grid) back up the journal?
 
@@ -604,14 +642,44 @@ def verify_run(
     a readable entry under the journaled fingerprint whose objective
     matches the journaled one.  A persisted :class:`GridResult` can be
     cross-checked the same way.  The audit never mutates the cache.
+
+    When the manifest names a remote fleet cache, a cell missing from
+    the local cache is probed there too (``check_remote=False`` skips
+    the network): a validated remote entry counts as ``remote_backed``
+    (consistent), a reachable remote miss stays ``missing``
+    (inconsistent), and an *unreachable* remote cache flags the cell
+    ``remote_only`` — its only possible backing cannot be checked, which
+    an operator should see before trusting or pruning the run.
     """
     replay = read_journal(journal_path(journal_dir, run_id))
+    remote_addr = str(replay.manifest.get("remote_cache") or "")
     audit = RunAudit(
         run_id=run_id,
         total=len(replay.manifest.get("configs", [])),
         torn_tail=replay.torn_tail,
         cache_checked=cache is not None,
+        backend=str(replay.manifest.get("execution_backend") or "local"),
+        remote_cache=remote_addr,
     )
+    remote_store = None
+    if cache is not None and remote_addr and check_remote:
+        from repro.experiments.backends.cache import RemoteCacheStore
+
+        # An effectively infinite cooldown: one failed dial marks the
+        # store unreachable for the whole audit instead of re-dialing
+        # (and timing out) once per missing cell.
+        remote_store = RemoteCacheStore(remote_addr, timeout=3.0, cooldown=1e9)
+
+    def remote_verdict(fingerprint: str) -> str:
+        """"hit" | "corrupt" | "missing" | "unreachable" for one entry."""
+        if remote_store is None:
+            return "unreachable" if remote_addr else "missing"
+        text = remote_store.load(fingerprint)
+        if text is None:
+            return "missing" if remote_store.connected else "unreachable"
+        from repro.experiments.engine import ResultCache
+
+        return "hit" if ResultCache._classify(text) == "hit" else "corrupt"
     for key in replay.manifest.get("configs", []):
         cell = replay.cells.get(key)
         if cell is None or cell.state != TERMINAL_STATE:
@@ -628,7 +696,18 @@ def verify_run(
         if cache is not None and cell.fingerprint is not None:
             status = cache.status(cell.fingerprint)
             if status == "miss":
-                audit.missing.append(key)
+                if not remote_addr:
+                    audit.missing.append(key)
+                else:
+                    verdict = remote_verdict(cell.fingerprint)
+                    if verdict == "hit":
+                        audit.remote_backed += 1
+                    elif verdict == "unreachable":
+                        audit.remote_only.append(key)
+                    elif verdict == "corrupt":
+                        audit.corrupt.append(key)
+                    else:
+                        audit.missing.append(key)
             elif status in ("stale", "corrupt"):
                 audit.corrupt.append(key)
             elif cell.objective is not None:
@@ -691,12 +770,21 @@ def manifest_for(
     n_jobs: int = 0,
     reference_key: str | None = None,
     scenario: str = "",
+    execution_backend: str = "local",
+    remote_cache: str = "",
 ) -> dict:
     """Build a run manifest; identity fields feed :func:`compute_run_id`.
 
     ``scenario`` is the canonical scenario-spec digest (``""`` for the
     healthy baseline) — an identity field, like every other input of
     :func:`repro.experiments.engine.cell_fingerprint`.
+
+    ``execution_backend`` and ``remote_cache`` record *where* the run
+    executed and which fleet cache (if any) it wrote through to.  Both
+    are deliberately **non-identity**: results are bit-identical across
+    backends, so a run dispatched locally and one dispatched to remote
+    workers share one run id, and a run started on one backend resumes
+    cleanly on another.
     """
     manifest = {
         "kind": "manifest",
@@ -712,6 +800,8 @@ def manifest_for(
         "workload_name": workload_name,
         "n_jobs": n_jobs,
         "reference_key": reference_key,
+        "execution_backend": execution_backend,
+        "remote_cache": remote_cache,
     }
     manifest["run"] = compute_run_id(manifest)
     return manifest

@@ -302,6 +302,10 @@ def run_experiment(
     resume_run_id: str | None = None,
     backend: str | None = None,
     scenario: "ScenarioSpec | None" = None,
+    execution_backend: str | None = None,
+    shards: int = 2,
+    connect: Sequence[str] = (),
+    remote_cache: str | None = None,
 ) -> ExperimentResult:
     """Regenerate one paper artifact at the given scale.
 
@@ -340,6 +344,14 @@ def run_experiment(
     load surges, …): its canonical digest joins every cell fingerprint
     and each regime's run id, so scenario runs cache and resume
     independently of the healthy baseline.
+
+    ``execution_backend`` selects *where* cells run (``"local"``,
+    ``"sharded"``, ``"remote"``; see
+    :mod:`repro.experiments.backends`), ``shards`` sizes the sharded
+    pool, ``connect`` lists remote worker addresses and
+    ``remote_cache`` points at a shared fleet cache — all forwarded to
+    the engine verbatim.  Results and run ids are bit-identical across
+    execution backends.
     """
     spec = EXPERIMENTS[experiment_id]
     n = spec.default_scale if scale is None else scale
@@ -352,6 +364,10 @@ def run_experiment(
         use_workload_store=use_workload_store,
         journal_dir=journal_dir,
         backend=backend,
+        execution_backend=execution_backend,
+        shards=shards,
+        connect=connect,
+        remote_cache=remote_cache,
     )
 
     def _grid_kwargs(regime: str) -> dict:
