@@ -457,6 +457,8 @@ def collect_measurements(rounds: int = 5) -> dict[str, float]:
     vector_awrt = _best_of(
         lambda: vector.average_weighted_response_time_columns(columns), rounds
     )
+    simulate_python = _best_of(end_to_end("python"), rounds)
+    simulate_numpy = _best_of(end_to_end("numpy"), rounds)
     return {
         "earliest_start_500_queries": _best_of(scalar_queries, rounds),
         "earliest_start_batch_500": _best_of(
@@ -483,8 +485,14 @@ def collect_measurements(rounds: int = 5) -> dict[str, float]:
         "scenario_compile_per_1k_events": _best_of(
             lambda: _bench_spec().compile(jobs), rounds
         ),
-        "simulate_easy_1k_python": _best_of(end_to_end("python"), rounds),
-        "simulate_easy_1k_numpy": _best_of(end_to_end("numpy"), rounds),
+        "simulate_easy_1k_python": simulate_python,
+        "simulate_easy_1k_numpy": simulate_numpy,
+        # PR 9: event coalescing.  The whole-cell speedup of the numpy
+        # backend over the python oracle on the same host run — a ratio of
+        # two same-regime timings, so it gates the fast path's relative win
+        # independent of host speed drift (the `_speedup_x` floor rule in
+        # check_regression.py).
+        "simulate_easy_1k_speedup_x": simulate_python / simulate_numpy,
     }
 
 

@@ -79,7 +79,7 @@ class EventQueue:
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event and return it."""
-        event = Event(time=time, kind=kind, sequence=self._sequence, payload=payload)
+        event = Event(time, kind, self._sequence, payload)
         self._sequence += 1
         heapq.heappush(self._heap, event)
         return event
@@ -105,6 +105,44 @@ class EventQueue:
         """
         event = heapq.heappop(self._heap)
         return event.kind, event.payload
+
+    def take_completion_run(
+        self, bound: float | None
+    ) -> tuple[list[Event], int]:
+        """Pop the maximal run of completion events below ``bound``.
+
+        The run-extraction primitive of the simulator's empty-queue drain
+        fast path: consumes consecutive ``COMPLETION`` events whose times
+        are strictly before ``bound`` (the next pending arrival instant;
+        ``None`` means unbounded) and returns ``(events, closed_instants)``.
+
+        ``closed_instants`` counts the distinct instants in the run that
+        the run itself *closes* — instants at which no further event is
+        pending.  When the run stops because a non-completion heap event
+        shares the last consumed instant, that instant stays open (the
+        caller's per-event loop will finish its batch and count its
+        decision point), so it is excluded from the count.  Completions at
+        exactly ``bound`` are never consumed: they belong to the arrival's
+        batch.
+        """
+        heap = self._heap
+        out: list[Event] = []
+        closed = 0
+        last: float | None = None
+        while heap:
+            event = heap[0]
+            if event.kind is not EventKind.COMPLETION:
+                if last is not None and event.time == last:
+                    closed -= 1
+                break
+            if bound is not None and event.time >= bound:
+                break
+            heapq.heappop(heap)
+            if event.time != last:
+                closed += 1
+                last = event.time
+            out.append(event)
+        return out, closed
 
     def __len__(self) -> int:
         return len(self._heap)

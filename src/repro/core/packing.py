@@ -277,30 +277,44 @@ def pack_jobs(jobs: Sequence[Job]) -> PackedJobs:
 
 
 def unpack_jobs(packed: PackedJobs) -> tuple[Job, ...]:
-    """Rebuild the :class:`Job` stream a :class:`PackedJobs` encodes."""
+    """Rebuild the :class:`Job` stream a :class:`PackedJobs` encodes.
+
+    Hydration fast path: every record in a packed stream came from a
+    :class:`Job` that already passed ``__post_init__`` validation
+    (``pack_jobs`` packs instances), so rebuilding allocates with
+    ``__new__`` and fills the frozen slots directly instead of running
+    the dataclass constructor and its six range checks per row — workers
+    hydrate a 5 000-job workload several times faster.  Field-for-field
+    equality with the constructor path is pinned by the hypothesis
+    round-trip suite in ``tests/test_packing.py``.
+    """
     meta_by_index = dict(packed.metas)
-    has_est = packed.has_estimate
-    has_wt = packed.has_weight
+    job_ids = packed.job_ids
+    submit = packed.submit
+    nodes = packed.nodes
+    runtime = packed.runtime
     est = packed.estimate
+    has_est = packed.has_estimate
+    users = packed.users
     wt = packed.weight
+    has_wt = packed.has_weight
+    new = Job.__new__
+    fill = object.__setattr__
+    get_meta = meta_by_index.get
     out = []
-    for i in range(len(packed)):
-        kwargs: dict[str, Any] = {}
-        meta = meta_by_index.get(i)
-        if meta is not None:
-            kwargs["meta"] = meta
-        out.append(
-            Job(
-                job_id=packed.job_ids[i],
-                submit_time=packed.submit[i],
-                nodes=packed.nodes[i],
-                runtime=packed.runtime[i],
-                estimate=est[i] if has_est[i] else None,
-                user=packed.users[i],
-                weight=wt[i] if has_wt[i] else None,
-                **kwargs,
-            )
-        )
+    append = out.append
+    for i in range(len(job_ids)):
+        job = new(Job)
+        fill(job, "job_id", job_ids[i])
+        fill(job, "submit_time", submit[i])
+        fill(job, "nodes", nodes[i])
+        fill(job, "runtime", runtime[i])
+        fill(job, "estimate", est[i] if has_est[i] else None)
+        fill(job, "user", users[i])
+        fill(job, "weight", wt[i] if has_wt[i] else None)
+        meta = get_meta(i)
+        fill(job, "meta", {} if meta is None else meta)
+        append(job)
     return tuple(out)
 
 

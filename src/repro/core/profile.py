@@ -65,6 +65,13 @@ _INDEX_BLOCK = 32
 #: it the plain scan wins (index upkeep would cost more than it saves).
 _INDEX_MIN_SEGMENTS = 96
 
+#: Entries kept in the per-profile first-fit memo before it is wiped.  The
+#: bound is enforced by a deterministic clear-on-full (never an eviction
+#: order that could depend on hash iteration), so two runs of the same
+#: scenario always see the same hit/miss sequence — not that a miss could
+#: change an answer, but determinism keeps the cache a non-observable.
+_MEMO_MAX = 128
+
 
 def _first_fit(
     times: list[float],
@@ -130,7 +137,7 @@ class AvailabilityProfile:
     ``total_nodes`` — the machine eventually drains.
     """
 
-    __slots__ = ("_times", "_free", "total_nodes", "_shared", "_block_max")
+    __slots__ = ("_times", "_free", "total_nodes", "_shared", "_block_max", "_memo")
 
     def __init__(self, total_nodes: int, origin: float = 0.0) -> None:
         if total_nodes <= 0:
@@ -140,6 +147,7 @@ class AvailabilityProfile:
         self._free: list[int] = [total_nodes]
         self._shared = False
         self._block_max: list[int] | None = None
+        self._memo: dict[tuple[int, float], float] | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -197,10 +205,13 @@ class AvailabilityProfile:
         other.total_nodes = self.total_nodes
         other._times = self._times
         other._free = self._free
-        # The block-max index describes the shared segment lists, so the
-        # clone inherits it; whichever copy mutates first invalidates only
-        # its own reference.
+        # The block-max index and the first-fit memo describe the shared
+        # segment lists, so the clone inherits both; whichever copy mutates
+        # first drops only its own references (the epoch contract: a
+        # mutation starts a new epoch with an empty memo, see
+        # docs/architecture.md).
         other._block_max = self._block_max
+        other._memo = self._memo
         other._shared = True
         self._shared = True
         return other
@@ -265,9 +276,31 @@ class AvailabilityProfile:
             raise ValueError(f"{nodes} nodes never fit a {self.total_nodes}-node machine")
         times = self._times
         origin = times[0]
-        start_at = origin if after is None or after < origin else after
+        if after is None or after <= origin:
+            # Memoizable: the answer depends only on (nodes, duration) and
+            # the step function of the current epoch.  A cached start from
+            # before an ``advance_origin`` stays valid exactly when it has
+            # not been overtaken by the new origin — the levels on
+            # ``[origin, inf)`` are untouched by origin advances, and every
+            # instant in ``[origin, cached)`` was already scanned and found
+            # infeasible — so staleness is a cheap comparison, not a flush.
+            memo = self._memo
+            key = (nodes, duration)
+            if memo is not None:
+                cached = memo.get(key)
+                if cached is not None and cached >= origin:
+                    return cached
+            start = _first_fit(
+                times, self._free, len(times), self._query_index(), nodes, duration, origin
+            )
+            if memo is None:
+                memo = self._memo = {}
+            elif len(memo) >= _MEMO_MAX:
+                memo.clear()
+            memo[key] = start
+            return start
         return _first_fit(
-            times, self._free, len(times), self._query_index(), nodes, duration, start_at
+            times, self._free, len(times), self._query_index(), nodes, duration, after
         )
 
     def earliest_start_batch(
@@ -334,6 +367,7 @@ class AvailabilityProfile:
         )
         end = candidate + duration
         self._block_max = None
+        self._memo = None
         self._ensure_breakpoint(candidate)
         self._ensure_breakpoint(end)
         free = self._free
@@ -368,9 +402,50 @@ class AvailabilityProfile:
             return
         self._reserve_span(start, end, nodes)
 
+    def reserve_from_origin(self, duration: float, nodes: int) -> None:
+        """Subtract ``nodes`` over ``[origin, origin + duration)``.
+
+        The start-a-job-*now* fast path, equivalent to
+        ``reserve(origin, duration, nodes)`` on a *prefix-anchored*
+        profile — one in which every reservation interval begins at the
+        origin, so availability is ``total - sum(nodes_k for end_k > t)``
+        and non-decreasing in time.  The first segment is then the
+        minimum over any span starting at the origin, and checking it
+        replaces the per-segment feasibility scan.  The persistent
+        profile (running-job remainders, active outages) and the EASY
+        decision snapshots satisfy the invariant by construction;
+        profiles carrying future-start reservations (conservative
+        backfilling) must keep using :meth:`reserve`.
+        """
+        if duration <= 0:
+            return
+        self._detach()
+        self._block_max = None
+        self._memo = None
+        free = self._free
+        if free[0] < nodes:
+            raise ValueError(
+                f"reservation of {nodes} nodes from origin exceeds "
+                f"availability ({free[0]} free)"
+            )
+        times = self._times
+        end = times[0] + duration
+        # Inlined _ensure_breakpoint(end) + bisect_left(times, end): one
+        # bisect serves both the insertion point and the subtraction bound.
+        idx = bisect_right(times, end) - 1
+        if times[idx] == end:
+            hi = idx
+        else:
+            times.insert(idx + 1, end)
+            free.insert(idx + 1, free[idx])
+            hi = idx + 1
+        for i in range(hi):
+            free[i] -= nodes
+
     def _reserve_span(self, start: float, end: float, nodes: int) -> None:
         self._detach()
         self._block_max = None
+        self._memo = None
         times = self._times
         free = self._free
         if start < times[0]:
@@ -405,11 +480,18 @@ class AvailabilityProfile:
             return
         self._detach()
         self._block_max = None
-        self._ensure_breakpoint(end)
+        self._memo = None
         times = self._times
         free = self._free
         total = self.total_nodes
-        hi = bisect_left(times, end)
+        # Inlined _ensure_breakpoint(end) + bisect_left(times, end).
+        idx = bisect_right(times, end) - 1
+        if times[idx] == end:
+            hi = idx
+        else:
+            times.insert(idx + 1, end)
+            free.insert(idx + 1, free[idx])
+            hi = idx + 1
         for i in range(hi):
             if free[i] + nodes > total:
                 raise ValueError(

@@ -26,6 +26,14 @@ from dataclasses import dataclass
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Mapping
 
+__all__ = [
+    "CoalescingCaps",
+    "NO_COALESCING",
+    "RunningJob",
+    "Scheduler",
+    "SchedulerContext",
+]
+
 from repro.core.job import Job
 from repro.core.machine import Machine
 from repro.core.profile import AvailabilityProfile
@@ -57,7 +65,15 @@ class SchedulerContext:
     advances the state's persistent profile to the new instant.
     """
 
-    __slots__ = ("machine", "_running", "_now", "state", "_capacity_outages")
+    __slots__ = (
+        "machine",
+        "_running",
+        "_now",
+        "state",
+        "_capacity_outages",
+        "queue_columns",
+        "vectorize",
+    )
 
     def __init__(
         self,
@@ -73,6 +89,18 @@ class SchedulerContext:
         #: by the simulator; the profile fallback (no incremental state)
         #: reserves them so both paths plan on the same degraded machine.
         self._capacity_outages = capacity_outages if capacity_outages is not None else []
+        #: Columnar ``(nodes array, estimated-runtime array)`` view of the
+        #: wait queue the discipline is about to scan, parallel to the
+        #: ordered queue — or ``None``.  Set transiently by
+        #: :meth:`repro.schedulers.base.OrderedQueueScheduler.select_jobs`
+        #: when the order policy maintains columns; disciplines may use it
+        #: to vectorise candidate scans, never to change a decision.
+        self.queue_columns: "tuple[object, object] | None" = None
+        #: True when the driving loop runs the numpy backend: schedulers may
+        #: then use vectorised kernels internally.  Off by default so the
+        #: python backend remains a numpy-free oracle (decisions are
+        #: bit-identical either way — the vector-equivalence contract).
+        self.vectorize: bool = False
         self._now: float = state.now if state is not None else 0.0
 
     @property
@@ -142,6 +170,45 @@ class SchedulerContext:
         return self.state.queue_min_nodes(expected_count)
 
 
+@dataclass(frozen=True, slots=True)
+class CoalescingCaps:
+    """What the simulator's event coalescer may skip for a scheduler.
+
+    Each flag is a *behavioural guarantee* the scheduler makes about its own
+    decision procedure; the simulator's fast paths (see
+    ``docs/architecture.md``, "Event coalescing") only engage when the
+    corresponding guarantee holds.  All flags default to ``False`` — a
+    scheduler that says nothing is never coalesced, which keeps every
+    wrapper, regime switcher and exotic policy on the per-event oracle path
+    automatically.
+
+    ``blocked_arrivals``
+        If ``select_jobs`` just returned (reaching its fixpoint for the
+        current instant) and the only change since is newly *appended*
+        arrivals each requesting more nodes than are free, the next
+        ``select_jobs`` is guaranteed to return ``[]``.
+    ``idle_starts``
+        Work conservation on an empty queue: a lone arriving job that fits
+        the free nodes always starts immediately (``select_jobs`` would
+        return exactly the arrivals, in arrival order, when they all fit).
+    ``empty_drain``
+        With an empty wait queue, ``select_jobs`` / ``on_complete`` /
+        ``next_wakeup`` have no observable effect, so pure-completion
+        instants need no scheduler involvement at all.
+    """
+
+    blocked_arrivals: bool = False
+    idle_starts: bool = False
+    empty_drain: bool = False
+
+    def __bool__(self) -> bool:
+        return self.blocked_arrivals or self.idle_starts or self.empty_drain
+
+
+#: The default capability set: nothing may be coalesced.
+NO_COALESCING = CoalescingCaps()
+
+
 class Scheduler(abc.ABC):
     """Base class for on-line schedulers.
 
@@ -163,6 +230,14 @@ class Scheduler(abc.ABC):
     @abc.abstractmethod
     def on_submit(self, job: Job, ctx: SchedulerContext) -> None:
         """A new job arrived; enqueue it."""
+
+    def on_submit_run(self, jobs: "list[Job]", ctx: SchedulerContext) -> None:
+        """A coalesced run of arrivals (time-ordered).  Equivalent to
+        per-job :meth:`on_submit`; the simulator only uses it inside
+        capability-gated fast paths, and schedulers with bulk-appendable
+        queues may override it to hoist the per-job dispatch."""
+        for job in jobs:
+            self.on_submit(job, ctx)
 
     def on_complete(self, job: Job, ctx: SchedulerContext) -> None:
         """A running job finished (its nodes are already released)."""
@@ -189,6 +264,12 @@ class Scheduler(abc.ABC):
         means "wait for the next event".  Selected jobs must be removed
         from the scheduler's own queue before returning.
         """
+
+    def coalescing_caps(self) -> CoalescingCaps:
+        """Event-coalescing guarantees this scheduler makes (see
+        :class:`CoalescingCaps`).  The base default grants none; concrete
+        schedulers opt in per capability."""
+        return NO_COALESCING
 
     def next_wakeup(self, ctx: SchedulerContext) -> float | None:
         """Optional timer request, polled after each decision point.

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from heapq import heappop
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
@@ -98,6 +99,11 @@ class SimulationConfig:
     collect_trace: bool = False
     incremental_state: bool = True
     verify_state: int | None = None
+    #: Collect the fine-grained per-phase wall-clock breakdown
+    #: (``SimulationResult.phase_seconds`` gains ``events``/``commit``/
+    #: ``coalesce``/``other`` entries).  Off by default: the extra clock
+    #: reads would tax the hot loop the breakdown exists to explain.
+    profile_phases: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -163,6 +169,17 @@ class SimulationResult:
     columns: "vector.ResultColumns | None" = field(
         default=None, compare=False, repr=False
     )
+    #: Wall-clock seconds by simulator phase.  Always carries ``total``
+    #: (whole run) and ``decide`` (== ``decision_time``); with
+    #: ``SimulationConfig.profile_phases`` it adds ``events`` (per-event
+    #: dispatch), ``commit`` (start/timer/stats bookkeeping after each
+    #: decision), ``coalesce`` (bulk fast paths) and ``other`` (the
+    #: remainder).  Excluded from equality — timings never affect results.
+    phase_seconds: dict = field(default_factory=dict, compare=False, repr=False)
+    #: Event-coalescing fast-path counters (all zero when coalescing never
+    #: engaged — the python oracle, traced runs, or incapable schedulers):
+    #: runs/jobs per path plus the decision points they bulk-advanced.
+    coalesced: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def job_count(self) -> int:
@@ -451,6 +468,7 @@ class Simulator:
         ctx = SchedulerContext(
             self.machine, running, state=state, capacity_outages=active_outages
         )
+        ctx.vectorize = backend == "numpy"
         completed: list[ScheduledJob] = []
         decision_points = 0
         decision_time = 0.0
@@ -487,31 +505,292 @@ class Simulator:
         wasted_node_seconds = 0.0
         requeue_delay = 0.0
 
+        # -- event coalescing (see docs/architecture.md) -----------------------
+        # Bulk-advance maximal runs of events that provably need no
+        # inter-event scheduler decision.  The scheduler opts in through
+        # its capability flags; only the numpy backend coalesces (the
+        # python oracle keeps the per-event loop, which is what the
+        # equivalence suites compare against), and tracing forces the
+        # per-event loop so the trace stays complete.
+        caps = self.scheduler.coalescing_caps()
+        coalesce = (
+            caps if backend == "numpy" and self.trace is None and caps else None
+        )
+        # A "pure" run has no cancellations and no failures: once the
+        # original arrivals are spent, the heap can only ever hold live
+        # COMPLETION events (no reruns, no kills, no timers under the
+        # capability contract) — licence for the backlogged-drain subloop
+        # below to skip the generic dispatch entirely.
+        pure_drain = coalesce is not None and policy is None and not cancellations
+        coalesced = {
+            "blocked_arrival_runs": 0,
+            "blocked_arrival_jobs": 0,
+            "idle_start_runs": 0,
+            "idle_start_jobs": 0,
+            "drain_runs": 0,
+            "drained_completions": 0,
+            "decision_points": 0,
+        }
+        profile_phases = self.config.profile_phases
+        # Hot-loop bindings: the loop below runs a few times per job, so the
+        # repeated attribute walks are measurable at bench scale.  Every
+        # hoisted object is construction-stable for the whole run.
+        machine = self.machine
+        scheduler = self.scheduler
+        select_jobs = scheduler.select_jobs
+        feed_peek = feed.peek_time
+        feed_pop = feed.pop_next
+        perf_counter = time.perf_counter
+        run_clock_start = perf_counter()
+        coalesce_seconds = 0.0
+        events_seconds = 0.0
+        commit_seconds = 0.0
+
         while feed:
-            now = feed.peek_time()
+            if coalesce is not None:
+                if profile_phases:
+                    t_coalesce = perf_counter()
+                pending_now = scheduler.pending_count
+                if pending_now:
+                    if pure_drain and feed.arrivals_exhausted:
+                        # Backlogged drain: arrivals spent, queue non-empty,
+                        # pure scenario.  Every heap event is a live
+                        # completion and every instant is a decision point,
+                        # so run the tight release→decide→commit loop with
+                        # the generic peek/dispatch machinery (and the
+                        # cancellation/failure bookkeeping a pure run never
+                        # reads) stripped out.  Identical decisions: each
+                        # iteration is exactly the generic body for a
+                        # completions-only batch under the capability
+                        # contract (no-op ``on_complete``, no wakeups, and
+                        # submissions — the only way the queue grows — never
+                        # happen, so the ``max_queue`` probe is dead too).
+                        if profile_phases:
+                            coalesce_seconds += perf_counter() - t_coalesce
+                        heap = events._heap
+                        pending = pending_now
+                        machine_release = machine.release
+                        machine_allocate = machine.allocate
+                        events_push = events.push
+                        completed_append = completed.append
+                        columns_append = columns.append
+                        if state is not None:
+                            state_on_release = state.on_release
+                            note_dequeued = state.note_dequeued
+                            state_on_start = state.on_start
+                            state_advance = state.advance
+                        else:
+                            state_on_release = None
+                            state_advance = None
+                        while heap and pending:
+                            if profile_phases:
+                                t_events = perf_counter()
+                            event = heappop(heap)
+                            t = event.time
+                            item = event.payload
+                            jid = item.job.job_id
+                            machine_release(jid)
+                            del running[jid]
+                            if state_on_release is not None:
+                                state_on_release(jid)
+                            completed_append(item)
+                            columns_append(item)
+                            while heap and heap[0].time == t:
+                                item = heappop(heap).payload
+                                jid = item.job.job_id
+                                machine_release(jid)
+                                del running[jid]
+                                if state_on_release is not None:
+                                    state_on_release(jid)
+                                completed_append(item)
+                                columns_append(item)
+                            now = t
+                            # Inlined ``ctx.now = t`` (slot write + state
+                            # advance) — the property dispatch is measurable
+                            # at this call rate.
+                            ctx._now = t
+                            if state_advance is not None:
+                                state_advance(t)
+                            decision_points += 1
+                            t_select = perf_counter()
+                            started = select_jobs(ctx)
+                            t_commit = perf_counter()
+                            decision_time += t_commit - t_select
+                            if profile_phases:
+                                events_seconds += t_select - t_events
+                            for job in started:
+                                cancelled = (
+                                    cancel_over_limit
+                                    and job.estimate is not None
+                                    and job.runtime > job.estimate
+                                )
+                                duration = job.estimate if cancelled else job.runtime
+                                item = ScheduledJob(
+                                    job=job,
+                                    start_time=t,
+                                    end_time=t + duration,
+                                    cancelled=cancelled,
+                                )
+                                machine_allocate(job)
+                                running[job.job_id] = RunningJob(
+                                    job=job, start_time=t
+                                )
+                                if state_on_release is not None:
+                                    note_dequeued(job.nodes)
+                                    state_on_start(
+                                        job.job_id, job.estimated_runtime, job.nodes
+                                    )
+                                events_push(item.end_time, EventKind.COMPLETION, item)
+                            pending -= len(started)
+                            if profile_phases:
+                                commit_seconds += perf_counter() - t_commit
+                        continue
+                    # Backlogged: arrivals strictly before the next heap
+                    # event and too wide for the free nodes can neither
+                    # start nor unblock anything (the discipline's
+                    # ``blocked_arrivals`` guarantee) — enqueue the whole
+                    # run without touching the decision machinery.
+                    if coalesce.blocked_arrivals and not resubmit_pending:
+                        run_jobs, run_times, closed = feed.take_blocked_arrivals(
+                            machine.free_nodes
+                        )
+                        if run_jobs:
+                            for job in run_jobs:
+                                current[job.job_id] = job
+                            if state is not None:
+                                state.note_enqueued_run(run_jobs)
+                            scheduler.on_submit_run(run_jobs, ctx)
+                            ctx.now = run_times[-1]
+                            decision_points += closed
+                            coalesced["blocked_arrival_runs"] += 1
+                            coalesced["blocked_arrival_jobs"] += len(run_jobs)
+                            coalesced["decision_points"] += closed
+                            queue_len = scheduler.pending_count
+                            if queue_len > max_queue:
+                                max_queue = queue_len
+                else:
+                    # Empty queue: alternate completion drains and
+                    # immediate starts until neither makes progress (a
+                    # light-load phase collapses into this inner loop).
+                    while feed:
+                        progressed = False
+                        if coalesce.empty_drain:
+                            run_events, closed = events.take_completion_run(
+                                feed.next_arrival_time()
+                            )
+                            if run_events:
+                                fresh: list[ScheduledJob] = []
+                                for event in run_events:
+                                    item = event.payload
+                                    jid = item.job.job_id
+                                    run_entry = running.get(jid)
+                                    if (
+                                        run_entry is None
+                                        or run_entry.start_time != item.start_time
+                                    ):
+                                        continue  # stale: a killed attempt
+                                    machine.release(jid)
+                                    del running[jid]
+                                    finished_ids.add(jid)
+                                    fresh.append(item)
+                                if fresh:
+                                    completed.extend(fresh)
+                                    if columns is not None:
+                                        columns.extend(fresh)
+                                    if state is not None:
+                                        state.on_release_batch(
+                                            [(f.end_time, f.job.job_id) for f in fresh]
+                                        )
+                                # ``on_complete`` is the base no-op under
+                                # the ``empty_drain`` capability.
+                                now = run_events[-1].time
+                                ctx.now = now
+                                decision_points += closed
+                                coalesced["drain_runs"] += 1
+                                coalesced["drained_completions"] += len(run_events)
+                                coalesced["decision_points"] += closed
+                                progressed = True
+                        if coalesce.idle_starts and not resubmit_pending:
+                            run_jobs, run_times, instants = feed.take_idle_starts(
+                                machine.free_nodes
+                            )
+                            if run_jobs:
+                                start_entries = []
+                                for job, start_t in zip(run_jobs, run_times):
+                                    jid = job.job_id
+                                    current[jid] = job
+                                    started_ids.add(jid)
+                                    if jid in killed_at:
+                                        requeue_delay += start_t - killed_at.pop(jid)
+                                    over = (
+                                        cancel_over_limit
+                                        and job.estimate is not None
+                                        and job.runtime > job.estimate
+                                    )
+                                    duration = job.estimate if over else job.runtime
+                                    item = ScheduledJob(
+                                        job=job,
+                                        start_time=start_t,
+                                        end_time=start_t + duration,
+                                        cancelled=over,
+                                    )
+                                    machine.allocate(job)
+                                    running[jid] = RunningJob(
+                                        job=job, start_time=start_t
+                                    )
+                                    start_entries.append(
+                                        (start_t, jid, job.estimated_runtime, job.nodes)
+                                    )
+                                    events.push(item.end_time, EventKind.COMPLETION, item)
+                                if state is not None:
+                                    # enqueue+dequeue of the same widths is
+                                    # state-neutral, so only the start
+                                    # deltas need committing.
+                                    state.on_start_batch(start_entries)
+                                now = run_times[-1]
+                                ctx.now = now
+                                decision_points += instants
+                                coalesced["idle_start_runs"] += 1
+                                coalesced["idle_start_jobs"] += len(run_jobs)
+                                coalesced["decision_points"] += instants
+                                progressed = True
+                        if not progressed:
+                            break
+                if profile_phases:
+                    coalesce_seconds += perf_counter() - t_coalesce
+                if not feed:
+                    break
+            now = feed_peek()
             ctx.now = now
+            if profile_phases:
+                t_events = perf_counter()
+            batch_enqueued = False
             # Batch every event at this instant; completions first by the
             # event-kind priority.
-            while feed and feed.peek_time() == now:
-                kind, payload = feed.pop_next()
+            while feed and feed_peek() == now:
+                kind, payload = feed_pop()
                 if kind is EventKind.COMPLETION:
                     item: ScheduledJob = payload
-                    run_entry = running.get(item.job.job_id)
+                    jid = item.job.job_id
+                    run_entry = running.get(jid)
                     if run_entry is None or run_entry.start_time != item.start_time:
                         # Stale completion of a killed attempt.  Rerun
                         # attempts reuse the job id, so membership alone is
                         # not enough — the start time identifies the attempt
                         # (attempt starts strictly increase).
                         continue
-                    self.machine.release(item.job.job_id)
-                    del running[item.job.job_id]
+                    machine.release(jid)
+                    del running[jid]
                     if state is not None:
-                        state.on_release(item.job.job_id)
-                    finished_ids.add(item.job.job_id)
+                        state.on_release(jid)
+                    finished_ids.add(jid)
                     completed.append(item)
                     if columns is not None:
                         columns.append(item)
-                    self.scheduler.on_complete(item.job, ctx)
+                    if coalesce is None:
+                        # Coalescing capability implies the base (no-op)
+                        # ``on_complete`` — skip the call on the fast path.
+                        scheduler.on_complete(item.job, ctx)
                 elif kind is EventKind.NODE_UP:
                     fail = payload
                     self.machine.repair_nodes(fail.nodes, now)
@@ -572,7 +851,8 @@ class Simulator:
                     current[job.job_id] = job
                     if state is not None:
                         state.note_enqueued(job.nodes)
-                    self.scheduler.on_submit(job, ctx)
+                    scheduler.on_submit(job, ctx)
+                    batch_enqueued = True
                 elif kind is EventKind.CANCELLATION:
                     job_id: int = payload
                     job = current.get(job_id, by_id[job_id])
@@ -615,10 +895,13 @@ class Simulator:
                     # event's time is ``now`` by construction.
                     pending_timers.discard(now)
 
+            if profile_phases:
+                events_seconds += time.perf_counter() - t_events
             decision_points += 1
-            t_select = time.perf_counter()
-            started = self.scheduler.select_jobs(ctx)
-            decision_time += time.perf_counter() - t_select
+            t_select = perf_counter()
+            started = select_jobs(ctx)
+            t_commit = perf_counter()
+            decision_time += t_commit - t_select
             for job in started:
                 started_ids.add(job.job_id)
                 if job.job_id in killed_at:
@@ -635,34 +918,47 @@ class Simulator:
                     end_time=now + duration,
                     cancelled=cancelled,
                 )
-                self.machine.allocate(job)  # raises if the scheduler overcommitted
+                machine.allocate(job)  # raises if the scheduler overcommitted
                 running[job.job_id] = RunningJob(job=job, start_time=now)
                 if state is not None:
                     state.note_dequeued(job.nodes)
                     state.on_start(job.job_id, job.estimated_runtime, job.nodes)
                 events.push(item.end_time, EventKind.COMPLETION, item)
 
-            # Honour timer requests; only queue jobs justify a wake-up, so a
-            # drained scheduler cannot keep an otherwise-finished simulation
-            # alive forever.
-            wake = self.scheduler.next_wakeup(ctx)
-            if (
-                wake is not None
-                and wake > now
-                and wake not in pending_timers
-                and (self.scheduler.pending_count > 0 or running)
-            ):
-                pending_timers.add(wake)
-                events.push(wake, EventKind.TIMER)
+            if coalesce is None:
+                # Honour timer requests; only queue jobs justify a wake-up,
+                # so a drained scheduler cannot keep an otherwise-finished
+                # simulation alive forever.  Coalescing capability implies
+                # the base (None) ``next_wakeup``, so the probe is skipped
+                # on that path.
+                wake = scheduler.next_wakeup(ctx)
+                if (
+                    wake is not None
+                    and wake > now
+                    and wake not in pending_timers
+                    and (scheduler.pending_count > 0 or running)
+                ):
+                    pending_timers.add(wake)
+                    events.push(wake, EventKind.TIMER)
 
-            try:
-                queue_len = self.scheduler.pending_count
-            except NotImplementedError:  # pragma: no cover - exotic schedulers
-                queue_len = 0
-            max_queue = max(max_queue, queue_len)
-            if self.trace is not None:
-                self.trace.queue_lengths.append((now, queue_len))
-                self.trace.free_nodes.append((now, self.machine.free_nodes))
+                try:
+                    queue_len = scheduler.pending_count
+                except NotImplementedError:  # pragma: no cover - exotic schedulers
+                    queue_len = 0
+                max_queue = max(max_queue, queue_len)
+                if self.trace is not None:
+                    self.trace.queue_lengths.append((now, queue_len))
+                    self.trace.free_nodes.append((now, machine.free_nodes))
+            elif batch_enqueued:
+                # The wait queue only ever grows inside ``on_submit``, so
+                # the peak queue length is always attained at a decision
+                # point whose batch carried a submission — completion-only
+                # drain decisions cannot raise it and skip the probe.
+                queue_len = scheduler.pending_count
+                if queue_len > max_queue:
+                    max_queue = queue_len
+            if profile_phases:
+                commit_seconds += perf_counter() - t_commit
 
         if running:
             raise RuntimeError(
@@ -675,6 +971,21 @@ class Simulator:
                 f"simulation ended with {leftover} jobs still queued — the "
                 "scheduler starved them (every job fits the machine, so a "
                 "work-conserving scheduler must eventually start everything)"
+            )
+
+        total_seconds = time.perf_counter() - run_clock_start
+        phase_seconds = {"total": total_seconds, "decide": decision_time}
+        if profile_phases:
+            phase_seconds["events"] = events_seconds
+            phase_seconds["commit"] = commit_seconds
+            phase_seconds["coalesce"] = coalesce_seconds
+            phase_seconds["other"] = max(
+                0.0,
+                total_seconds
+                - events_seconds
+                - commit_seconds
+                - coalesce_seconds
+                - decision_time,
             )
 
         schedule = Schedule(completed)
@@ -696,6 +1007,8 @@ class Simulator:
             wasted_node_seconds=wasted_node_seconds,
             requeue_delay=requeue_delay,
             columns=columns,
+            phase_seconds=phase_seconds,
+            coalesced=coalesced,
         )
 
     def _kill_for_failure(

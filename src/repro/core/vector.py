@@ -232,6 +232,109 @@ class MergedEventFeed:
         event = heappop(heap)
         return event.kind, event.payload
 
+    # -- run extraction (the simulator's event-coalescing fast paths) ----------
+
+    #: Shared empty-run result: failed extraction probes happen once per
+    #: uncoalesced decision, so returning a constant keeps them allocation-free.
+    _EMPTY_RUN: "tuple[list, list, int]" = ([], [], 0)
+
+    @property
+    def arrivals_exhausted(self) -> bool:
+        """True once every original arrival has been consumed — from then on
+        the feed is exactly the residual heap."""
+        return self._idx >= self._n
+
+    def next_arrival_time(self) -> float | None:
+        """Instant of the next pending *original* arrival (``None`` if spent)."""
+        return self._times[self._idx] if self._idx < self._n else None
+
+    def take_blocked_arrivals(
+        self, free_nodes: int
+    ) -> tuple[list["Job"], list[float], int]:
+        """Consume the maximal run of arrivals that cannot possibly start.
+
+        A pending original arrival belongs to the run when it occurs
+        strictly before the earliest heap event (so nothing else happens in
+        between — in particular no completion frees nodes) *and* requests
+        more than ``free_nodes`` nodes (so it can neither start nor, free
+        nodes being unchanged throughout the run, enable any other queued
+        job under a discipline guaranteeing
+        :attr:`~repro.core.scheduler.CoalescingCaps.blocked_arrivals`).
+
+        Returns ``(jobs, times, closed_instants)``.  ``closed_instants``
+        counts the distinct instants the run closes; when the run stops at
+        a same-instant arrival that *does* fit, that last instant stays
+        open — the per-event loop finishes its batch and owns its decision
+        point.
+        """
+        heap = self._events._heap
+        bound = heap[0].time if heap else None
+        times = self._times
+        jobs = self._jobs
+        i = self._idx
+        n = self._n
+        start = i
+        closed = 0
+        last: float | None = None
+        while i < n:
+            t = times[i]
+            if bound is not None and t >= bound:
+                break
+            if jobs[i].nodes <= free_nodes:
+                if t == last:
+                    closed -= 1
+                break
+            if t != last:
+                closed += 1
+                last = t
+            i += 1
+        if i == start:
+            return self._EMPTY_RUN
+        self._idx = i
+        return jobs[start:i], times[start:i], closed
+
+    def take_idle_starts(self, free_nodes: int) -> tuple[list["Job"], list[float], int]:
+        """Consume the maximal run of arrival instants that start instantly.
+
+        With an empty wait queue and a scheduler guaranteeing
+        :attr:`~repro.core.scheduler.CoalescingCaps.idle_starts`, a batch
+        of arrivals that jointly fits the free nodes starts immediately and
+        leaves the queue empty again.  This consumes whole instants only
+        (never part of a batch), each strictly before the earliest heap
+        event, while the cumulative node demand fits ``free_nodes``.
+        Returns ``(jobs, times, instants)`` — all consumed instants are
+        closed by construction.
+        """
+        heap = self._events._heap
+        bound = heap[0].time if heap else None
+        times = self._times
+        jobs = self._jobs
+        i = self._idx
+        n = self._n
+        start = i
+        free = free_nodes
+        instants = 0
+        while i < n:
+            t = times[i]
+            if bound is not None and t >= bound:
+                break
+            j = i
+            need = 0
+            while j < n and times[j] == t:
+                need += jobs[j].nodes
+                if need > free:
+                    break
+                j += 1
+            if j < n and times[j] == t:
+                break  # instant does not jointly fit: leave it whole
+            free -= need
+            i = j
+            instants += 1
+            if free == 0:
+                break
+        self._idx = i
+        return jobs[start:i], times[start:i], instants
+
 
 # -- batched first-fit over canonical profile steps ----------------------------
 
@@ -325,6 +428,19 @@ class ResultColumns:
         self.start.append(item.start_time)
         self.end.append(item.end_time)
         self.area.append(job.area)
+
+    def extend(self, items: Sequence["ScheduledJob"]) -> None:
+        """Append a run of records (the completion-drain fast path)."""
+        submit = self.submit.append
+        start = self.start.append
+        end = self.end.append
+        area = self.area.append
+        for item in items:
+            job = item.job
+            submit(job.submit_time)
+            start(item.start_time)
+            end(item.end_time)
+            area(job.area)
 
     @classmethod
     def from_schedule(cls, schedule: "Schedule | Iterable[ScheduledJob]") -> "ResultColumns":

@@ -188,6 +188,169 @@ def _cmd_verify_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_profile_cell(args: argparse.Namespace) -> int:
+    """Re-simulate one journaled cell with per-phase instrumentation.
+
+    Locates the cell by (a prefix of) its cache fingerprint with the same
+    journal walk ``--verify-run`` performs, rebuilds the run's workload
+    from its manifest recipe (and the scenario from the CLI flags, when
+    the cell ran under one), proves the reconstruction by recomputing the
+    cell fingerprint, then re-runs that single cell with
+    ``SimulationConfig(profile_phases=True)`` and prints the
+    ``phase_seconds`` breakdown plus the coalescing counters — a
+    regression is attributable to a phase without reaching for a
+    profiler.
+    """
+    from repro.core.machine import Machine
+    from repro.core.simulator import ScenarioInputs, SimulationConfig, Simulator
+    from repro.experiments.engine import cell_fingerprint, fingerprint_jobs
+    from repro.experiments.journal import (
+        JournalError,
+        journal_path,
+        list_runs,
+        read_journal,
+    )
+    from repro.schedulers.registry import SchedulerConfig, build_scheduler
+
+    target = args.profile_cell
+    root = _journal_root(args)
+    matches: list[tuple[str, str, str, dict]] = []
+    seen: set[str] = set()
+    for summary in list_runs(root):
+        if summary.status == "corrupt":
+            continue
+        try:
+            replay = read_journal(journal_path(root, summary.run_id))
+        except JournalError:
+            continue
+        for key, cell in replay.cells.items():
+            fingerprint = cell.fingerprint
+            if not fingerprint or not fingerprint.startswith(target):
+                continue
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                matches.append((summary.run_id, key, fingerprint, replay.manifest))
+    if not matches:
+        print(
+            f"no journaled cell under {root} has a fingerprint starting "
+            f"with {target!r}",
+            file=sys.stderr,
+        )
+        return 1
+    if len(matches) > 1:
+        print(
+            f"fingerprint prefix {target!r} is ambiguous "
+            f"({len(matches)} cells):",
+            file=sys.stderr,
+        )
+        for run_id, key, fingerprint, _manifest in matches:
+            print(f"  {fingerprint}  {key} (run {run_id})", file=sys.stderr)
+        return 1
+    run_id, key, fingerprint, manifest = matches[0]
+
+    name = str(manifest.get("workload_name", "workload"))
+    spec = next(
+        (s for s in EXPERIMENTS.values() if s.description == name), None
+    )
+    if spec is None:
+        print(
+            f"cell {key} of run {run_id} used workload {name!r}, which is "
+            "not a registered experiment recipe — cannot rebuild its jobs",
+            file=sys.stderr,
+        )
+        return 1
+    scale = args.scale if args.scale is not None else int(manifest.get("n_jobs", 0))
+    jobs = spec.workload(scale, args.seed)
+
+    # Recompile the scenario (if any) exactly as the engine did, then prove
+    # the whole reconstruction by recomputing the cell fingerprint.
+    scenario_spec = scenario_from_args(args)
+    cancellations: tuple = ()
+    failures = None
+    recovery = None
+    cancel_over_limit = False
+    scenario_digest = ""
+    if scenario_spec is not None:
+        compiled = scenario_spec.compile(jobs)
+        jobs = list(compiled.jobs)
+        cancellations = compiled.inputs.cancellations
+        failures = compiled.inputs.failures
+        recovery = compiled.inputs.recovery
+        cancel_over_limit = compiled.cancel_over_limit
+        scenario_digest = compiled.digest
+    failures_digest = failures.fingerprint() if failures else ""
+    recovery_spec = ""
+    if recovery is not None:
+        from repro.failures.recovery import recovery_from_spec
+
+        recovery_spec = recovery = recovery_from_spec(recovery).spec
+    total_nodes = int(manifest["total_nodes"])
+    weighted = bool(manifest["weighted"])
+    recompute_threshold = float(manifest["recompute_threshold"])
+    row, _, column = key.partition("/")
+    config = SchedulerConfig(row=row, column=column)
+    expected = cell_fingerprint(
+        fingerprint_jobs(jobs),
+        config,
+        total_nodes=total_nodes,
+        weighted=weighted,
+        recompute_threshold=recompute_threshold,
+        failures_digest=failures_digest,
+        recovery=recovery_spec,
+        scenario=scenario_digest,
+    )
+    if expected != fingerprint:
+        print(
+            f"reconstructed inputs do not reproduce fingerprint "
+            f"{fingerprint}\n(got {expected}).  Re-run with the original "
+            "--scale/--seed and scenario flags of run "
+            f"{run_id} (workload {name!r}, {manifest.get('n_jobs')} jobs"
+            f"{', scenario ' + manifest['scenario'][:12] if manifest.get('scenario') else ''}).",
+            file=sys.stderr,
+        )
+        return 1
+
+    simulator = Simulator(
+        Machine(total_nodes),
+        build_scheduler(
+            config, total_nodes, weighted=weighted,
+            recompute_threshold=recompute_threshold,
+        ),
+        SimulationConfig(
+            backend=args.backend,
+            cancel_over_limit=cancel_over_limit,
+            profile_phases=True,
+        ),
+    )
+    result = simulator.run(
+        jobs,
+        scenario=ScenarioInputs(
+            cancellations=tuple(cancellations),
+            failures=failures,
+            recovery=recovery,
+        ),
+    )
+    print(f"cell {key} of run {run_id}")
+    print(f"  fingerprint {fingerprint}")
+    print(
+        f"  workload {name!r}, {len(jobs)} jobs, {total_nodes} nodes, "
+        f"{'weighted' if weighted else 'unweighted'}"
+    )
+    print(
+        f"  decision points {result.decision_points}, "
+        f"backend {simulator.backend}"
+    )
+    print("phase_seconds:")
+    for phase in ("total", "decide", "events", "commit", "coalesce", "other"):
+        if phase in result.phase_seconds:
+            print(f"  {phase:<10}{result.phase_seconds[phase] * 1e3:10.3f} ms")
+    if result.coalesced:
+        print("coalesced:")
+        for counter, value in sorted(result.coalesced.items()):
+            print(f"  {counter:<22}{value}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -366,6 +529,15 @@ def main(argv: list[str] | None = None) -> int:
         help="audit a journaled run against the cache ('all' audits every "
         "journal), then exit",
     )
+    parser.add_argument(
+        "--profile-cell",
+        metavar="FINGERPRINT",
+        default=None,
+        help="re-simulate one journaled cell (by cache-fingerprint prefix) "
+        "with per-phase instrumentation and print its phase_seconds "
+        "breakdown, then exit (pass the run's --scale/--seed/scenario "
+        "flags if they differed from the defaults)",
+    )
     args = parser.parse_args(argv)
 
     if args.serve_worker is not None:
@@ -381,8 +553,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list_runs(args)
     if args.verify_run is not None:
         return _cmd_verify_run(args)
+    if args.profile_cell is not None:
+        return _cmd_profile_cell(args)
     if not args.ids:
-        parser.error("experiment ids are required (or --list-runs/--verify-run)")
+        parser.error(
+            "experiment ids are required "
+            "(or --list-runs/--verify-run/--profile-cell)"
+        )
     if args.resume is not None and args.no_cache:
         parser.error("--resume needs the cache; drop --no-cache")
     if args.backend_exec == "remote" and not args.connect:

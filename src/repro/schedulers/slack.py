@@ -40,6 +40,7 @@ class SlackBackfill(Discipline):
 
     name = "slack"
     uses_estimates = True
+    coalesce_blocked_arrivals = True
 
     def __init__(self, slack_factor: float = 1.0) -> None:
         if slack_factor < 0:
@@ -48,11 +49,17 @@ class SlackBackfill(Discipline):
         self.name = f"slack({slack_factor:g})"
 
     def select(self, queue: Sequence[Job], ctx: SchedulerContext) -> list[Job]:
+        started, _indices = self.select_indexed(queue, ctx)
+        return started
+
+    def select_indexed(
+        self, queue: Sequence[Job], ctx: SchedulerContext
+    ) -> tuple[list[Job], Sequence[int] | None]:
         if not queue:
-            return []
+            return [], None
         now = ctx.now
         if ctx.free_nodes < _min_queue_nodes(queue, ctx):
-            return []
+            return [], None
         profile = ctx.profile
         suffix_min = [0] * (len(queue) + 1)
         suffix_min[len(queue)] = _NO_JOB
@@ -61,6 +68,7 @@ class SlackBackfill(Discipline):
         current_free = ctx.free_nodes
 
         started: list[Job] = []
+        indices: list[int] = []
         for i, job in enumerate(queue):
             if current_free < suffix_min[i]:
                 break
@@ -70,6 +78,7 @@ class SlackBackfill(Discipline):
                 # Startable now: start it and commit the real usage.
                 profile.reserve(start, est, job.nodes)
                 started.append(job)
+                indices.append(i)
                 current_free -= job.nodes
             else:
                 # Not startable: reserve at its earliest start *plus* the
@@ -78,4 +87,4 @@ class SlackBackfill(Discipline):
                 # the delayed query with its reservation.
                 slack = self.slack_factor * job.estimated_runtime
                 profile.allocate(job.nodes, est, after=start + slack)
-        return started
+        return started, indices

@@ -184,6 +184,51 @@ class TestCLI:
         capsys.readouterr()
         assert (tmp_path / "fig3_unweighted.txt").exists()
 
+    def test_cli_profile_cell(self, tmp_path, capsys):
+        """--profile-cell finds a journaled cell by fingerprint prefix,
+        reproduces the fingerprint from the manifest recipe, and prints
+        the per-phase breakdown with the coalescing counters."""
+        import json
+
+        from repro.experiments.cli import main
+
+        cache_dir = tmp_path / "cache"
+        assert main(["table3", "--scale", "150", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        fingerprint = None
+        for journal in sorted((cache_dir / "runs").glob("*.jsonl")):
+            for line in journal.read_text().splitlines():
+                record = json.loads(line)
+                if record.get("fp"):
+                    fingerprint = record["fp"]
+                    break
+            if fingerprint:
+                break
+        assert fingerprint is not None
+        code = main(
+            [
+                "--profile-cell", fingerprint[:12],
+                "--scale", "150",
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert fingerprint in out
+        assert "phase_seconds:" in out
+        for phase in ("total", "decide", "events", "commit", "coalesce"):
+            assert phase in out
+
+    def test_cli_profile_cell_unknown_fingerprint(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        code = main(["--profile-cell", "ffff", "--cache-dir", str(cache_dir)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "no journaled cell" in err
+
     def test_cli_accepts_swf_trace(self, tmp_path, capsys):
         from repro.experiments.cli import main
         from repro.workloads.swf import write_swf
