@@ -15,7 +15,11 @@ These benchmarks measure what the zero-copy path saves:
   price every journaled cell pays for crash tolerance;
 * **remote dispatch latency** — one length-prefixed, checksummed frame
   round trip to an in-thread worker server: the pure per-cell tax of the
-  remote execution backend's wire protocol.
+  remote execution backend's wire protocol;
+* **object-store round trip** — one PUT + integrity-verified GET of a
+  representative cache entry against the in-process S3 stub: the
+  per-entry tax of the durable object-store fleet cache (HTTP framing,
+  checksum stamping and re-verification included).
 
 Run under pytest-benchmark for statistics, or as a script for the CI
 perf-smoke baseline::
@@ -271,6 +275,60 @@ def measure_remote_dispatch(frames: int = 200) -> float:
     return elapsed / frames
 
 
+def measure_objectstore_roundtrip(entries: int = 50) -> float:
+    """Seconds per object-store PUT + verified GET of one cache entry.
+
+    Drives :class:`ObjectStoreCacheStore` against the in-process S3 stub
+    (loopback HTTP, no chaos) with a payload shaped like a real cell
+    entry, so the number covers the whole durable-cache tax per entry:
+    request signing/framing, the checksum stamp on the way in and the
+    sha256 + fingerprint re-verification on the way out.
+    """
+    import hashlib
+
+    from repro.experiments.backends.objectstore import ObjectStoreCacheStore
+    from repro.experiments.backends.s3stub import S3StubServer
+
+    text = json.dumps(
+        {"version": 4, "objective": 1.25, "makespan": 3.5e5,
+         "trace": [[i, i * 0.5] for i in range(200)]}
+    )
+    with S3StubServer() as stub:
+        store = ObjectStoreCacheStore(
+            stub.endpoint, "bench-cache", prefix="grids", cooldown=30.0
+        )
+        t0 = time.perf_counter()
+        for i in range(entries):
+            fingerprint = hashlib.sha256(str(i).encode()).hexdigest()
+            store.save(fingerprint, text)
+            assert store.load(fingerprint) == text
+        elapsed = time.perf_counter() - t0
+        assert store.errors == 0 and store.quarantined == []
+        store.close()
+    return elapsed / entries
+
+
+def test_objectstore_roundtrip(benchmark):
+    import hashlib
+
+    from repro.experiments.backends.objectstore import ObjectStoreCacheStore
+    from repro.experiments.backends.s3stub import S3StubServer
+
+    text = json.dumps({"version": 4, "objective": 1.25})
+    with S3StubServer() as stub:
+        store = ObjectStoreCacheStore(
+            stub.endpoint, "bench-cache", prefix="grids", cooldown=30.0
+        )
+        fingerprint = hashlib.sha256(b"bench").hexdigest()
+
+        def roundtrip():
+            store.save(fingerprint, text)
+            return store.load(fingerprint)
+
+        assert benchmark(roundtrip) == text
+        store.close()
+
+
 def collect_measurements(rounds: int = 3) -> dict[str, float]:
     jobs = synthetic_workload()
     packed = pack_jobs(jobs)
@@ -293,6 +351,7 @@ def collect_measurements(rounds: int = 3) -> dict[str, float]:
         "pool_dispatch_store": measure_pool_dispatch(jobs, use_store=True),
         "journal_append_per_record": measure_journal_append(),
         "remote_dispatch_per_frame": measure_remote_dispatch(),
+        "objectstore_put_get_per_entry": measure_objectstore_roundtrip(),
     }
     measurements.update(payload_bytes(jobs))
     return measurements

@@ -15,7 +15,12 @@ backends.base.ExecutionBackend` at a time:
 * :mod:`~repro.experiments.backends.cache` — pluggable
   :class:`~repro.experiments.backends.cache.CacheStore` backends for
   :class:`~repro.experiments.engine.ResultCache` (local directory +
-  remote store over the same protocol).
+  remote store over the same protocol), plus
+  :class:`~repro.experiments.backends.objectstore.ObjectStoreCacheStore`
+  speaking a minimal S3-compatible HTTP subset to any object store, and
+  the deterministic fault-injecting
+  :class:`~repro.experiments.backends.s3stub.S3StubServer` the chaos
+  suites run it against.
 
 Submodules are imported lazily so importing the engine never drags in
 the worker/server side (which itself imports the engine for the cell
@@ -33,8 +38,13 @@ _EXPORTS = {
     "ExecutionBackend": "repro.experiments.backends.base",
     "ReleaseReport": "repro.experiments.backends.base",
     "CacheStore": "repro.experiments.backends.cache",
+    "CacheStoreHealth": "repro.experiments.backends.cache",
     "LocalDirStore": "repro.experiments.backends.cache",
     "RemoteCacheStore": "repro.experiments.backends.cache",
+    "store_from_spec": "repro.experiments.backends.cache",
+    "ObjectStoreCacheStore": "repro.experiments.backends.objectstore",
+    "ChaosSpec": "repro.experiments.backends.s3stub",
+    "S3StubServer": "repro.experiments.backends.s3stub",
     "PoolBackend": "repro.experiments.backends.pool",
     "ProtocolError": "repro.experiments.backends.protocol",
     "RemoteWorkerBackend": "repro.experiments.backends.remote",
@@ -54,10 +64,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     )
     from repro.experiments.backends.cache import (  # noqa: F401
         CacheStore,
+        CacheStoreHealth,
         LocalDirStore,
         RemoteCacheStore,
+        store_from_spec,
+    )
+    from repro.experiments.backends.objectstore import (  # noqa: F401
+        ObjectStoreCacheStore,
     )
     from repro.experiments.backends.pool import PoolBackend  # noqa: F401
+    from repro.experiments.backends.s3stub import (  # noqa: F401
+        ChaosSpec,
+        S3StubServer,
+    )
     from repro.experiments.backends.protocol import ProtocolError  # noqa: F401
     from repro.experiments.backends.remote import RemoteWorkerBackend  # noqa: F401
     from repro.experiments.backends.worker import (  # noqa: F401

@@ -9,18 +9,111 @@ out of the stores is the poisoning defense: a remote entry is parsed
 and classified *before* it is trusted, so a corrupt or stale payload
 served by a fleet cache can never enter a ``GridResult`` (and is never
 written into the local store either).
+
+Remote stores share one resilience implementation
+(:mod:`repro.resilience`): a :class:`~repro.resilience.RetryPolicy`
+bounds attempts and carries the per-attempt I/O timeout, and a
+:class:`~repro.resilience.CircuitBreaker` turns an unreachable endpoint
+into a cooldown-long local-only degradation instead of one stalled dial
+per cell.  The cooldown is configurable through the
+``REPRO_CACHE_COOLDOWN`` environment variable, with an explicit
+``cooldown=`` kwarg winning over the environment; the breaker jitters
+every cooldown draw so a fleet of drivers does not re-probe a
+recovering cache server in lockstep.
+
+:func:`store_from_spec` maps the user-facing ``--remote-cache`` string
+onto a store: ``HOST:PORT`` dials a
+:class:`~repro.experiments.backends.worker.WorkerServer` fleet cache
+over the frame protocol, while ``s3://…`` builds an
+:class:`~repro.experiments.backends.objectstore.ObjectStoreCacheStore`
+over any S3-compatible object store.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import secrets
 import socket
-import time
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
-__all__ = ["CacheStore", "LocalDirStore", "RemoteCacheStore"]
+from repro.resilience import (
+    CallOutcome,
+    CircuitBreaker,
+    ResilienceError,
+    RetryPolicy,
+    with_resilience,
+)
+
+__all__ = [
+    "CacheStore",
+    "CacheStoreHealth",
+    "LocalDirStore",
+    "RemoteCacheStore",
+    "resolve_cache_cooldown",
+    "store_from_spec",
+]
+
+#: Fallback unreachable-remote cooldown when neither the ``cooldown=``
+#: kwarg nor ``REPRO_CACHE_COOLDOWN`` says otherwise.
+DEFAULT_CACHE_COOLDOWN = 30.0
+
+
+def resolve_cache_cooldown(cooldown: float | None) -> float:
+    """The remote-store breaker cooldown, in precedence order.
+
+    An explicit ``cooldown`` kwarg wins; else the ``REPRO_CACHE_COOLDOWN``
+    environment variable (seconds); else :data:`DEFAULT_CACHE_COOLDOWN`.
+    """
+    if cooldown is not None:
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be non-negative, got {cooldown}")
+        return cooldown
+    raw = os.environ.get("REPRO_CACHE_COOLDOWN", "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CACHE_COOLDOWN must be a number of seconds, got {raw!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"REPRO_CACHE_COOLDOWN must be non-negative, got {raw!r}"
+            )
+        return value
+    return DEFAULT_CACHE_COOLDOWN
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStoreHealth:
+    """Point-in-time health of a remote cache store (stats/journals).
+
+    ``breaker_state`` is ``closed``/``open``/``half-open``;
+    ``breaker_opened`` counts load-shedding periods so far; ``errors``
+    counts failed round trips and ``quarantined`` the poisoned entries
+    this store moved aside.
+    """
+
+    kind: str
+    endpoint: str
+    breaker_state: str
+    breaker_opened: int
+    errors: int
+    quarantined: int
+
+    def describe(self) -> str:
+        bits = [f"{self.kind} {self.endpoint}", f"breaker {self.breaker_state}"]
+        if self.breaker_opened:
+            bits.append(f"opened {self.breaker_opened}x")
+        if self.errors:
+            bits.append(f"{self.errors} error(s)")
+        if self.quarantined:
+            bits.append(f"{self.quarantined} quarantined")
+        return ", ".join(bits)
 
 
 class CacheStore(ABC):
@@ -33,6 +126,23 @@ class CacheStore(ABC):
     @abstractmethod
     def save(self, fingerprint: str, text: str) -> None:
         """Store ``text``; best effort (failures must not raise)."""
+
+    def quarantine(self, fingerprint: str, text: str, reason: str) -> None:
+        """Move a poisoned entry aside on the store's side; best effort.
+
+        Called by :class:`~repro.experiments.engine.ResultCache` when a
+        loaded entry fails validation.  The default does nothing (a
+        fleet worker owns its own directory); the object store copies
+        the entry under its ``quarantine/`` prefix so operators can see
+        the corruption instead of every driver silently re-rejecting it.
+        """
+
+    def health(self) -> CacheStoreHealth | None:
+        """Resilience health, or ``None`` for stores that cannot fail."""
+        return None
+
+    def close(self) -> None:
+        """Release connections; best effort, idempotent."""
 
 
 class LocalDirStore(CacheStore):
@@ -77,10 +187,14 @@ class RemoteCacheStore(CacheStore):
     Points at any :class:`~repro.experiments.backends.worker.WorkerServer`
     started with a cache directory (a dedicated cache server is just a
     worker nobody sends TASK frames to).  The connection is dialed
-    lazily and re-dialed after failures; while the server is unreachable
-    the store answers misses and drops writes for ``cooldown`` seconds
-    instead of stalling every cell on a dead socket — an unreachable
-    fleet cache degrades a run to local-only caching, never blocks it.
+    lazily; every round trip runs through
+    :func:`~repro.resilience.with_resilience` under a single-attempt
+    :class:`~repro.resilience.RetryPolicy` (a cache miss must stay
+    cheap — retrying inline would stall the cell it is serving) and a
+    trip-on-first-failure :class:`~repro.resilience.CircuitBreaker`:
+    while the server is unreachable the breaker sheds every round trip
+    for one jittered ``cooldown``, so an unreachable fleet cache
+    degrades a run to local-only caching, never blocks it.
     """
 
     def __init__(
@@ -88,15 +202,24 @@ class RemoteCacheStore(CacheStore):
         address: str | tuple[str, int],
         *,
         timeout: float = 5.0,
-        cooldown: float = 30.0,
+        cooldown: float | None = None,
+        rng: random.Random | None = None,
+        on_outcome: "Callable[[CallOutcome], None] | None" = None,
     ) -> None:
         from repro.experiments.backends.protocol import parse_address
 
         self.address = parse_address(address)
         self.timeout = timeout
-        self.cooldown = cooldown
+        self.cooldown = resolve_cache_cooldown(cooldown)
+        self.policy = RetryPolicy(max_attempts=1, timeout=timeout)
+        self.breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown=self.cooldown,
+            rng=rng,
+            name=f"remote-cache {self.address[0]}:{self.address[1]}",
+        )
+        self.on_outcome = on_outcome
         self._sock: socket.socket | None = None
-        self._retry_at = 0.0
         #: Round trips that failed (connection or protocol); observable
         #: so tests and audits can tell "miss" from "unreachable".
         self.errors = 0
@@ -107,17 +230,26 @@ class RemoteCacheStore(CacheStore):
         with ``connected`` still true is a genuine miss, not an outage)."""
         return self._sock is not None
 
+    def health(self) -> CacheStoreHealth:
+        return CacheStoreHealth(
+            kind="fleet",
+            endpoint=f"{self.address[0]}:{self.address[1]}",
+            breaker_state=self.breaker.state,
+            breaker_opened=self.breaker.times_opened,
+            errors=self.errors,
+            quarantined=0,
+        )
+
     # -- connection management --------------------------------------------
 
-    def _connect(self) -> socket.socket | None:
+    def _connect(self) -> socket.socket:
+        """Dial and handshake (reusing an open socket); raise on failure."""
         from repro.experiments.backends import protocol as proto
 
         if self._sock is not None:
             return self._sock
-        if time.monotonic() < self._retry_at:
-            return None
+        sock = socket.create_connection(self.address, timeout=self.timeout)
         try:
-            sock = socket.create_connection(self.address, timeout=self.timeout)
             sock.settimeout(self.timeout)
             proto.send_frame(
                 sock,
@@ -129,9 +261,12 @@ class RemoteCacheStore(CacheStore):
                 raise proto.ProtocolError(
                     f"expected WELCOME, got {frame.kind.name}"
                 )
-        except (OSError, proto.ProtocolError):
-            self._drop()
-            return None
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            raise
         self._sock = sock
         return sock
 
@@ -146,6 +281,11 @@ class RemoteCacheStore(CacheStore):
                 return frame
 
     def _drop(self) -> None:
+        """Close the socket and count the failed round trip.
+
+        The *cooldown* no longer lives here: the caller's exception
+        propagates into :func:`with_resilience`, which feeds the breaker.
+        """
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -153,7 +293,6 @@ class RemoteCacheStore(CacheStore):
                 pass
             self._sock = None
         self.errors += 1
-        self._retry_at = time.monotonic() + self.cooldown
 
     def close(self) -> None:
         if self._sock is not None:
@@ -165,39 +304,91 @@ class RemoteCacheStore(CacheStore):
 
     # -- the store interface ----------------------------------------------
 
-    def load(self, fingerprint: str) -> str | None:
+    def _round_trip_load(self, fingerprint: str) -> str | None:
         from repro.experiments.backends import protocol as proto
 
-        sock = self._connect()
-        if sock is None:
-            return None
         try:
+            sock = self._connect()
             proto.send_frame(sock, proto.Kind.CACHE_GET, fingerprint)
             frame = self._recv_meaningful(sock)
+            if frame.kind is proto.Kind.CACHE_MISS:
+                return None
+            if frame.kind is proto.Kind.CACHE_VALUE:
+                fp, text = frame.payload
+                if fp == fingerprint and isinstance(text, str):
+                    return text
+                raise proto.ProtocolError(
+                    "peer answered for the wrong key: distrusted"
+                )
+            raise proto.ProtocolError(f"unexpected {frame.kind.name} frame")
         except (OSError, proto.ProtocolError):
             self._drop()
-            return None
-        if frame.kind is proto.Kind.CACHE_VALUE:
-            fp, text = frame.payload
-            if fp == fingerprint and isinstance(text, str):
-                return text
-            self._drop()  # answered for the wrong key: distrust the peer
-            return None
-        if frame.kind is proto.Kind.CACHE_MISS:
-            return None
-        self._drop()
-        return None
+            raise
 
-    def save(self, fingerprint: str, text: str) -> None:
+    def _round_trip_save(self, fingerprint: str, text: str) -> None:
         from repro.experiments.backends import protocol as proto
 
-        sock = self._connect()
-        if sock is None:
-            return
         try:
+            sock = self._connect()
             proto.send_frame(sock, proto.Kind.CACHE_PUT, (fingerprint, text))
             frame = self._recv_meaningful(sock)
             if frame.kind is not proto.Kind.CACHE_OK:
-                self._drop()
+                raise proto.ProtocolError(f"expected CACHE_OK, got {frame.kind.name}")
         except (OSError, proto.ProtocolError):
             self._drop()
+            raise
+
+    def load(self, fingerprint: str) -> str | None:
+        from repro.experiments.backends.protocol import ProtocolError
+
+        try:
+            return with_resilience(
+                "cache-get",
+                lambda: self._round_trip_load(fingerprint),
+                policy=self.policy,
+                breaker=self.breaker,
+                retry_on=(OSError, ProtocolError),
+                on_outcome=self.on_outcome,
+            )
+        except (ResilienceError, OSError, ProtocolError):
+            return None
+
+    def save(self, fingerprint: str, text: str) -> None:
+        from repro.experiments.backends.protocol import ProtocolError
+
+        try:
+            with_resilience(
+                "cache-put",
+                lambda: self._round_trip_save(fingerprint, text),
+                policy=self.policy,
+                breaker=self.breaker,
+                retry_on=(OSError, ProtocolError),
+                on_outcome=self.on_outcome,
+            )
+        except (ResilienceError, OSError, ProtocolError):
+            pass
+
+
+def store_from_spec(
+    spec: str,
+    *,
+    timeout: float = 5.0,
+    cooldown: float | None = None,
+) -> CacheStore:
+    """Build the remote cache store a ``--remote-cache`` spec names.
+
+    ``s3://…`` builds an :class:`~repro.experiments.backends.objectstore.
+    ObjectStoreCacheStore` (see its ``from_url`` for the accepted
+    shapes); anything else is a ``HOST:PORT`` fleet worker address for
+    :class:`RemoteCacheStore`.  ``timeout`` is the per-attempt I/O
+    budget and ``cooldown`` the breaker cooldown (``None``: the
+    ``REPRO_CACHE_COOLDOWN``/default resolution of
+    :func:`resolve_cache_cooldown`).
+    """
+    if spec.startswith("s3://"):
+        from repro.experiments.backends.objectstore import ObjectStoreCacheStore
+
+        return ObjectStoreCacheStore.from_url(
+            spec, timeout=timeout, cooldown=cooldown
+        )
+    return RemoteCacheStore(spec, timeout=timeout, cooldown=cooldown)

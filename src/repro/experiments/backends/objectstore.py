@@ -1,0 +1,679 @@
+"""Durable cache entries in any S3-compatible object store.
+
+:class:`ObjectStoreCacheStore` is a :class:`~repro.experiments.backends.
+cache.CacheStore` that keeps cell entries as objects in a bucket —
+a fleet cache that outlives every worker process and needs no always-on
+cache server of ours.  It speaks a deliberately minimal subset of the
+S3 HTTP API from the standard library alone (``http.client``; no SDK):
+
+* ``PUT /bucket/key`` with the entry bytes and integrity metadata,
+* ``GET /bucket/key`` / ``HEAD /bucket/key``,
+* ``GET /bucket?list-type=2&prefix=…`` (ListObjectsV2, with
+  continuation tokens),
+
+always **path-style** (``http://endpoint/bucket/key``), so MinIO,
+localstack, Ceph RGW and the chaos stub in
+:mod:`~repro.experiments.backends.s3stub` all work without DNS games.
+Requests are signed with AWS Signature V4 when credentials are
+configured (``access_key``/``secret_key`` kwargs win over the
+``REPRO_S3_ACCESS_KEY``/``REPRO_S3_SECRET_KEY`` environment, which
+falls back to the conventional ``AWS_ACCESS_KEY_ID``/
+``AWS_SECRET_ACCESS_KEY``); with no credentials requests go out
+unsigned, which is what the stub and an anonymous-write dev bucket
+expect.
+
+Layout mirrors :class:`~repro.experiments.backends.cache.LocalDirStore`
+exactly — ``<prefix>/<fp[:2]>/<fp>.json``, object bytes identical to
+the local file's UTF-8 bytes — so an operator can ``mc mirror`` a
+bucket into a local cache directory (or back) and every entry stays
+bit-valid.  :func:`object_key` / :func:`fingerprint_from_key` are the
+two sides of that mapping and are property-tested for round-trip.
+
+Validate-before-accept, in two layers:
+
+* **transport integrity** (this module): every ``PUT`` stamps
+  ``x-amz-meta-repro-sha256`` (hex digest of the body) and
+  ``x-amz-meta-repro-fingerprint``; every ``GET`` re-verifies body
+  length against ``Content-Length``, the digest, and the fingerprint
+  echo.  A torn or bit-flipped object never leaves :meth:`load` — it is
+  copied under the ``quarantine/`` prefix (original key preserved
+  beneath it), recorded in :attr:`ObjectStoreCacheStore.quarantined`,
+  and reported as a miss so the engine recomputes the cell.
+* **semantic validation** (:class:`~repro.experiments.engine.
+  ResultCache`): entries that transport intact but parse wrong or
+  carry a stale ``CACHE_VERSION`` are rejected there, and the cache
+  calls back into :meth:`quarantine` so the poison is moved aside on
+  the remote too instead of re-rejected by every driver forever.
+
+Fault handling rides the shared :mod:`repro.resilience` layer: a
+:class:`~repro.resilience.RetryPolicy` retries transient faults
+(connection errors, torn HTTP frames, 5xx) with jittered exponential
+backoff under a per-attempt socket timeout, and a
+:class:`~repro.resilience.CircuitBreaker` trips after consecutive
+round-trip failures so an unreachable endpoint degrades the run to
+local-only caching for one jittered cooldown
+(``REPRO_CACHE_COOLDOWN``-configurable) instead of stalling every cell.
+Client-side faults (403, NoSuchBucket) are *fatal to the attempt but
+silent to the run*: they are not retried — misconfiguration does not
+fix itself — and the store answers misses/dropped writes, because a
+cache must never fail the computation it fronts.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import hmac
+import http.client
+import os
+import random
+import socket
+import time
+import urllib.parse
+import xml.etree.ElementTree as ET
+from typing import Callable
+
+from repro.experiments.backends.cache import (
+    CacheStore,
+    CacheStoreHealth,
+    resolve_cache_cooldown,
+)
+from repro.resilience import (
+    BreakerOpen,
+    CallOutcome,
+    CircuitBreaker,
+    ResilienceError,
+    RetryPolicy,
+    with_resilience,
+)
+
+__all__ = [
+    "ObjectIntegrityError",
+    "ObjectStoreCacheStore",
+    "ObjectStoreError",
+    "TransientStoreError",
+    "fingerprint_from_key",
+    "object_key",
+    "parse_object_store_url",
+]
+
+#: Metadata header carrying the hex SHA-256 of the object body.
+CHECKSUM_HEADER = "x-amz-meta-repro-sha256"
+#: Metadata header echoing the fingerprint the object was stored under.
+FINGERPRINT_HEADER = "x-amz-meta-repro-fingerprint"
+#: Poisoned objects are *copied* under this prefix, original key kept.
+QUARANTINE_PREFIX = "quarantine"
+
+
+class ObjectStoreError(RuntimeError):
+    """Fatal object-store fault (auth, missing bucket, bad request)."""
+
+
+class TransientStoreError(OSError):
+    """Retryable fault: 5xx, torn response, connection trouble.
+
+    Subclasses :class:`OSError` so one ``retry_on`` tuple covers both
+    socket-level errors and HTTP-level transient failures.
+    """
+
+
+class ObjectIntegrityError(ObjectStoreError):
+    """The object arrived but its bytes are not trustworthy."""
+
+    def __init__(self, key: str, reason: str, payload: bytes = b"") -> None:
+        super().__init__(f"object {key!r} failed integrity check: {reason}")
+        self.key = key
+        self.reason = reason
+        self.payload = payload
+
+
+# -- key layout ----------------------------------------------------------------
+
+
+def object_key(fingerprint: str, prefix: str = "") -> str:
+    """The object key for a fingerprint: ``[prefix/]<fp[:2]>/<fp>.json``.
+
+    Mirrors :meth:`~repro.experiments.backends.cache.LocalDirStore.path`
+    so a bucket and a cache directory are mirror images of each other.
+    """
+    if not fingerprint or "/" in fingerprint:
+        raise ValueError(f"invalid fingerprint: {fingerprint!r}")
+    stem = f"{fingerprint[:2]}/{fingerprint}.json"
+    return f"{prefix.strip('/')}/{stem}" if prefix.strip("/") else stem
+
+
+def fingerprint_from_key(key: str, prefix: str = "") -> str | None:
+    """Invert :func:`object_key`; ``None`` for keys not of that shape."""
+    clean_prefix = prefix.strip("/")
+    if clean_prefix:
+        if not key.startswith(clean_prefix + "/"):
+            return None
+        key = key[len(clean_prefix) + 1 :]
+    parts = key.split("/")
+    if len(parts) != 2 or not parts[1].endswith(".json"):
+        return None
+    shard, name = parts
+    fingerprint = name[: -len(".json")]
+    if not fingerprint or fingerprint[:2] != shard:
+        return None
+    return fingerprint
+
+
+# -- endpoint specs ------------------------------------------------------------
+
+
+def parse_object_store_url(url: str) -> tuple[str, str, str]:
+    """``(endpoint, bucket, prefix)`` from an ``s3://`` spec.
+
+    Two shapes are accepted:
+
+    * ``s3://HOST:PORT/BUCKET[/PREFIX…]`` — explicit endpoint (the
+      ``:PORT`` is what marks the authority as an endpoint, path-style);
+    * ``s3://BUCKET[/PREFIX…]`` — the endpoint comes from the
+      ``REPRO_S3_ENDPOINT`` environment variable (``http[s]://host[:port]``).
+    """
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.scheme != "s3":
+        raise ValueError(f"object store URL must start with s3://, got {url!r}")
+    if not parsed.netloc:
+        raise ValueError(f"object store URL has no authority: {url!r}")
+    path = parsed.path.strip("/")
+    if ":" in parsed.netloc:
+        endpoint = f"http://{parsed.netloc}"
+        if not path:
+            raise ValueError(
+                f"endpoint-style URL needs a bucket: s3://HOST:PORT/BUCKET, got {url!r}"
+            )
+        bucket, _, prefix = path.partition("/")
+    else:
+        endpoint = os.environ.get("REPRO_S3_ENDPOINT", "").strip()
+        if not endpoint:
+            raise ValueError(
+                f"{url!r} names no endpoint; either use s3://HOST:PORT/BUCKET "
+                f"or set REPRO_S3_ENDPOINT"
+            )
+        bucket, prefix = parsed.netloc, path
+    return endpoint, bucket, prefix
+
+
+def _resolve_credentials(
+    access_key: str | None, secret_key: str | None
+) -> tuple[str, str] | None:
+    """kwargs win; then REPRO_S3_*; then the conventional AWS_* pair."""
+    if access_key is not None and secret_key is not None:
+        return access_key, secret_key
+    for access_var, secret_var in (
+        ("REPRO_S3_ACCESS_KEY", "REPRO_S3_SECRET_KEY"),
+        ("AWS_ACCESS_KEY_ID", "AWS_SECRET_ACCESS_KEY"),
+    ):
+        env_access = os.environ.get(access_var, "")
+        env_secret = os.environ.get(secret_var, "")
+        if env_access and env_secret:
+            return env_access, env_secret
+    return None
+
+
+# -- SigV4 ---------------------------------------------------------------------
+
+
+def _sigv4_headers(
+    method: str,
+    host: str,
+    canonical_uri: str,
+    query: str,
+    payload_sha256: str,
+    credentials: tuple[str, str],
+    region: str,
+    now: _dt.datetime,
+) -> dict[str, str]:
+    """AWS Signature Version 4 headers for one request (stdlib only)."""
+    access_key, secret_key = credentials
+    amz_date = now.strftime("%Y%m%dT%H%M%SZ")
+    datestamp = now.strftime("%Y%m%d")
+    canonical_query = "&".join(sorted(query.split("&"))) if query else ""
+    signed_headers = "host;x-amz-content-sha256;x-amz-date"
+    canonical_headers = (
+        f"host:{host}\n"
+        f"x-amz-content-sha256:{payload_sha256}\n"
+        f"x-amz-date:{amz_date}\n"
+    )
+    canonical_request = "\n".join(
+        (method, canonical_uri, canonical_query, canonical_headers,
+         signed_headers, payload_sha256)
+    )
+    scope = f"{datestamp}/{region}/s3/aws4_request"
+    string_to_sign = "\n".join(
+        (
+            "AWS4-HMAC-SHA256",
+            amz_date,
+            scope,
+            hashlib.sha256(canonical_request.encode("utf-8")).hexdigest(),
+        )
+    )
+
+    def sign(key: bytes, msg: str) -> bytes:
+        return hmac.new(key, msg.encode("utf-8"), hashlib.sha256).digest()
+
+    k_date = sign(("AWS4" + secret_key).encode("utf-8"), datestamp)
+    k_region = sign(k_date, region)
+    k_service = sign(k_region, "s3")
+    k_signing = sign(k_service, "aws4_request")
+    signature = hmac.new(
+        k_signing, string_to_sign.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+    return {
+        "x-amz-date": amz_date,
+        "x-amz-content-sha256": payload_sha256,
+        "Authorization": (
+            f"AWS4-HMAC-SHA256 Credential={access_key}/{scope}, "
+            f"SignedHeaders={signed_headers}, Signature={signature}"
+        ),
+    }
+
+
+# -- the store -----------------------------------------------------------------
+
+
+class ObjectStoreCacheStore(CacheStore):
+    """Cache entries as integrity-checked objects in an S3 bucket.
+
+    Parameters
+    ----------
+    endpoint:
+        ``http[s]://host[:port]`` of the object store (path-style
+        addressing against it).
+    bucket / prefix:
+        Bucket name and optional key prefix the entries live under.
+    access_key / secret_key:
+        SigV4 credentials; both ``None`` falls back to the environment
+        (see :func:`_resolve_credentials`), and no credentials anywhere
+        sends unsigned requests.
+    region:
+        SigV4 signing region (default ``us-east-1`` — what MinIO and
+        most self-hosted stores expect).
+    timeout:
+        Per-attempt socket timeout in seconds.
+    max_attempts / backoff:
+        Transient-fault retry budget and base backoff for the shared
+        :class:`~repro.resilience.RetryPolicy`.
+    cooldown:
+        Breaker cooldown; ``None`` resolves ``REPRO_CACHE_COOLDOWN``
+        then the 30 s default.
+    failure_threshold:
+        Consecutive failed round trips (after retries) that trip the
+        breaker into local-only degradation.
+    rng / on_outcome:
+        Injectable randomness and the per-attempt
+        :class:`~repro.resilience.CallOutcome` hook (chaos suites pin
+        both).
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        bucket: str,
+        *,
+        prefix: str = "",
+        access_key: str | None = None,
+        secret_key: str | None = None,
+        region: str = "us-east-1",
+        timeout: float = 5.0,
+        max_attempts: int = 3,
+        backoff: float = 0.1,
+        cooldown: float | None = None,
+        failure_threshold: int = 3,
+        rng: random.Random | None = None,
+        on_outcome: "Callable[[CallOutcome], None] | None" = None,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(endpoint)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise ValueError(
+                f"endpoint must be http[s]://host[:port], got {endpoint!r}"
+            )
+        if not bucket or "/" in bucket:
+            raise ValueError(f"invalid bucket name: {bucket!r}")
+        self.endpoint = endpoint.rstrip("/")
+        self.scheme = parsed.scheme
+        self.host = parsed.netloc
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+        self.region = region
+        self.timeout = timeout
+        self.credentials = _resolve_credentials(access_key, secret_key)
+        self.cooldown = resolve_cache_cooldown(cooldown)
+        self.policy = RetryPolicy(
+            max_attempts=max_attempts, backoff=backoff, timeout=timeout
+        )
+        self._rng = rng if rng is not None else random.Random()
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            cooldown=self.cooldown,
+            rng=self._rng,
+            name=f"objectstore {self.host}/{bucket}",
+        )
+        self.on_outcome = on_outcome
+        self._conn: http.client.HTTPConnection | None = None
+        #: Failed round trips (after their whole retry budget).
+        self.errors = 0
+        #: Calls the open breaker refused without attempting.
+        self.shed = 0
+        #: Fingerprints this store quarantined, with reasons (order kept).
+        self.quarantined: list[tuple[str, str]] = []
+        self._last_ok = False
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "ObjectStoreCacheStore":
+        """Build from an ``s3://`` spec (see :func:`parse_object_store_url`)."""
+        endpoint, bucket, prefix = parse_object_store_url(url)
+        kwargs.setdefault("prefix", prefix)
+        return cls(endpoint, bucket, **kwargs)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """True while the last round trip succeeded — the same duck-typed
+        signal :class:`~repro.experiments.backends.cache.RemoteCacheStore`
+        exposes, so audits can tell a genuine miss (``None`` while
+        ``connected``) from an unreachable endpoint."""
+        return self._last_ok
+
+    def health(self) -> CacheStoreHealth:
+        return CacheStoreHealth(
+            kind="s3",
+            endpoint=f"{self.host}/{self.bucket}",
+            breaker_state=self.breaker.state,
+            breaker_opened=self.breaker.times_opened,
+            errors=self.errors,
+            quarantined=len(self.quarantined),
+        )
+
+    # -- raw HTTP ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            conn_cls = (
+                http.client.HTTPSConnection
+                if self.scheme == "https"
+                else http.client.HTTPConnection
+            )
+            self._conn = conn_cls(self.host, timeout=self.timeout)
+            # http.client writes headers and body as separate segments;
+            # without TCP_NODELAY, Nagle + delayed ACK turns every PUT
+            # into a ~40 ms round trip.
+            self._conn.connect()
+            sock = self._conn.sock
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def _request(
+        self,
+        method: str,
+        key: str = "",
+        *,
+        query: str = "",
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP round trip; raises :class:`TransientStoreError` on
+        anything worth retrying and returns ``(status, headers, body)``
+        otherwise (4xx handling is the caller's business)."""
+        quoted_key = urllib.parse.quote(key, safe="/") if key else ""
+        canonical_uri = f"/{self.bucket}" + (f"/{quoted_key}" if quoted_key else "")
+        target = canonical_uri + (f"?{query}" if query else "")
+        send_headers = dict(headers or {})
+        payload_sha = hashlib.sha256(body).hexdigest()
+        if self.credentials is not None:
+            send_headers.update(
+                _sigv4_headers(
+                    method,
+                    self.host,
+                    canonical_uri,
+                    query,
+                    payload_sha,
+                    self.credentials,
+                    self.region,
+                    _dt.datetime.now(_dt.timezone.utc),
+                )
+            )
+        else:
+            send_headers["x-amz-content-sha256"] = payload_sha
+        try:
+            conn = self._connection()
+            conn.request(method, target, body=body or None, headers=send_headers)
+            response = conn.getresponse()
+            status = response.status
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            payload = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            # Covers refused/reset connections, timeouts and torn frames
+            # (IncompleteRead); the connection is dirty either way.
+            self._drop_connection()
+            raise TransientStoreError(f"{method} {target}: {exc!r}") from exc
+        if status >= 500:
+            raise TransientStoreError(f"{method} {target}: HTTP {status}")
+        declared = response_headers.get("content-length")
+        if (
+            method != "HEAD"
+            and declared is not None
+            and declared.isdigit()
+            and len(payload) != int(declared)
+        ):
+            # A body shorter than Content-Length that http.client did not
+            # flag (connection closed exactly at a chunk boundary): torn.
+            self._drop_connection()
+            raise TransientStoreError(
+                f"{method} {target}: torn body "
+                f"({len(payload)} of {declared} bytes)"
+            )
+        return status, response_headers, payload
+
+    def _call(self, op: str, fn: Callable[[], "tuple | None"]):
+        """Run one logical round trip under the shared resilience layer."""
+        try:
+            value = with_resilience(
+                op,
+                fn,
+                policy=self.policy,
+                breaker=self.breaker,
+                retry_on=(TransientStoreError,),
+                rng=self._rng,
+                on_outcome=self.on_outcome,
+            )
+        except BreakerOpen:
+            self.shed += 1
+            return None
+        except (ResilienceError, ObjectStoreError, OSError):
+            self.errors += 1
+            self._last_ok = False
+            return None
+        self._last_ok = True
+        return value
+
+    # -- verbs -------------------------------------------------------------
+
+    def _get_object(self, key: str) -> tuple[bytes, dict[str, str]] | None:
+        status, headers, payload = self._request("GET", key)
+        if status == 404:
+            return None
+        if status != 200:
+            raise ObjectStoreError(f"GET {key!r}: HTTP {status}")
+        return payload, headers
+
+    def _put_object(
+        self, key: str, body: bytes, metadata: dict[str, str]
+    ) -> None:
+        headers = dict(metadata)
+        headers["Content-Type"] = "application/json"
+        status, _, _ = self._request("PUT", key, body=body, headers=headers)
+        if status not in (200, 201, 204):
+            raise ObjectStoreError(f"PUT {key!r}: HTTP {status}")
+
+    def head(self, fingerprint: str) -> dict[str, str] | None:
+        """The object's headers, or ``None`` on miss/outage (audits)."""
+        key = object_key(fingerprint, self.prefix)
+
+        def attempt() -> dict[str, str] | None:
+            status, headers, _ = self._request("HEAD", key)
+            if status == 404:
+                return None
+            if status != 200:
+                raise ObjectStoreError(f"HEAD {key!r}: HTTP {status}")
+            return headers
+
+        return self._call("cache-head", attempt)
+
+    def list_fingerprints(self) -> list[str] | None:
+        """Every cache fingerprint under the prefix (ListObjectsV2);
+        ``None`` on outage.  Quarantined keys are not included."""
+
+        def attempt() -> list[str]:
+            found: list[str] = []
+            token: str | None = None
+            while True:
+                query = "list-type=2"
+                if self.prefix:
+                    query += f"&prefix={urllib.parse.quote(self.prefix + '/')}"
+                if token is not None:
+                    query += f"&continuation-token={urllib.parse.quote(token)}"
+                status, _, payload = self._request("GET", query=query)
+                if status != 200:
+                    raise ObjectStoreError(f"LIST: HTTP {status}")
+                try:
+                    root = ET.fromstring(payload.decode("utf-8"))
+                except (ET.ParseError, UnicodeDecodeError) as exc:
+                    raise TransientStoreError(f"LIST: bad XML: {exc!r}") from exc
+                namespace = ""
+                if root.tag.startswith("{"):
+                    namespace = root.tag[: root.tag.index("}") + 1]
+                for contents in root.iter(f"{namespace}Contents"):
+                    key_node = contents.find(f"{namespace}Key")
+                    if key_node is None or not key_node.text:
+                        continue
+                    fingerprint = fingerprint_from_key(key_node.text, self.prefix)
+                    if fingerprint is not None:
+                        found.append(fingerprint)
+                truncated = root.find(f"{namespace}IsTruncated")
+                next_token = root.find(f"{namespace}NextContinuationToken")
+                if (
+                    truncated is not None
+                    and (truncated.text or "").strip() == "true"
+                    and next_token is not None
+                    and next_token.text
+                ):
+                    token = next_token.text
+                    continue
+                return found
+
+        return self._call("cache-list", attempt)
+
+    # -- the CacheStore interface ------------------------------------------
+
+    def load(self, fingerprint: str) -> str | None:
+        key = object_key(fingerprint, self.prefix)
+
+        def attempt() -> str | None:
+            fetched = self._get_object(key)
+            if fetched is None:
+                return None
+            payload, headers = fetched
+            expected_sha = headers.get(CHECKSUM_HEADER)
+            expected_fp = headers.get(FINGERPRINT_HEADER)
+            actual_sha = hashlib.sha256(payload).hexdigest()
+            if expected_sha is not None and actual_sha != expected_sha:
+                raise ObjectIntegrityError(
+                    key,
+                    f"sha256 mismatch ({actual_sha[:12]} != {expected_sha[:12]})",
+                    payload,
+                )
+            if expected_fp is not None and expected_fp != fingerprint:
+                raise ObjectIntegrityError(
+                    key, f"fingerprint echo mismatch ({expected_fp[:12]})", payload
+                )
+            try:
+                return payload.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ObjectIntegrityError(
+                    key, f"not UTF-8: {exc}", payload
+                ) from exc
+
+        try:
+            text = with_resilience(
+                "cache-get",
+                attempt,
+                policy=self.policy,
+                breaker=self.breaker,
+                retry_on=(TransientStoreError,),
+                rng=self._rng,
+                on_outcome=self.on_outcome,
+            )
+        except ObjectIntegrityError as exc:
+            # The object itself is poison, not the transport: move it
+            # aside so no other driver trips over it, then miss.
+            self.errors += 1
+            self._last_ok = True  # the transport worked; the bytes lied
+            self._quarantine_key(fingerprint, exc.reason, body=exc.payload)
+            return None
+        except BreakerOpen:
+            self.shed += 1
+            return None
+        except (ResilienceError, ObjectStoreError, OSError):
+            self.errors += 1
+            self._last_ok = False
+            return None
+        self._last_ok = True
+        return text
+
+    def save(self, fingerprint: str, text: str) -> None:
+        key = object_key(fingerprint, self.prefix)
+        body = text.encode("utf-8")
+        metadata = {
+            CHECKSUM_HEADER: hashlib.sha256(body).hexdigest(),
+            FINGERPRINT_HEADER: fingerprint,
+        }
+        self._call("cache-put", lambda: self._put_object(key, body, metadata))
+
+    def quarantine(self, fingerprint: str, text: str, reason: str) -> None:
+        """Copy a poisoned entry under ``quarantine/`` and record it.
+
+        Called both internally (integrity failures caught in
+        :meth:`load`) and by :class:`~repro.experiments.engine.
+        ResultCache` when a transport-intact entry fails semantic
+        validation.  The quarantine object keeps the poisoned bytes and
+        tags the reason, so operators can inspect the corruption; the
+        original key is deliberately left in place for them to delete —
+        an unauthenticated cache client quietly deleting shared objects
+        would be worse than the poison.
+        """
+        self._quarantine_key(fingerprint, reason, body=text.encode("utf-8"))
+
+    def _quarantine_key(
+        self, fingerprint: str, reason: str, *, body: bytes = b""
+    ) -> None:
+        self.quarantined.append((fingerprint, reason))
+        target = f"{QUARANTINE_PREFIX}/{object_key(fingerprint, self.prefix)}"
+        header_safe = reason.encode("ascii", "replace").decode("ascii")
+        metadata = {
+            CHECKSUM_HEADER: hashlib.sha256(body).hexdigest(),
+            FINGERPRINT_HEADER: fingerprint,
+            "x-amz-meta-repro-quarantine-reason": header_safe,
+        }
+        # Best effort via the same resilience wrapper; a failed
+        # quarantine PUT must not escalate (the local record stands).
+        self._call(
+            "cache-quarantine", lambda: self._put_object(target, body, metadata)
+        )

@@ -42,6 +42,7 @@ from repro.experiments.backends.base import (
     ExecutionBackend,
     ReleaseReport,
 )
+from repro.resilience import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.packing import PackedJobs
@@ -99,6 +100,11 @@ class RemoteWorkerBackend(ExecutionBackend):
         self._io_timeout = io_timeout
         self._max_reconnects = max_reconnects
         self._reconnect_backoff = reconnect_backoff
+        self._reconnect_policy = RetryPolicy(
+            max_attempts=max_reconnects + 1,
+            backoff=reconnect_backoff,
+            jitter=(0.5, 1.5),
+        )
         self._rng = random.Random()
         self._epoch = time.time()
 
@@ -152,11 +158,7 @@ class RemoteWorkerBackend(ExecutionBackend):
             worker.state = "dead"
             return
         worker.state = "down"
-        pause = (
-            self._reconnect_backoff
-            * (2 ** (worker.attempts - 1))
-            * self._rng.uniform(0.5, 1.5)
-        )
+        pause = self._reconnect_policy.backoff_for(worker.attempts, self._rng)
         worker.next_attempt_at = time.monotonic() + pause
 
     @staticmethod
@@ -343,9 +345,7 @@ class RemoteWorkerBackend(ExecutionBackend):
             if all(w.state == "dead" for w in self._workers):
                 return False
             time.sleep(
-                self._reconnect_backoff
-                * (2**round_index)
-                * self._rng.uniform(0.5, 1.5)
+                self._reconnect_policy.backoff_for(round_index + 1, self._rng)
             )
         return False
 

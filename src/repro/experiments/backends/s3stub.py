@@ -1,0 +1,430 @@
+"""A deterministic, fault-injecting, in-memory S3 stub for chaos suites.
+
+:class:`S3StubServer` implements exactly the object-store subset
+:class:`~repro.experiments.backends.objectstore.ObjectStoreCacheStore`
+speaks — path-style PUT / GET / HEAD on objects and ListObjectsV2 on
+the bucket — over a real HTTP socket (``ThreadingHTTPServer``), with
+objects held in a process-local dict.  Tests and the
+``objectstore_put_get_per_entry`` bench use it as a stand-in for MinIO
+/ S3; nothing about it persists.
+
+The point of the stub is the **chaos**: a :class:`ChaosSpec` injects
+the failure modes a real object store exhibits, deterministically.
+Either a ``script`` — a tuple of fault names applied cyclically to
+matching requests in arrival order — or seeded per-request probability
+draws (``rng = random.Random(seed)``), so a failing chaos run replays
+bit-identically from its seed.  Faults:
+
+* ``"ok"`` — serve normally (the explicit no-op slot in scripts);
+* ``"503"`` — reply ``503 Slow Down`` (an S3 throttle burst);
+* ``"torn"`` — declare the full ``Content-Length`` but send only half
+  the body, then sever the connection (a torn read: the client's
+  ``http.client`` raises ``IncompleteRead``);
+* ``"corrupt"`` — deterministically flip one bit mid-body *in the
+  response only* (stored bytes stay intact) without touching the
+  checksum metadata, so the client's integrity verification must catch
+  it;
+* ``"stall"`` — sleep ``stall_seconds`` before answering (drive client
+  timeouts by setting it past the store's per-attempt timeout);
+* ``"down"`` — sever the connection before writing any response (the
+  endpoint flapping away mid-request).
+
+Requests are counted per verb and per served fault
+(:attr:`S3StubServer.request_counts`, :attr:`S3StubServer.fault_counts`)
+so breaker tests can assert load was actually shed — an open breaker
+means the request count *stops rising*, which no amount of
+client-side mocking can prove.
+
+Test seams: :meth:`S3StubServer.plant` stores an object with
+*consistent* checksum metadata over arbitrary bytes (for semantic-
+poison tests: transport-intact, version-skewed or unparseable entries
+that must be rejected and quarantined by ``ResultCache``), and
+:meth:`S3StubServer.corrupt_stored` flips a stored byte *without*
+updating the metadata (persistent bit-rot the integrity layer must
+quarantine).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from xml.sax.saxutils import escape
+
+__all__ = ["ChaosSpec", "S3StubServer"]
+
+FAULTS = ("ok", "503", "torn", "corrupt", "stall", "down")
+
+
+@dataclass
+class ChaosSpec:
+    """Deterministic fault plan for an :class:`S3StubServer`.
+
+    ``script`` wins when non-empty: fault ``script[i % len(script)]`` is
+    applied to the ``i``-th matching request (arrival order).  Otherwise
+    each matching request draws independent faults from the seeded rng
+    at the given rates (checked in the order torn, corrupt, 503, stall,
+    down).  ``apply_to`` names the verbs chaos touches — ``"get"``,
+    ``"put"``, ``"head"``, ``"list"`` — so a suite can, say, tear only
+    reads while writes stay clean.
+    """
+
+    seed: int = 0
+    script: tuple[str, ...] = ()
+    torn_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    error_rate: float = 0.0
+    stall_rate: float = 0.0
+    down_rate: float = 0.0
+    stall_seconds: float = 1.0
+    apply_to: tuple[str, ...] = ("get", "put")
+
+    def __post_init__(self) -> None:
+        for fault in self.script:
+            if fault not in FAULTS:
+                raise ValueError(f"unknown fault {fault!r}; pick from {FAULTS}")
+        for verb in self.apply_to:
+            if verb not in ("get", "put", "head", "list"):
+                raise ValueError(f"unknown verb {verb!r} in apply_to")
+
+
+class _StubState:
+    """Shared mutable state behind one lock (the handler is threaded)."""
+
+    def __init__(self, chaos: ChaosSpec | None) -> None:
+        self.lock = threading.Lock()
+        self.objects: dict[tuple[str, str], tuple[bytes, dict[str, str]]] = {}
+        self.chaos = chaos
+        self.rng = random.Random(chaos.seed if chaos is not None else 0)
+        self.script_index = 0
+        self.request_counts: dict[str, int] = {}
+        self.fault_counts: dict[str, int] = {}
+
+    def verdict(self, verb: str) -> str:
+        """The fault to apply to this request (counted), ``"ok"`` mostly."""
+        with self.lock:
+            self.request_counts[verb] = self.request_counts.get(verb, 0) + 1
+            chaos = self.chaos
+            if chaos is None or verb not in chaos.apply_to:
+                fault = "ok"
+            elif chaos.script:
+                fault = chaos.script[self.script_index % len(chaos.script)]
+                self.script_index += 1
+            else:
+                fault = "ok"
+                for name, rate in (
+                    ("torn", chaos.torn_rate),
+                    ("corrupt", chaos.corrupt_rate),
+                    ("503", chaos.error_rate),
+                    ("stall", chaos.stall_rate),
+                    ("down", chaos.down_rate),
+                ):
+                    if rate > 0 and self.rng.random() < rate:
+                        fault = name
+                        break
+            self.fault_counts[fault] = self.fault_counts.get(fault, 0) + 1
+            return fault
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; without this, Nagle +
+    # delayed ACK adds ~40 ms to every GET on loopback.
+    disable_nagle_algorithm = True
+    state: _StubState  # bound per-server via a subclass attribute
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # chaos suites drive thousands of requests; stay silent
+
+    def _split(self) -> tuple[str, str, dict[str, list[str]]]:
+        parsed = urllib.parse.urlsplit(self.path)
+        path = urllib.parse.unquote(parsed.path).lstrip("/")
+        bucket, _, key = path.partition("/")
+        return bucket, key, urllib.parse.parse_qs(parsed.query)
+
+    def _reply(
+        self,
+        status: int,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+        *,
+        head_only: bool = False,
+    ) -> None:
+        self.send_response(status)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body and not head_only:
+            self.wfile.write(body)
+
+    def _sever(self) -> None:
+        """Drop the connection on the floor, mid-protocol."""
+        self.close_connection = True
+        try:
+            self.connection.shutdown(1)  # SHUT_WR: client sees EOF
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    # -- fault application -------------------------------------------------
+
+    def _serve_with_chaos(
+        self,
+        verb: str,
+        status: int,
+        body: bytes,
+        headers: dict[str, str],
+        *,
+        head_only: bool = False,
+    ) -> None:
+        fault = self.state.verdict(verb)
+        chaos = self.state.chaos
+        if fault == "stall" and chaos is not None:
+            time.sleep(chaos.stall_seconds)
+            fault = "ok"
+        if fault == "down":
+            self._sever()
+            return
+        if fault == "503":
+            self._reply(503, b"<Error><Code>SlowDown</Code></Error>")
+            return
+        if fault == "corrupt" and body:
+            flip = len(body) // 2
+            body = body[:flip] + bytes([body[flip] ^ 0x01]) + body[flip + 1 :]
+            fault = "ok"
+        if fault == "torn" and body and not head_only:
+            # Declare everything, deliver half, sever: a torn read.
+            self.send_response(status)
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.wfile.flush()
+            self._sever()
+            return
+        self._reply(status, body, headers, head_only=head_only)
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        bucket, key, _ = self._split()
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        if not bucket or not key:
+            self._reply(400, b"<Error><Code>InvalidRequest</Code></Error>")
+            return
+        metadata = {
+            name.lower(): value
+            for name, value in self.headers.items()
+            if name.lower().startswith("x-amz-meta-")
+        }
+        fault = self.state.verdict("put")
+        chaos = self.state.chaos
+        if fault == "stall" and chaos is not None:
+            time.sleep(chaos.stall_seconds)
+            fault = "ok"
+        if fault == "down":
+            self._sever()
+            return
+        if fault == "503":
+            self._reply(503, b"<Error><Code>SlowDown</Code></Error>")
+            return
+        # "torn"/"corrupt" make no sense for a fully-received PUT: store
+        # normally (the request body was already read above).
+        with self.state.lock:
+            self.state.objects[(bucket, key)] = (body, metadata)
+        self._reply(200, headers={"ETag": '"stub"'})
+
+    def _lookup(self, bucket: str, key: str):
+        with self.state.lock:
+            return self.state.objects.get((bucket, key))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        bucket, key, query = self._split()
+        if not key and "list-type" in query:
+            self._do_list(bucket, query)
+            return
+        found = self._lookup(bucket, key)
+        if found is None:
+            self.state.verdict("get")  # count it; misses are never chaosed
+            self._reply(404, b"<Error><Code>NoSuchKey</Code></Error>")
+            return
+        body, metadata = found
+        headers = dict(metadata)
+        headers["Content-Type"] = "application/json"
+        self._serve_with_chaos("get", 200, body, headers)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        bucket, key, _ = self._split()
+        found = self._lookup(bucket, key)
+        if found is None:
+            self.state.verdict("head")
+            self._reply(404, head_only=True)
+            return
+        body, metadata = found
+        self._serve_with_chaos("head", 200, body, dict(metadata), head_only=True)
+
+    def _do_list(self, bucket: str, query: dict[str, list[str]]) -> None:
+        prefix = (query.get("prefix") or [""])[0]
+        token = (query.get("continuation-token") or [None])[0]
+        max_keys = int((query.get("max-keys") or ["1000"])[0])
+        with self.state.lock:
+            keys = sorted(
+                key
+                for (bkt, key) in self.state.objects
+                if bkt == bucket and key.startswith(prefix)
+            )
+        if token is not None:
+            keys = [key for key in keys if key > token]
+        page, rest = keys[:max_keys], keys[max_keys:]
+        parts = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            '<ListBucketResult xmlns="http://s3.amazonaws.com/doc/2006-03-01/">',
+            f"<Name>{escape(bucket)}</Name>",
+            f"<KeyCount>{len(page)}</KeyCount>",
+        ]
+        parts.extend(f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page)
+        if rest:
+            parts.append("<IsTruncated>true</IsTruncated>")
+            parts.append(
+                f"<NextContinuationToken>{escape(page[-1])}"
+                f"</NextContinuationToken>"
+            )
+        else:
+            parts.append("<IsTruncated>false</IsTruncated>")
+        parts.append("</ListBucketResult>")
+        body = "".join(parts).encode("utf-8")
+        self._serve_with_chaos(
+            "list", 200, body, {"Content-Type": "application/xml"}
+        )
+
+
+class S3StubServer:
+    """In-memory S3 endpoint on a loopback port; a context manager.
+
+    ``chaos`` is the optional :class:`ChaosSpec`; with ``None`` the stub
+    is a well-behaved store.  ``endpoint`` / :meth:`url` give the two
+    addressing forms the object store accepts.
+    """
+
+    def __init__(self, *, chaos: ChaosSpec | None = None) -> None:
+        self._state = _StubState(chaos)
+
+        state = self._state
+
+        class BoundHandler(_Handler):
+            pass
+
+        BoundHandler.state = state
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), BoundHandler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "S3StubServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="s3stub", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "S3StubServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- addressing --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def url(self, bucket: str, prefix: str = "") -> str:
+        """The ``s3://HOST:PORT/bucket[/prefix]`` spec for --remote-cache."""
+        spec = f"s3://127.0.0.1:{self.port}/{bucket}"
+        return f"{spec}/{prefix.strip('/')}" if prefix.strip("/") else spec
+
+    # -- observability and test seams --------------------------------------
+
+    @property
+    def chaos(self) -> ChaosSpec | None:
+        return self._state.chaos
+
+    @chaos.setter
+    def chaos(self, spec: ChaosSpec | None) -> None:
+        with self._state.lock:
+            self._state.chaos = spec
+            self._state.rng = random.Random(spec.seed if spec is not None else 0)
+            self._state.script_index = 0
+
+    @property
+    def request_counts(self) -> dict[str, int]:
+        with self._state.lock:
+            return dict(self._state.request_counts)
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        with self._state.lock:
+            return dict(self._state.fault_counts)
+
+    @property
+    def total_requests(self) -> int:
+        with self._state.lock:
+            return sum(self._state.request_counts.values())
+
+    def object(self, bucket: str, key: str) -> tuple[bytes, dict[str, str]] | None:
+        with self._state.lock:
+            return self._state.objects.get((bucket, key))
+
+    def keys(self, bucket: str) -> list[str]:
+        with self._state.lock:
+            return sorted(k for (b, k) in self._state.objects if b == bucket)
+
+    def plant(
+        self,
+        bucket: str,
+        key: str,
+        body: bytes,
+        *,
+        metadata: dict[str, str] | None = None,
+    ) -> None:
+        """Store an object directly, with *consistent* checksum metadata.
+
+        The planted entry passes transport integrity by construction —
+        exactly what semantic-poison tests need (stale version, torn
+        JSON) to prove ``ResultCache`` still rejects and quarantines it.
+        """
+        import hashlib
+
+        meta = {"x-amz-meta-repro-sha256": hashlib.sha256(body).hexdigest()}
+        meta.update(metadata or {})
+        with self._state.lock:
+            self._state.objects[(bucket, key)] = (body, meta)
+
+    def corrupt_stored(self, bucket: str, key: str) -> None:
+        """Flip one stored byte *without* updating the checksum metadata:
+        persistent bit-rot the client's integrity layer must catch."""
+        with self._state.lock:
+            body, metadata = self._state.objects[(bucket, key)]
+            flip = len(body) // 2
+            body = body[:flip] + bytes([body[flip] ^ 0x01]) + body[flip + 1 :]
+            self._state.objects[(bucket, key)] = (body, metadata)

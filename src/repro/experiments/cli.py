@@ -37,6 +37,14 @@ A fleet of remote workers turns the same grid into a distributed run
         --connect hostA:9100 --connect hostB:9100 \\
         --remote-cache hostA:9100
 
+``--remote-cache`` also accepts an S3-compatible object store
+(``s3://HOST:PORT/BUCKET[/PREFIX]``, path-style, MinIO-friendly) as the
+durable fleet cache; entries are checksummed, validated before trust,
+and poisoned objects are quarantined under a ``quarantine/`` prefix::
+
+    repro-experiments all --workers 8 \\
+        --remote-cache s3://minio.internal:9000/repro-cache/grids
+
 Execution backends never change results: grids, per-cell fingerprints
 and run ids are bit-identical whether cells ran serially, in a local
 pool, in sharded pools, or on a remote fleet that crashed halfway
@@ -429,11 +437,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--remote-cache",
-        metavar="HOST:PORT",
+        metavar="HOST:PORT|s3://…",
         default=None,
-        help="shared fleet result cache: read through to this worker's "
-        "cache on local misses, write computed cells back (validated "
-        "before trust; unreachable degrades to local-only caching)",
+        help="shared fleet result cache: HOST:PORT reads through a "
+        "worker's cache, s3://HOST:PORT/BUCKET[/PREFIX] (or s3://BUCKET "
+        "with REPRO_S3_ENDPOINT set) a durable S3-compatible object "
+        "store; every entry is validated before trust, poisoned objects "
+        "are quarantined, and an unreachable store trips a circuit "
+        "breaker that degrades the run to local-only caching",
     )
     parser.add_argument(
         "--cache-dir",
@@ -622,6 +633,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"  {event.key}: objective {event.objective:.4G}{wall}{hit}",
                 file=sys.stderr,
             )
+        elif event.kind == "cache-degraded":
+            print(f"  [cache degraded] {event.detail}", file=sys.stderr)
         if args.events is not None:
             append_events([event], args.events)
 

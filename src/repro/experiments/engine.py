@@ -105,8 +105,10 @@ from repro.experiments.backends.base import (
 )
 from repro.experiments.backends.cache import (
     CacheStore,
+    CacheStoreHealth,
     LocalDirStore,
     RemoteCacheStore,
+    store_from_spec,
 )
 from repro.experiments.backends.pool import (
     PoolBackend,
@@ -133,6 +135,7 @@ from repro.experiments.workload_store import (
     WorkloadStore,
     resolve_worker_workload,
 )
+from repro.resilience import BreakerTransition, RetryPolicy
 from repro.scenarios import ScenarioSpec, spec_from_legacy
 from repro.schedulers.registry import SchedulerConfig, paper_configurations
 
@@ -288,7 +291,7 @@ class ResultCache:
         self.root = Path(root)
         self._local = LocalDirStore(self.root)
         if isinstance(remote, str):
-            remote = RemoteCacheStore(remote)
+            remote = store_from_spec(remote)
         self.remote: "CacheStore | None" = remote
         #: Local misses served by the remote store (validated payloads).
         self.remote_hits = 0
@@ -331,10 +334,14 @@ class ResultCache:
         text = self.remote.load(fingerprint)
         if text is None:
             return None
-        if self._classify(text) != "hit":
-            # Never quarantined or written locally: a poisoned fleet
-            # cache entry stays on the remote side, visibly counted.
+        verdict = self._classify(text)
+        if verdict != "hit":
+            # Never written locally: a poisoned remote entry is counted,
+            # handed to the store's own quarantine hook (the object store
+            # moves it under its ``quarantine/`` prefix; the fleet store
+            # leaves it to the server), and recomputed.
             self.remote_rejected += 1
+            self.remote.quarantine(fingerprint, text, verdict)
             return None
         self.remote_hits += 1
         self._local.save(fingerprint, text)  # write-back for next time
@@ -436,7 +443,9 @@ class ProgressEvent:
 
     ``kind`` is ``grid-started``, ``cell-started``, ``cache-hit``,
     ``cell-finished``, ``cell-retry``, ``cell-duplicate`` (a late result
-    for an already-completed cell, deduplicated), ``engine-degraded`` or
+    for an already-completed cell, deduplicated), ``engine-degraded``,
+    ``cache-degraded`` (the remote cache store's circuit breaker tripped
+    open: the run continues on local-only caching for one cooldown) or
     ``grid-finished``; ``key`` is the cell key for cell-level events and
     ``None`` for grid-level ones.  ``wall_time`` is the wall-clock of the
     finished unit (whole grid for grid-finished; the backoff pause for
@@ -485,6 +494,18 @@ class RunStats:
     #: Deterministic run id of the journal backing this run (``None``
     #: when the run was not journaled).
     run_id: str | None = None
+    #: Local misses served by the remote cache store during this run
+    #: (validated payloads only).
+    remote_hits: int = 0
+    #: Remote cache payloads refused on validation during this run.
+    remote_rejected: int = 0
+    #: Poisoned remote entries quarantined during this run (transport
+    #: integrity failures plus validation rejections the store moved
+    #: aside).
+    quarantined: int = 0
+    #: Times the remote cache store's circuit breaker tripped open
+    #: during this run (each one a local-only degradation period).
+    cache_degraded: int = 0
 
 
 # -- the engine ----------------------------------------------------------------
@@ -657,9 +678,10 @@ class ExperimentEngine:
         cell to the in-process serial fallback — where a deterministic
         error reproduces and surfaces, and a flaky one recovers.
     retry_backoff:
-        Base pause before retry ``n`` (seconds); the actual pause is
-        ``retry_backoff * 2**(n-1)``, jittered by ×0.5–1.5 so retrying
-        engines do not stampede in lockstep.
+        Base pause before retry ``n`` (seconds); the actual pause comes
+        from a shared :class:`repro.resilience.RetryPolicy` —
+        exponential doubling jittered by ×0.5–1.5 so retrying engines
+        do not stampede in lockstep.
     max_pool_rebuilds:
         Broken/hung pools rebuilt before giving up on parallelism and
         running every remaining cell serially in-process.
@@ -759,7 +781,7 @@ class ExperimentEngine:
                     "(remote entries are validated and written back locally)"
                 )
             if self.cache.remote is None:
-                self.cache.remote = RemoteCacheStore(remote_cache)
+                self.cache.remote = store_from_spec(remote_cache)
         self.remote_cache = remote_cache
         mode = execution_backend or "local"
         if mode not in ("local", "sharded", "remote"):
@@ -806,6 +828,9 @@ class ExperimentEngine:
         self.cell_timeout = cell_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_policy = RetryPolicy(
+            max_attempts=max_retries + 1, backoff=retry_backoff, jitter=(0.5, 1.5)
+        )
         self.max_pool_rebuilds = max_pool_rebuilds
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.heartbeat_interval = heartbeat_interval
@@ -836,6 +861,79 @@ class ExperimentEngine:
     def _journal_cell(self, key: str, state: str, **kwargs: object) -> None:
         if self._journal is not None:
             self._journal.record_cell(key, state, **kwargs)  # type: ignore[arg-type]
+
+    def _watch_cache_health(
+        self, stats: RunStats, workload_name: str, weighted: bool
+    ) -> Callable[[], dict | None]:
+        """Wire remote-cache health into one run's stats and events.
+
+        Snapshots the cache's cumulative counters (the store may outlive
+        many runs) and hooks the store's circuit breaker so the moment it
+        trips open the run emits a ``cache-degraded`` event — the
+        operator-visible signal that caching just fell back to local-only
+        for a cooldown.  Returns a ``settle()`` callable for the run's
+        ``finally``: it unhooks the breaker, folds the per-run deltas
+        into ``stats``, and returns the ``cache-health`` journal payload
+        (``None`` when the run had no remote store).
+        """
+        cache = self.cache
+        remote = cache.remote if cache is not None else None
+        if cache is None or remote is None:
+            return lambda: None
+        base_hits = cache.remote_hits
+        base_rejected = cache.remote_rejected
+        base_quarantined = len(getattr(remote, "quarantined", ()))
+        base_errors = int(getattr(remote, "errors", 0))
+        base_shed = int(getattr(remote, "shed", 0))
+        breaker = getattr(remote, "breaker", None)
+        previous_hook = breaker.on_transition if breaker is not None else None
+
+        def on_transition(transition: "BreakerTransition") -> None:
+            if previous_hook is not None:
+                previous_hook(transition)
+            if transition.new == "open":
+                stats.cache_degraded += 1
+                self._emit(
+                    ProgressEvent(
+                        kind="cache-degraded",
+                        workload_name=workload_name,
+                        weighted=weighted,
+                        detail=(
+                            f"remote cache breaker opened "
+                            f"({getattr(breaker, 'name', '') or 'remote store'}); "
+                            f"caching degraded to local-only for the cooldown"
+                        ),
+                        run_id=stats.run_id,
+                    )
+                )
+
+        if breaker is not None:
+            breaker.on_transition = on_transition
+
+        def settle() -> dict | None:
+            if breaker is not None:
+                breaker.on_transition = previous_hook
+            stats.remote_hits = cache.remote_hits - base_hits
+            stats.remote_rejected = cache.remote_rejected - base_rejected
+            stats.quarantined = (
+                len(getattr(remote, "quarantined", ())) - base_quarantined
+            )
+            health = remote.health()
+            return {
+                "remote_cache": self.remote_cache or "",
+                "store": health.kind if health is not None else "",
+                "remote_hits": stats.remote_hits,
+                "remote_rejected": stats.remote_rejected,
+                "quarantined": stats.quarantined,
+                "breaker_opened": stats.cache_degraded,
+                "breaker_state": (
+                    health.breaker_state if health is not None else ""
+                ),
+                "errors": int(getattr(remote, "errors", 0)) - base_errors,
+                "shed": int(getattr(remote, "shed", 0)) - base_shed,
+            }
+
+        return settle
 
     def _prepare(
         self,
@@ -1074,6 +1172,9 @@ class ExperimentEngine:
             else:
                 journal = RunJournal.create(path, prep.manifest)
         self._journal = journal
+        settle_cache_health = self._watch_cache_health(
+            stats, workload_name, weighted
+        )
 
         t_start = time.perf_counter()
         self._emit(
@@ -1145,7 +1246,13 @@ class ExperimentEngine:
             finally:
                 self._restore_signal_handlers(previous)
         finally:
+            cache_health = settle_cache_health()
             if journal is not None:
+                if cache_health is not None:
+                    try:
+                        journal.record_cache_health(cache_health)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass  # a failed health line must not fail the run
                 journal.close()
             self._journal = None
 
@@ -1537,11 +1644,7 @@ class ExperimentEngine:
                 config_by_fp[fp].key, "failed", fingerprint=fp, detail=why
             )
             stats.retries += 1
-            pause = (
-                self.retry_backoff
-                * (2 ** (attempts[fp] - 1))
-                * rng.uniform(0.5, 1.5)
-            )
+            pause = self.retry_policy.backoff_for(attempts[fp], rng)
             self._emit(
                 ProgressEvent(
                     kind="cell-retry",

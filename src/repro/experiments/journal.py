@@ -252,6 +252,9 @@ class JournalReplay:
     #: Number of ``resumed`` markers seen (prior resume attempts).
     resumes: int = 0
     records: int = 0
+    #: Latest ``cache-health`` record (remote hits/rejections/quarantines
+    #: and breaker state), or ``None`` for runs without one.
+    cache_health: dict | None = None
 
     @property
     def run_id(self) -> str:
@@ -314,6 +317,12 @@ def read_journal(path: str | Path) -> JournalReplay:
                 replay.manifest = payload
         elif kind == "resumed":
             replay.resumes += 1
+        elif kind == "cache-health":
+            # Latest wins (a resumed run appends a fresh report).
+            replay.cache_health = {
+                k: v for k, v in payload.items()
+                if k not in ("kind", "crc", "seq", "t")
+            }
         elif kind == "cell":
             key = str(payload.get("key"))
             cell = replay.cells.get(key)
@@ -423,6 +432,19 @@ class RunJournal:
             payload["detail"] = detail
         self._append(payload)
 
+    def record_cache_health(self, health: Mapping[str, object]) -> None:
+        """Append one ``cache-health`` record (fsynced).
+
+        Written once at the end of a run that used a remote cache store:
+        remote hits/rejections, quarantined entries, breaker state and
+        how often it opened.  Journal readers that predate the record
+        kind skip it silently (replay tolerates unknown kinds), so old
+        tooling keeps working on new journals.
+        """
+        payload: dict = {"kind": "cache-health", "t": time.time()}
+        payload.update(health)
+        self._append(payload)
+
     def close(self) -> None:
         try:
             self._handle.close()
@@ -455,8 +477,10 @@ class RunSummary:
     #: Execution backend recorded in the manifest ("local" for journals
     #: written before backends existed).
     backend: str = "local"
-    #: Fleet cache address the run wrote through to ("" for none).
+    #: Remote cache spec the run wrote through to ("" for none).
     remote_cache: str = ""
+    #: Latest journaled ``cache-health`` record (``None`` when absent).
+    cache_health: Mapping[str, object] | None = None
 
     def describe(self) -> str:
         when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.created))
@@ -466,9 +490,26 @@ class RunSummary:
         if self.remote_cache:
             tags.append(f"remote-cache={self.remote_cache}")
         tagged = f"  [{', '.join(tags)}]" if tags else ""
+        health = ""
+        if self.cache_health:
+            bits = []
+            for field_name, label in (
+                ("remote_hits", "hit(s)"),
+                ("remote_rejected", "rejected"),
+                ("quarantined", "quarantined"),
+                ("shed", "shed"),
+            ):
+                count = int(self.cache_health.get(field_name, 0) or 0)
+                if count:
+                    bits.append(f"{count} {label}")
+            opened = int(self.cache_health.get("breaker_opened", 0) or 0)
+            if opened:
+                bits.append(f"breaker opened {opened}x")
+            if bits:
+                health = f"  [cache: {', '.join(bits)}]"
         return (
             f"{self.run_id}  {self.status:<11}  {self.completed}/{self.total} cells"
-            f"  {when}  {self.workload_name}{extra}{torn}{tagged}"
+            f"  {when}  {self.workload_name}{extra}{torn}{tagged}{health}"
         )
 
 
@@ -519,6 +560,7 @@ def list_runs(journal_dir: str | Path) -> list[RunSummary]:
                 path=path,
                 backend=str(replay.manifest.get("execution_backend") or "local"),
                 remote_cache=str(replay.manifest.get("remote_cache") or ""),
+                cache_health=replay.cache_health,
             )
         )
     summaries.sort(key=lambda s: s.created, reverse=True)
@@ -663,12 +705,13 @@ def verify_run(
     )
     remote_store = None
     if cache is not None and remote_addr and check_remote:
-        from repro.experiments.backends.cache import RemoteCacheStore
+        from repro.experiments.backends.cache import store_from_spec
 
-        # An effectively infinite cooldown: one failed dial marks the
-        # store unreachable for the whole audit instead of re-dialing
-        # (and timing out) once per missing cell.
-        remote_store = RemoteCacheStore(remote_addr, timeout=3.0, cooldown=1e9)
+        # An effectively infinite cooldown: one failed round trip marks
+        # the store unreachable for the whole audit instead of re-dialing
+        # (and timing out) once per missing cell.  The spec picks the
+        # store kind — fleet HOST:PORT or s3:// object store.
+        remote_store = store_from_spec(remote_addr, timeout=3.0, cooldown=1e9)
 
     def remote_verdict(fingerprint: str) -> str:
         """"hit" | "corrupt" | "missing" | "unreachable" for one entry."""

@@ -1,0 +1,54 @@
+"""One shared resilience layer for everything that can tear, stall or flap.
+
+Before this package existed, three call sites each hand-rolled their own
+fault handling: the fleet cache client kept a fixed-constant cooldown,
+the remote execution backend computed its own jittered exponential
+reconnect pauses, and the experiment engine's retry ladder inlined the
+same ``base * 2**(n-1) * uniform(0.5, 1.5)`` formula a third time.  A
+durable object-store cache backend — which can return torn bodies,
+rate-limit with 5xx bursts, or stall past any timeout — would have been
+the fourth copy.  Instead, every degradation decision now flows through
+three primitives:
+
+* :class:`RetryPolicy` — a frozen value object describing *how to retry*:
+  bounded attempts, jittered exponential backoff with an optional cap,
+  and the per-attempt I/O timeout callers apply to their sockets;
+* :class:`CircuitBreaker` — *when to stop trying*: a classic
+  closed/open/half-open machine with a jittered cooldown and a single
+  probe call per half-open period, so a dead endpoint is left alone
+  instead of hammered, and a recovered one is noticed promptly;
+* :func:`with_resilience` — *the call wrapper* tying them together: it
+  runs an operation under a policy (and optionally a breaker), emits one
+  structured :class:`CallOutcome` record per attempt for observability,
+  and raises :class:`BreakerOpen` / :class:`RetriesExhausted` with the
+  full story attached when the budget runs out.
+
+Users: :class:`~repro.experiments.backends.cache.RemoteCacheStore`,
+:class:`~repro.experiments.backends.objectstore.ObjectStoreCacheStore`,
+:class:`~repro.experiments.backends.remote.RemoteWorkerBackend`'s
+reconnect schedule, and the engine's cell retry ladder.  See
+docs/architecture.md, "Cache stores and the resilience layer".
+"""
+
+from __future__ import annotations
+
+from repro.resilience.breaker import BreakerTransition, CircuitBreaker
+from repro.resilience.call import (
+    BreakerOpen,
+    CallOutcome,
+    ResilienceError,
+    RetriesExhausted,
+    with_resilience,
+)
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "BreakerOpen",
+    "BreakerTransition",
+    "CallOutcome",
+    "CircuitBreaker",
+    "ResilienceError",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "with_resilience",
+]

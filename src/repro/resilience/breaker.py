@@ -1,0 +1,180 @@
+"""Circuit breaker: stop hammering a dead dependency, probe it back alive.
+
+The classic three-state machine:
+
+* **closed** — calls flow; consecutive failures are counted and any
+  success resets the count.  ``failure_threshold`` consecutive failures
+  trip the breaker **open**.
+* **open** — every call is shed (:meth:`CircuitBreaker.allow` returns
+  ``False``) until a jittered ``cooldown`` elapses.  Shedding is the
+  point: an unreachable endpoint costs one failed round trip per
+  cooldown period, not one per call.
+* **half-open** — after the cooldown, exactly *one* probe call is let
+  through.  Its success closes the breaker (and resets the failure
+  count); its failure re-opens it for another cooldown.  While the probe
+  is in flight, everything else is still shed.
+
+State only ever changes inside :meth:`allow` / :meth:`record_success` /
+:meth:`record_failure`, driven by the caller's clock — there are no
+threads or timers in here, which keeps the machine deterministic under
+an injected clock (exactly how the unit suite drives it).  Every
+transition is appended to :attr:`CircuitBreaker.transitions` and
+forwarded to the optional ``on_transition`` callback — the hook the
+experiment engine uses to emit its ``cache-degraded`` progress event the
+moment a fleet cache's breaker opens.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, NamedTuple
+
+__all__ = ["BreakerTransition", "CircuitBreaker"]
+
+
+class BreakerTransition(NamedTuple):
+    """One recorded state change, oldest first in ``transitions``."""
+
+    at: float
+    old: str
+    new: str
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerSnapshot:
+    """Point-in-time health of one breaker (for stats and journals)."""
+
+    state: str
+    failures: int
+    opened: int  # closed/half-open -> open transitions so far
+
+
+class CircuitBreaker:
+    """Closed/open/half-open circuit breaker with a jittered cooldown.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+        ``1`` — the fleet-cache setting — opens on the first failed
+        round trip, reproducing the old "cooldown after every drop"
+        behaviour exactly.
+    cooldown:
+        Base seconds an open breaker sheds calls before allowing the
+        half-open probe.
+    jitter:
+        Multiplicative band applied to every cooldown draw so a fleet of
+        drivers does not re-probe a recovering endpoint in lockstep.
+    rng / clock:
+        Injectable randomness and monotonic clock (tests pin both).
+    name:
+        Label carried into transitions/diagnostics.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        jitter: tuple[float, float] = (0.9, 1.1),
+        rng: random.Random | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+        on_transition: "Callable[[BreakerTransition], None] | None" = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be non-negative, got {cooldown}")
+        low, high = jitter
+        if not (0 <= low <= high):
+            raise ValueError(f"jitter must satisfy 0 <= low <= high, got {jitter}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.jitter = jitter
+        self.name = name
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._state = "closed"
+        self._failures = 0
+        self._open_until = 0.0
+        self._probe_in_flight = False
+        #: Every state change, oldest first.
+        self.transitions: list[BreakerTransition] = []
+        #: Called with each :class:`BreakerTransition` as it happens.
+        self.on_transition = on_transition
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half-open"`` (as of last call)."""
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last success."""
+        return self._failures
+
+    @property
+    def times_opened(self) -> int:
+        """How often the breaker tripped open (load-shedding periods)."""
+        return sum(1 for t in self.transitions if t.new == "open")
+
+    def snapshot(self) -> BreakerSnapshot:
+        return BreakerSnapshot(
+            state=self._state, failures=self._failures, opened=self.times_opened
+        )
+
+    # -- the state machine --------------------------------------------------
+
+    def _transition(self, new: str) -> None:
+        if new == self._state:
+            return
+        record = BreakerTransition(self._clock(), self._state, new)
+        self._state = new
+        self.transitions.append(record)
+        if self.on_transition is not None:
+            self.on_transition(record)
+
+    def allow(self) -> bool:
+        """May a call go out right now?  (Open breakers shed; half-open
+        lets exactly one probe through per cooldown period.)"""
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self._clock() < self._open_until:
+                return False
+            self._transition("half-open")
+            self._probe_in_flight = True
+            return True
+        # half-open: one probe at a time.
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """The call (or probe) worked: close and reset."""
+        self._probe_in_flight = False
+        self._failures = 0
+        if self._state != "closed":
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        """The call (or probe) failed: count, and trip open past the
+        threshold (a failed half-open probe re-opens immediately)."""
+        self._probe_in_flight = False
+        self._failures += 1
+        if self._state == "half-open" or (
+            self._state == "closed" and self._failures >= self.failure_threshold
+        ):
+            low, high = self.jitter
+            self._open_until = self._clock() + self.cooldown * self._rng.uniform(
+                low, high
+            )
+            self._transition("open")

@@ -1,0 +1,181 @@
+"""``with_resilience``: run one operation under a policy and a breaker.
+
+The wrapper is deliberately synchronous and deterministic-under-
+injection: randomness, sleeping and the clock all come in as arguments,
+so chaos suites can drive thousands of simulated failures without a
+single real pause.  Per attempt it emits one structured
+:class:`CallOutcome` record through the optional ``on_outcome`` hook —
+the observability spine the object-store cache uses to report its
+remote-round-trip history.
+
+Failure taxonomy:
+
+* an exception in ``retry_on`` is *transient*: the breaker is fed a
+  failure, a jittered backoff is slept (if attempts remain) and the call
+  is retried;
+* any other exception is *fatal*: it is recorded, fed to the breaker,
+  and re-raised immediately — misconfiguration (a 403, a bad bucket)
+  should surface, not be retried into a stall;
+* an open breaker sheds the call *before* attempt 1 ever runs, raising
+  :class:`BreakerOpen` — the caller degrades (e.g. the cache answers a
+  local-only miss) instead of paying a timeout per call.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, NamedTuple, TypeVar
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "BreakerOpen",
+    "CallOutcome",
+    "ResilienceError",
+    "RetriesExhausted",
+    "with_resilience",
+]
+
+T = TypeVar("T")
+
+
+class ResilienceError(RuntimeError):
+    """Base class: the resilience layer gave up on an operation."""
+
+
+class BreakerOpen(ResilienceError):
+    """The circuit breaker shed this call without attempting it."""
+
+    def __init__(self, op: str, breaker: CircuitBreaker) -> None:
+        super().__init__(
+            f"{op}: circuit breaker"
+            f"{' ' + breaker.name if breaker.name else ''} is {breaker.state}; "
+            f"call shed"
+        )
+        self.op = op
+        self.breaker = breaker
+
+
+class RetriesExhausted(ResilienceError):
+    """Every attempt the policy allowed failed; ``last`` holds the final
+    exception and ``outcomes`` the per-attempt records."""
+
+    def __init__(
+        self, op: str, attempts: int, last: BaseException, outcomes: "list[CallOutcome]"
+    ) -> None:
+        super().__init__(
+            f"{op}: all {attempts} attempt(s) failed; last error: {last!r}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.last = last
+        self.outcomes = outcomes
+
+
+class CallOutcome(NamedTuple):
+    """One attempt's structured record.
+
+    ``error`` is ``""`` on success, the repr of the exception otherwise;
+    ``shed`` marks a call the breaker refused before it ran (its
+    ``attempt`` is the attempt that *would* have run); ``final`` is true
+    on the record that settled the call (success, fatal error, shed, or
+    the last exhausted retry).
+    """
+
+    op: str
+    attempt: int
+    ok: bool
+    error: str
+    seconds: float
+    breaker_state: str
+    shed: bool = False
+    final: bool = False
+
+
+def with_resilience(
+    op: str,
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker | None = None,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.perf_counter,
+    on_outcome: "Callable[[CallOutcome], None] | None" = None,
+) -> T:
+    """Run ``fn`` under ``policy`` (and ``breaker``), returning its value.
+
+    Raises :class:`BreakerOpen` when shed, :class:`RetriesExhausted` when
+    the attempt budget runs out, or the original exception when it is
+    not in ``retry_on`` (fatal).  ``on_outcome`` sees every attempt.
+    """
+    rng = rng if rng is not None else random.Random()
+    outcomes: list[CallOutcome] = []
+
+    def emit(outcome: CallOutcome) -> None:
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    for attempt in range(1, policy.max_attempts + 1):
+        if breaker is not None and not breaker.allow():
+            emit(
+                CallOutcome(
+                    op=op,
+                    attempt=attempt,
+                    ok=False,
+                    error="shed by open circuit breaker",
+                    seconds=0.0,
+                    breaker_state=breaker.state,
+                    shed=True,
+                    final=True,
+                )
+            )
+            raise BreakerOpen(op, breaker)
+        t0 = clock()
+        try:
+            value = fn()
+        except BaseException as exc:
+            transient = isinstance(exc, retry_on)
+            if breaker is not None:
+                breaker.record_failure()
+            last_attempt = attempt >= policy.max_attempts
+            emit(
+                CallOutcome(
+                    op=op,
+                    attempt=attempt,
+                    ok=False,
+                    error=repr(exc),
+                    seconds=clock() - t0,
+                    breaker_state=breaker.state if breaker is not None else "",
+                    final=not transient or last_attempt,
+                )
+            )
+            if not transient:
+                raise
+            if last_attempt:
+                raise RetriesExhausted(
+                    op, policy.max_attempts, exc, outcomes
+                ) from exc
+            pause = policy.backoff_for(attempt, rng)
+            if pause > 0:
+                sleep(pause)
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        emit(
+            CallOutcome(
+                op=op,
+                attempt=attempt,
+                ok=True,
+                error="",
+                seconds=clock() - t0,
+                breaker_state=breaker.state if breaker is not None else "",
+                final=True,
+            )
+        )
+        return value
+    raise AssertionError("unreachable: the loop always returns or raises")

@@ -1,0 +1,95 @@
+"""The frozen retry-policy value object: *how* to retry, never *whether*.
+
+A :class:`RetryPolicy` is pure data plus one pure-given-an-rng function
+(:meth:`RetryPolicy.backoff_for`), so call sites can share, compare and
+fingerprint policies without hidden state.  The exponential-backoff
+formula is exactly the one the engine's retry ladder and the remote
+backend's reconnect schedule used inline before this package existed::
+
+    pause(n) = min(cap, backoff * multiplier**(n-1)) * uniform(*jitter)
+
+with ``n`` the 1-based count of failures so far — refactoring the call
+sites onto it changes no timing distribution.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded attempts with jittered exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (so ``max_attempts=1`` means
+        "never retry").  :func:`~repro.resilience.call.with_resilience`
+        raises :class:`~repro.resilience.call.RetriesExhausted` once
+        they are spent.
+    backoff:
+        Base pause in seconds before the second attempt; ``0`` retries
+        immediately (useful in tests).
+    multiplier:
+        Growth factor per further failure (2 doubles every time).
+    max_backoff:
+        Cap on the un-jittered pause; ``inf`` (the default) never caps —
+        the historical behaviour of the engine's retry ladder.
+    jitter:
+        ``(low, high)`` multiplicative jitter band drawn uniformly per
+        pause so retrying peers never stampede in lockstep.  ``(1, 1)``
+        disables jitter (deterministic tests).
+    timeout:
+        Per-attempt I/O budget in seconds, carried here so one policy
+        object describes the whole attempt; the *caller* applies it to
+        its sockets/requests (a synchronous wrapper cannot interrupt a
+        stuck syscall from outside).  ``None``: no per-attempt budget.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.5
+    multiplier: float = 2.0
+    max_backoff: float = math.inf
+    jitter: tuple[float, float] = (0.5, 1.5)
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+        if self.multiplier <= 0:
+            raise ValueError(f"multiplier must be positive, got {self.multiplier}")
+        if self.max_backoff < 0:
+            raise ValueError(
+                f"max_backoff must be non-negative, got {self.max_backoff}"
+            )
+        low, high = self.jitter
+        if not (0 <= low <= high):
+            raise ValueError(f"jitter must satisfy 0 <= low <= high, got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    @property
+    def max_retries(self) -> int:
+        """Retries beyond the first attempt (engine-ladder vocabulary)."""
+        return self.max_attempts - 1
+
+    def backoff_for(self, failures: int, rng: random.Random) -> float:
+        """Jittered pause after the ``failures``-th consecutive failure.
+
+        ``failures`` is 1-based: the pause slept before retrying for the
+        first time is ``backoff_for(1, rng)``.
+        """
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        base = min(
+            self.max_backoff, self.backoff * self.multiplier ** (failures - 1)
+        )
+        low, high = self.jitter
+        return base * rng.uniform(low, high)

@@ -1,0 +1,558 @@
+"""Object-store cache backend: key layout, SigV4, chaos, bit-identity.
+
+The acceptance bar mirrors the distributed suite: a grid run through an
+object-store fleet cache — even one where the store tears bodies, flips
+bits, throws 5xx bursts, stalls past the socket timeout or goes down
+entirely — must equal the serial in-process oracle cell for cell, and
+every poisoned entry must end up quarantined instead of inside a
+``GridResult``.  All chaos is driven by the deterministic seeded stub in
+:mod:`repro.experiments.backends.s3stub`; no real network, no real S3.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.backends.cache import (
+    LocalDirStore,
+    store_from_spec,
+)
+from repro.experiments.backends.objectstore import (
+    CHECKSUM_HEADER,
+    FINGERPRINT_HEADER,
+    QUARANTINE_PREFIX,
+    ObjectStoreCacheStore,
+    _sigv4_headers,
+    fingerprint_from_key,
+    object_key,
+    parse_object_store_url,
+)
+from repro.experiments.backends.s3stub import ChaosSpec, S3StubServer
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from repro.experiments.journal import (
+    journal_path,
+    list_runs,
+    read_journal,
+    verify_run,
+)
+from repro.experiments.paper import probabilistic_workload
+from repro.schedulers.registry import registered_configurations
+
+BUCKET = "repro-cache"
+FP = "ab" + "0" * 62  # a well-formed 64-hex fingerprint
+
+
+def fast_store(stub, *, prefix="grids", **kwargs):
+    """A store aimed at the stub with test-friendly timing."""
+    kwargs.setdefault("timeout", 2.0)
+    kwargs.setdefault("backoff", 0.01)
+    kwargs.setdefault("cooldown", 30.0)
+    kwargs.setdefault("rng", random.Random(0))
+    return ObjectStoreCacheStore(stub.endpoint, BUCKET, prefix=prefix, **kwargs)
+
+
+# -- key layout ----------------------------------------------------------------
+
+
+hex_fingerprints = st.text(alphabet="0123456789abcdef", min_size=1, max_size=64)
+prefixes = st.sampled_from(["", "grids", "a/b", "deep/nest/pre", "/slashed/"])
+
+
+class TestObjectKeys:
+    @given(fingerprint=hex_fingerprints, prefix=prefixes)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, fingerprint, prefix):
+        key = object_key(fingerprint, prefix)
+        assert fingerprint_from_key(key, prefix) == fingerprint
+
+    @given(
+        fingerprint=st.text(
+            st.characters(blacklist_characters="/", blacklist_categories=("Cs",)),
+            min_size=1,
+            max_size=32,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_any_slashless_name(self, fingerprint):
+        assert fingerprint_from_key(object_key(fingerprint)) == fingerprint
+
+    def test_layout_mirrors_local_store(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        relative = store.path(FP).relative_to(tmp_path)
+        assert object_key(FP) == str(relative)
+        assert object_key(FP, "grids") == f"grids/{relative}"
+
+    def test_invalid_fingerprints_raise(self):
+        with pytest.raises(ValueError):
+            object_key("")
+        with pytest.raises(ValueError):
+            object_key("ab/cd")
+
+    def test_foreign_keys_do_not_parse(self):
+        assert fingerprint_from_key("not-a-cache-key") is None
+        assert fingerprint_from_key("ab/mismatched-shard.json") is None
+        assert fingerprint_from_key(f"{FP[:2]}/{FP}.txt") is None
+        assert fingerprint_from_key(object_key(FP, "grids")) is None  # wrong prefix
+        assert fingerprint_from_key(object_key(FP), "grids") is None
+        # Quarantined copies never surface as cache entries.
+        quarantined = f"{QUARANTINE_PREFIX}/{object_key(FP)}"
+        assert fingerprint_from_key(quarantined) is None
+
+
+class TestUrlParsing:
+    def test_endpoint_style(self):
+        endpoint, bucket, prefix = parse_object_store_url(
+            "s3://minio.internal:9000/repro-cache/grids/v4"
+        )
+        assert endpoint == "http://minio.internal:9000"
+        assert bucket == "repro-cache"
+        assert prefix == "grids/v4"
+
+    def test_endpoint_style_without_prefix(self):
+        assert parse_object_store_url("s3://127.0.0.1:9000/bucket") == (
+            "http://127.0.0.1:9000",
+            "bucket",
+            "",
+        )
+
+    def test_bucket_style_uses_env_endpoint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_S3_ENDPOINT", "https://s3.example.com")
+        assert parse_object_store_url("s3://repro-cache/grids") == (
+            "https://s3.example.com",
+            "repro-cache",
+            "grids",
+        )
+
+    def test_bucket_style_without_env_raises(self, monkeypatch):
+        monkeypatch.delenv("REPRO_S3_ENDPOINT", raising=False)
+        with pytest.raises(ValueError):
+            parse_object_store_url("s3://repro-cache/grids")
+
+    def test_rejects_other_schemes(self):
+        with pytest.raises(ValueError):
+            parse_object_store_url("http://host:9000/bucket")
+        with pytest.raises(ValueError):
+            parse_object_store_url("s3://")
+        with pytest.raises(ValueError):
+            parse_object_store_url("s3://host:9000")  # endpoint but no bucket
+
+    def test_from_url_carries_prefix(self):
+        store = ObjectStoreCacheStore.from_url("s3://127.0.0.1:9000/bucket/pre/fix")
+        assert (store.host, store.bucket, store.prefix) == (
+            "127.0.0.1:9000",
+            "bucket",
+            "pre/fix",
+        )
+
+    def test_store_from_spec_dispatches_on_scheme(self):
+        from repro.experiments.backends.cache import RemoteCacheStore
+
+        s3 = store_from_spec("s3://127.0.0.1:9000/bucket")
+        assert isinstance(s3, ObjectStoreCacheStore)
+        fleet = store_from_spec("127.0.0.1:4040")
+        assert isinstance(fleet, RemoteCacheStore)
+
+
+class TestCooldownEnv:
+    def test_env_cooldown_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_COOLDOWN", "4.5")
+        store = ObjectStoreCacheStore("http://127.0.0.1:9000", "bucket")
+        assert store.cooldown == 4.5
+        assert store.breaker.cooldown == 4.5
+
+    def test_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_COOLDOWN", "4.5")
+        store = ObjectStoreCacheStore("http://127.0.0.1:9000", "bucket", cooldown=9.0)
+        assert store.cooldown == 9.0
+
+
+class TestSigV4:
+    NOW = __import__("datetime").datetime(
+        2026, 8, 8, 12, 0, 0, tzinfo=__import__("datetime").timezone.utc
+    )
+
+    def sign(self, secret="secretkey"):
+        return _sigv4_headers(
+            "GET",
+            "minio.internal:9000",
+            "/bucket/ab/key.json",
+            "",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ("accesskey", secret),
+            "us-east-1",
+            self.NOW,
+        )
+
+    def test_deterministic(self):
+        first, second = self.sign(), self.sign()
+        assert first == second
+        assert first["x-amz-date"] == "20260808T120000Z"
+        auth = first["Authorization"]
+        assert auth.startswith("AWS4-HMAC-SHA256 Credential=accesskey/20260808/")
+        assert "SignedHeaders=host;x-amz-content-sha256;x-amz-date" in auth
+        signature = auth.rsplit("Signature=", 1)[1]
+        assert len(signature) == 64 and all(c in "0123456789abcdef" for c in signature)
+
+    def test_secret_changes_signature(self):
+        assert self.sign()["Authorization"] != self.sign("other")["Authorization"]
+
+
+# -- store against the clean stub ----------------------------------------------
+
+
+class TestStoreRoundTrip:
+    def test_save_load_head_list(self):
+        text = json.dumps({"version": 4, "objective": 1.25})
+        with S3StubServer() as stub:
+            store = fast_store(stub)
+            assert store.load(FP) is None  # miss, but reachable
+            assert store.connected
+            store.save(FP, text)
+            assert store.load(FP) == text
+            headers = store.head(FP)
+            assert headers[FINGERPRINT_HEADER.lower()] == FP
+            assert store.list_fingerprints() == [FP]
+            health = store.health()
+            assert health.kind == "s3" and health.breaker_state == "closed"
+            assert store.errors == 0 and store.quarantined == []
+
+    def test_object_bytes_match_local_store_bytes(self, tmp_path):
+        """Bucket and cache directory must be mirror images: same relative
+        key, identical bytes, so `mc mirror` round-trips stay bit-valid."""
+        text = json.dumps({"version": 4, "cells": ["a", "b"], "objective": 2.5})
+        local = LocalDirStore(tmp_path)
+        local.save(FP, text)
+        with S3StubServer() as stub:
+            store = fast_store(stub, prefix="")
+            store.save(FP, text)
+            body, metadata = stub.object(BUCKET, object_key(FP))
+        assert body == local.path(FP).read_bytes()
+        assert metadata[CHECKSUM_HEADER] == __import__("hashlib").sha256(
+            body
+        ).hexdigest()
+
+    @given(
+        text=st.text(min_size=0, max_size=400).map(
+            lambda s: json.dumps({"payload": s})
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_serialization_parity_property(self, text, tmp_path_factory):
+        """Any JSON entry LocalDirStore can persist, the object key/body
+        mapping preserves byte for byte."""
+        root = tmp_path_factory.mktemp("parity")
+        local = LocalDirStore(root)
+        local.save(FP, text)
+        assert local.path(FP).read_bytes() == text.encode("utf-8")
+        assert object_key(FP) == str(local.path(FP).relative_to(root))
+
+
+# -- chaos: transient faults are retried ---------------------------------------
+
+
+class TestChaosRetries:
+    def put_one(self, stub, text='{"version": 4}'):
+        store = fast_store(stub)
+        store.save(FP, text)
+        assert store.errors == 0
+        return text
+
+    def test_503_burst_retried(self):
+        with S3StubServer() as stub:
+            text = self.put_one(stub)
+            stub.chaos = ChaosSpec(script=("503", "503", "ok"), apply_to=("get",))
+            store = fast_store(stub)
+            assert store.load(FP) == text
+            assert store.errors == 0
+            assert stub.fault_counts.get("503") == 2
+
+    def test_torn_body_retried(self):
+        with S3StubServer() as stub:
+            text = self.put_one(stub)
+            stub.chaos = ChaosSpec(script=("torn", "ok"), apply_to=("get",))
+            store = fast_store(stub)
+            assert store.load(FP) == text
+            assert store.errors == 0
+            assert stub.fault_counts.get("torn") == 1
+
+    def test_severed_connection_retried(self):
+        with S3StubServer() as stub:
+            text = self.put_one(stub)
+            stub.chaos = ChaosSpec(script=("down", "ok"), apply_to=("get",))
+            store = fast_store(stub)
+            assert store.load(FP) == text
+            assert store.errors == 0
+
+    def test_stall_past_timeout_retried(self):
+        with S3StubServer() as stub:
+            text = self.put_one(stub)
+            stub.chaos = ChaosSpec(
+                script=("stall", "ok"), stall_seconds=1.5, apply_to=("get",)
+            )
+            store = fast_store(stub, timeout=0.3)
+            assert store.load(FP) == text
+            assert store.errors == 0
+
+    def test_retries_exhausted_degrades_to_miss(self):
+        with S3StubServer() as stub:
+            text = self.put_one(stub)
+            stub.chaos = ChaosSpec(script=("503",), apply_to=("get",))
+            store = fast_store(stub, max_attempts=2, failure_threshold=100)
+            assert store.load(FP) is None
+            assert store.errors == 1
+            assert not store.connected
+
+
+class TestQuarantine:
+    def test_inflight_corruption_quarantines_and_misses(self):
+        """A bit flipped on the wire fails the checksum: the load answers
+        a miss, the poisoned bytes are copied under quarantine/, and the
+        stored object (which was never corrupt) stays intact."""
+        text = '{"version": 4, "objective": 3.0}'
+        with S3StubServer() as stub:
+            store = fast_store(stub)
+            store.save(FP, text)
+            stub.chaos = ChaosSpec(script=("corrupt",), apply_to=("get",))
+            assert store.load(FP) is None
+            assert store.quarantined and store.quarantined[0][0] == FP
+            assert "sha256 mismatch" in store.quarantined[0][1]
+            stub.chaos = None
+            key = object_key(FP, "grids")
+            body, _ = stub.object(BUCKET, key)
+            assert body == text.encode("utf-8")  # original untouched
+            poisoned, metadata = stub.object(BUCKET, f"{QUARANTINE_PREFIX}/{key}")
+            assert poisoned != body and len(poisoned) == len(body)
+            assert "sha256 mismatch" in metadata["x-amz-meta-repro-quarantine-reason"]
+            # The store still works and the quarantine copy never lists.
+            assert store.load(FP) == text
+            assert store.list_fingerprints() == [FP]
+
+    def test_persistent_bitrot_quarantined(self):
+        text = '{"version": 4, "objective": 3.0}'
+        with S3StubServer() as stub:
+            store = fast_store(stub)
+            store.save(FP, text)
+            stub.corrupt_stored(BUCKET, object_key(FP, "grids"))
+            assert store.load(FP) is None
+            assert [fp for fp, _ in store.quarantined] == [FP]
+            assert store.connected  # transport fine; the bytes lied
+
+    def test_semantic_poison_rejected_by_result_cache(self, tmp_path):
+        """An entry that transports intact but fails semantic validation
+        (bogus version) is rejected by ResultCache and pushed back into
+        the store's quarantine — validate-before-accept, second layer."""
+        poison = json.dumps({"version": 999, "objective": "wrong"})
+        body = poison.encode("utf-8")
+        digest = __import__("hashlib").sha256(body).hexdigest()
+        with S3StubServer() as stub:
+            stub.plant(
+                BUCKET,
+                object_key(FP, "grids"),
+                body,
+                metadata={CHECKSUM_HEADER: digest, FINGERPRINT_HEADER: FP},
+            )
+            store = fast_store(stub)
+            cache = ResultCache(tmp_path / "cache", remote=store)
+            assert cache.get(FP) is None
+            assert cache.remote_rejected == 1 and cache.remote_hits == 0
+            assert [fp for fp, _ in store.quarantined] == [FP]
+            quarantine_key = f"{QUARANTINE_PREFIX}/{object_key(FP, 'grids')}"
+            quarantined_body, _ = stub.object(BUCKET, quarantine_key)
+            assert quarantined_body == body
+            # Nothing poisoned ever reached the local store.
+            assert not cache.path(FP).exists()
+
+
+class TestBreaker:
+    def test_open_breaker_sheds_load(self):
+        text = '{"version": 4}'
+        with S3StubServer() as stub:
+            store = fast_store(
+                stub, max_attempts=1, failure_threshold=1, cooldown=600.0
+            )
+            store.save(FP, text)
+            stub.chaos = ChaosSpec(script=("down",), apply_to=("get", "put"))
+            assert store.load(FP) is None  # trips the breaker
+            assert store.breaker.state == "open"
+            flat = stub.total_requests
+            for _ in range(8):
+                assert store.load(FP) is None
+            assert stub.total_requests == flat  # shed, not attempted
+            assert store.shed == 8
+            assert store.health().breaker_opened == 1
+
+
+# -- end-to-end: engine grids through the chaos stub ---------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return probabilistic_workload(80, seed=7)
+
+
+@pytest.fixture(scope="module")
+def registry_configs():
+    return list(registered_configurations())
+
+
+@pytest.fixture(scope="module")
+def oracle(workload, registry_configs):
+    engine = ExperimentEngine(workers=1)
+    return engine.run(workload[:24], total_nodes=256, configs=registry_configs)
+
+
+def assert_grids_equal(actual, expected):
+    for key in expected.cells:
+        assert actual.cells[key].objective == expected.cells[key].objective, key
+        assert actual.cells[key].makespan == expected.cells[key].makespan, key
+        if key in expected.fingerprints:
+            assert actual.fingerprints[key] == expected.fingerprints[key], key
+
+
+class TestEngineEndToEnd:
+    def run_engine(self, workload, registry_configs, **kwargs):
+        engine = ExperimentEngine(workers=1, **kwargs)
+        grid = engine.run(workload[:24], total_nodes=256, configs=registry_configs)
+        return engine, grid
+
+    def test_grid_bit_identical_under_chaos(
+        self, tmp_path, workload, registry_configs, oracle
+    ):
+        """The acceptance gate: a full-registry grid against a faulty
+        object store (torn bodies, bit flips, 5xx, severed connections on
+        both reads and writes) equals the serial no-cache oracle, and a
+        second driver reusing the same bucket under fresh chaos does too."""
+        chaos = ChaosSpec(
+            seed=13,
+            torn_rate=0.12,
+            corrupt_rate=0.08,
+            error_rate=0.12,
+            down_rate=0.05,
+        )
+        with S3StubServer(chaos=chaos) as stub:
+            url = stub.url(BUCKET, "grids")
+            _, first = self.run_engine(
+                workload,
+                registry_configs,
+                cache=tmp_path / "cache-a",
+                remote_cache=url,
+            )
+            assert_grids_equal(first, oracle)
+            # Fresh local cache, same bucket, fresh chaos: remote hits
+            # mix with recomputes and the grid still matches the oracle.
+            stub.chaos = ChaosSpec(
+                seed=17, torn_rate=0.12, corrupt_rate=0.08, error_rate=0.12
+            )
+            engine, second = self.run_engine(
+                workload,
+                registry_configs,
+                cache=tmp_path / "cache-b",
+                remote_cache=url,
+            )
+            assert_grids_equal(second, oracle)
+            total = len(registry_configs)
+            stats = engine.stats
+            # Every cell was either served (validated) from the bucket or
+            # recomputed; chaos decides the mix, never the results.
+            assert stats.remote_hits + stats.simulated == total
+
+    def test_poison_quarantined_never_in_grid(
+        self, tmp_path, workload, registry_configs, oracle
+    ):
+        """Pre-poison the bucket with persistent bit-rot for every entry
+        a warm run wrote; the next driver must quarantine each one,
+        recompute, and still produce the oracle grid."""
+        with S3StubServer() as stub:
+            url = stub.url(BUCKET, "grids")
+            self.run_engine(
+                workload, registry_configs, cache=tmp_path / "warm", remote_cache=url
+            )
+            cache_keys = [
+                key
+                for key in stub.keys(BUCKET)
+                if fingerprint_from_key(key, "grids") is not None
+            ]
+            assert cache_keys
+            for key in cache_keys[:3]:
+                stub.corrupt_stored(BUCKET, key)
+            engine, grid = self.run_engine(
+                workload, registry_configs, cache=tmp_path / "cold", remote_cache=url
+            )
+            assert_grids_equal(grid, oracle)
+            assert engine.stats.quarantined == 3
+            quarantine_keys = [
+                key
+                for key in stub.keys(BUCKET)
+                if key.startswith(QUARANTINE_PREFIX + "/")
+            ]
+            assert len(quarantine_keys) == 3
+
+    def test_outage_degrades_with_event_and_stats(
+        self, tmp_path, workload, registry_configs, oracle
+    ):
+        """A store that is down from the first request trips the breaker:
+        the run completes bit-identically local-only, emits the
+        cache-degraded progress event, and counts the degradation."""
+        events = []
+        with S3StubServer(chaos=ChaosSpec(script=("down",))) as stub:
+            engine, grid = self.run_engine(
+                workload,
+                registry_configs,
+                cache=tmp_path / "cache",
+                remote_cache=stub.url(BUCKET, "grids"),
+                on_event=events.append,
+            )
+        assert_grids_equal(grid, oracle)
+        degraded = [e for e in events if e.kind == "cache-degraded"]
+        assert degraded and "breaker opened" in degraded[0].detail
+        assert engine.stats.cache_degraded >= 1
+        assert engine.stats.remote_hits == 0
+
+    def test_cache_health_in_journal_listing_and_audit(
+        self, tmp_path, workload, registry_configs
+    ):
+        with S3StubServer() as stub:
+            url = stub.url(BUCKET, "grids")
+            self.run_engine(
+                workload, registry_configs, cache=tmp_path / "warm", remote_cache=url
+            )
+            engine, _ = self.run_engine(
+                workload,
+                registry_configs,
+                cache=tmp_path / "cold",
+                remote_cache=url,
+                journal_dir=tmp_path / "journal",
+            )
+            total = len(registry_configs)
+            assert engine.stats.remote_hits == total
+            run_id = engine.stats.run_id
+            assert run_id
+
+            replay = read_journal(journal_path(tmp_path / "journal", run_id))
+            health = replay.cache_health
+            assert health is not None
+            assert health["store"] == "s3"
+            assert health["remote_hits"] == total
+            assert health["remote_rejected"] == 0
+            assert health["breaker_state"] == "closed"
+
+            summaries = {s.run_id: s for s in list_runs(tmp_path / "journal")}
+            description = summaries[run_id].describe()
+            assert f"{total} hit(s)" in description
+
+            # Wipe the local entries: every completed cell must audit as
+            # remote_backed through the s3 spec.
+            for entry in Path(tmp_path / "cold").rglob("*.json"):
+                entry.unlink()
+            audit = verify_run(
+                run_id,
+                journal_dir=tmp_path / "journal",
+                cache=ResultCache(tmp_path / "cold"),
+            )
+            assert audit.ok
+            assert audit.remote_backed == audit.completed == total
+            assert not audit.missing

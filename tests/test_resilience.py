@@ -1,0 +1,428 @@
+"""The shared resilience layer: retry policy, circuit breaker, call wrapper.
+
+Everything here is deterministic: clocks, rngs and sleeps are injected,
+so thousands of simulated failures run in milliseconds.  The refactor
+contract is also pinned — the three legacy call sites (engine retry
+ladder, remote reconnect, fleet-cache cooldown) must keep their exact
+timing distributions after moving onto :mod:`repro.resilience`.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.backends.cache import (
+    DEFAULT_CACHE_COOLDOWN,
+    RemoteCacheStore,
+    resolve_cache_cooldown,
+)
+from repro.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    RetriesExhausted,
+    RetryPolicy,
+    with_resilience,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- RetryPolicy ---------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+    def test_frozen(self):
+        policy = RetryPolicy()
+        with pytest.raises(AttributeError):
+            policy.max_attempts = 7
+
+    def test_max_retries_vocabulary(self):
+        assert RetryPolicy(max_attempts=1).max_retries == 0
+        assert RetryPolicy(max_attempts=4).max_retries == 3
+
+    def test_backoff_matches_legacy_formula(self):
+        """backoff_for must reproduce base * 2**(n-1) * uniform(0.5, 1.5)
+        draw for draw — the formula all three legacy sites inlined."""
+        policy = RetryPolicy(max_attempts=6, backoff=0.5, jitter=(0.5, 1.5))
+        for failures in range(1, 6):
+            new = policy.backoff_for(failures, random.Random(42))
+            legacy = 0.5 * (2 ** (failures - 1)) * random.Random(42).uniform(0.5, 1.5)
+            assert new == legacy
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(
+            max_attempts=10, backoff=1.0, max_backoff=4.0, jitter=(1.0, 1.0)
+        )
+        assert policy.backoff_for(1, random.Random(0)) == 1.0
+        assert policy.backoff_for(3, random.Random(0)) == 4.0
+        assert policy.backoff_for(9, random.Random(0)) == 4.0  # capped
+
+    def test_backoff_requires_positive_failures(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_for(0, random.Random(0))
+
+    def test_no_jitter_is_deterministic(self):
+        policy = RetryPolicy(backoff=0.25, jitter=(1.0, 1.0))
+        assert policy.backoff_for(2, random.Random(0)) == 0.5
+
+
+# -- CircuitBreaker ------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("cooldown", 10.0)
+        kwargs.setdefault("jitter", (1.0, 1.0))
+        kwargs.setdefault("rng", random.Random(0))
+        breaker = CircuitBreaker(clock=clock, **kwargs)
+        return breaker, clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(jitter=(1.1, 0.9))
+
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.failures == 0
+
+    def test_trips_open_at_threshold_and_sheds(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.times_opened == 1
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()  # cooldown not elapsed
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.times_opened == 2
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # next probe after another cooldown
+
+    def test_cooldown_jitter_band(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown=100.0,
+            jitter=(0.9, 1.1),
+            rng=random.Random(7),
+            clock=FakeClock(),
+        )
+        clock = breaker._clock
+        breaker.record_failure()
+        # closed again only somewhere inside [90, 110]
+        clock.advance(89.9)
+        assert not breaker.allow()
+        clock.advance(110.0 - 89.9 + 0.01)
+        assert breaker.allow()
+
+    def test_transitions_recorded_and_hooked(self):
+        seen = []
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown=5.0,
+            jitter=(1.0, 1.0),
+            clock=clock,
+            on_transition=seen.append,
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        states = [(t.old, t.new) for t in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert seen == breaker.transitions
+
+    def test_snapshot(self):
+        breaker, _ = self.make(failure_threshold=1)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert (snap.state, snap.failures, snap.opened) == ("open", 1, 1)
+
+
+# -- with_resilience -----------------------------------------------------------
+
+
+class TestWithResilience:
+    def test_success_first_try(self):
+        outcomes = []
+        result = with_resilience(
+            "op",
+            lambda: 42,
+            policy=RetryPolicy(max_attempts=3),
+            on_outcome=outcomes.append,
+        )
+        assert result == 42
+        assert len(outcomes) == 1
+        assert outcomes[0].ok and outcomes[0].final and outcomes[0].attempt == 1
+
+    def test_transient_retries_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("boom")
+            return "ok"
+
+        pauses = []
+        outcomes = []
+        result = with_resilience(
+            "op",
+            flaky,
+            policy=RetryPolicy(max_attempts=3, backoff=0.5, jitter=(1.0, 1.0)),
+            sleep=pauses.append,
+            on_outcome=outcomes.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert pauses == [0.5, 1.0]  # exponential, no jitter
+        assert [o.ok for o in outcomes] == [False, False, True]
+        assert [o.final for o in outcomes] == [False, False, True]
+
+    def test_retries_exhausted(self):
+        def always():
+            raise OSError("down")
+
+        with pytest.raises(RetriesExhausted) as info:
+            with_resilience(
+                "op",
+                always,
+                policy=RetryPolicy(max_attempts=3, backoff=0.0),
+                sleep=lambda s: None,
+            )
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last, OSError)
+        assert len(info.value.outcomes) == 3
+        assert info.value.outcomes[-1].final
+
+    def test_fatal_errors_not_retried(self):
+        calls = {"n": 0}
+
+        def fatal():
+            calls["n"] += 1
+            raise ValueError("misconfigured")
+
+        with pytest.raises(ValueError):
+            with_resilience(
+                "op", fatal, policy=RetryPolicy(max_attempts=5, backoff=0.0)
+            )
+        assert calls["n"] == 1
+
+    def test_breaker_sheds_before_attempt(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown=10.0, jitter=(1.0, 1.0), clock=clock
+        )
+        breaker.record_failure()
+        calls = {"n": 0}
+        outcomes = []
+
+        def fn():
+            calls["n"] += 1
+            return 1
+
+        with pytest.raises(BreakerOpen):
+            with_resilience(
+                "op",
+                fn,
+                policy=RetryPolicy(max_attempts=3),
+                breaker=breaker,
+                on_outcome=outcomes.append,
+            )
+        assert calls["n"] == 0
+        assert outcomes[0].shed and outcomes[0].final
+
+    def test_breaker_fed_and_probe_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown=5.0, jitter=(1.0, 1.0), clock=clock
+        )
+        policy = RetryPolicy(max_attempts=1)
+
+        def boom():
+            raise OSError("down")
+
+        for _ in range(2):
+            with pytest.raises(RetriesExhausted):
+                with_resilience("op", boom, policy=policy, breaker=breaker)
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert with_resilience("op", lambda: "up", policy=policy, breaker=breaker) == "up"
+        assert breaker.state == "closed"
+
+    def test_single_attempt_policy_never_retries(self):
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise OSError("x")
+
+        with pytest.raises(RetriesExhausted):
+            with_resilience("op", boom, policy=RetryPolicy(max_attempts=1))
+        assert calls["n"] == 1
+
+
+# -- the refactored call sites keep their semantics ----------------------------
+
+
+class TestRefactoredSites:
+    def test_engine_policy_matches_legacy_backoff(self):
+        from repro.experiments.engine import ExperimentEngine
+
+        engine = ExperimentEngine(max_retries=3, retry_backoff=0.25)
+        assert engine.retry_policy.max_attempts == 4
+        for attempt in range(1, 4):
+            new = engine.retry_policy.backoff_for(attempt, random.Random(9))
+            legacy = 0.25 * (2 ** (attempt - 1)) * random.Random(9).uniform(0.5, 1.5)
+            assert new == legacy
+
+    def test_remote_backend_policy_matches_legacy_backoff(self):
+        from repro.experiments.backends.remote import RemoteWorkerBackend
+
+        backend = RemoteWorkerBackend(
+            ["127.0.0.1:1"], max_reconnects=4, reconnect_backoff=0.5
+        )
+        for attempts in range(1, 5):
+            new = backend._reconnect_policy.backoff_for(attempts, random.Random(3))
+            legacy = 0.5 * (2 ** (attempts - 1)) * random.Random(3).uniform(0.5, 1.5)
+            assert new == legacy
+
+    def test_no_bespoke_backoff_left(self):
+        """The refactor's grep gate: the inline formula and the cooldown
+        field live only inside repro/resilience now."""
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        offenders = []
+        for path in src.rglob("*.py"):
+            if "resilience" in path.parts:
+                continue
+            text = path.read_text(encoding="utf-8")
+            if "_retry_at" in text:
+                offenders.append(f"{path.name}: _retry_at")
+            for line in text.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("#"):
+                    continue
+                if "uniform(0.5, 1.5)" in stripped and "think" not in stripped.lower():
+                    if "mean_think_time" not in stripped:
+                        offenders.append(f"{path.name}: {stripped}")
+        assert not offenders, offenders
+
+
+# -- the fleet cache store on the shared layer ---------------------------------
+
+
+class TestRemoteCacheStoreCooldown:
+    def test_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_COOLDOWN", "7.5")
+        assert resolve_cache_cooldown(2.0) == 2.0
+        store = RemoteCacheStore("127.0.0.1:1", cooldown=2.0)
+        assert store.cooldown == 2.0
+        assert store.breaker.cooldown == 2.0
+
+    def test_env_applies_when_no_kwarg(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_COOLDOWN", "7.5")
+        assert resolve_cache_cooldown(None) == 7.5
+        store = RemoteCacheStore("127.0.0.1:1")
+        assert store.cooldown == 7.5
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_COOLDOWN", raising=False)
+        assert resolve_cache_cooldown(None) == DEFAULT_CACHE_COOLDOWN
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_COOLDOWN", "soon")
+        with pytest.raises(ValueError):
+            resolve_cache_cooldown(None)
+        monkeypatch.setenv("REPRO_CACHE_COOLDOWN", "-3")
+        with pytest.raises(ValueError):
+            resolve_cache_cooldown(None)
+
+    def test_negative_kwarg_raises(self):
+        with pytest.raises(ValueError):
+            resolve_cache_cooldown(-1.0)
+
+    def test_unreachable_store_trips_breaker_and_degrades(self):
+        # Port 1 is never listening: the first round trip fails, the
+        # breaker opens (threshold 1 — the old per-drop cooldown), and
+        # further calls are shed without dialing.
+        store = RemoteCacheStore(
+            "127.0.0.1:1", timeout=0.2, cooldown=60.0, rng=random.Random(0)
+        )
+        assert store.load("ab" + "0" * 62) is None
+        assert store.errors == 1
+        assert store.breaker.state == "open"
+        assert not store.connected
+        before = store.errors
+        for _ in range(5):
+            assert store.load("ab" + "0" * 62) is None
+        assert store.errors == before  # shed, not re-dialed
+
+    def test_health_snapshot(self):
+        store = RemoteCacheStore("127.0.0.1:1", cooldown=5.0)
+        health = store.health()
+        assert health.kind == "fleet"
+        assert health.breaker_state == "closed"
+        assert "breaker closed" in health.describe()
